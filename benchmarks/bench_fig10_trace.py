@@ -1,0 +1,157 @@
+"""Experiment B.2 / Figure 10: trace-driven upload/download performance.
+
+Paper setup: replay seven consecutive daily backups (Mar 19-25, 2013;
+nine users; 3.64 TB) through one REED client.  Chunks are reconstructed
+by repeating their fingerprints to the recorded sizes; the key cache is
+enabled but cleared between users.  Claims:
+
+* day-1 upload is slow (~13.1 MB/s): most chunks need fresh MLE keys;
+* later days run at network speed (~105 MB/s): keys are cached and the
+  data dedups;
+* download speed degrades slowly over days — chunk fragmentation: a
+  later snapshot's chunks are scattered across containers written on
+  different days.
+
+Real measurement: the same replay at reduced scale through the full
+client/server stack, measuring real speeds, real key-manager traffic,
+and real container-fetch counts (the fragmentation signal).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import mbps, save_result
+from repro.chunking.chunker import ChunkingSpec
+from repro.core.system import build_system
+from repro.crypto.drbg import HmacDrbg
+from repro.sim.costmodel import PAPER_TESTBED
+from repro.sim.figures import PAPER_QUOTED
+from repro.util.units import KiB, MiB
+from repro.workloads.fsl import (
+    FslhomesGenerator,
+    FslParameters,
+    chunk_bytes_from_fingerprint,
+)
+
+PARAMS = FslParameters(scale=2e-6, days=7, users=3)
+
+
+def snapshot_payload(snapshot):
+    """Reconstruct a snapshot's file bytes exactly as the paper does."""
+    return b"".join(
+        chunk_bytes_from_fingerprint(c.fingerprint, c.size) for c in snapshot.chunks
+    )
+
+
+def replay_trace():
+    """Run the 7-day replay; returns per-day (up_speed, down_speed,
+    oprf_calls, container_fetches)."""
+    generator = FslhomesGenerator(PARAMS)
+    # Small containers scale the fragmentation effect down with the data:
+    # the paper's 4 MB containers vs TB-scale days become 64 KB containers
+    # vs MB-scale days.
+    system = build_system(
+        num_data_servers=4,
+        chunking=ChunkingSpec(method="fixed", avg_size=8 * KiB),
+        rng=HmacDrbg(b"fig10"),
+        container_bytes=64 * KiB,
+    )
+    clients = {
+        user: system.new_client(user, cache_bytes=64 * MiB)
+        for user in generator.users()
+    }
+    results = []
+    for day, snapshots in enumerate(generator.days()):
+        day_bytes = 0
+        oprf_before = sum(c.key_client.oprf_evaluations for c in clients.values())
+        started = time.perf_counter()
+        for snapshot in snapshots:
+            payload = snapshot_payload(snapshot)
+            day_bytes += len(payload)
+            clients[snapshot.user].upload(f"{snapshot.user}-d{day}", payload)
+        up_seconds = time.perf_counter() - started
+        oprf_after = sum(c.key_client.oprf_evaluations for c in clients.values())
+
+        fetches_before = sum(
+            s.store.containers.container_fetches for s in system.servers
+        )
+        started = time.perf_counter()
+        for snapshot in snapshots:
+            clients[snapshot.user].download(f"{snapshot.user}-d{day}")
+        down_seconds = time.perf_counter() - started
+        fetches_after = sum(
+            s.store.containers.container_fetches for s in system.servers
+        )
+        results.append(
+            {
+                "day": day,
+                "bytes": day_bytes,
+                "up_MBps": mbps(day_bytes, up_seconds),
+                "down_MBps": mbps(day_bytes, down_seconds),
+                "oprf": oprf_after - oprf_before,
+                "container_fetches": fetches_after - fetches_before,
+            }
+        )
+    return results
+
+
+@pytest.fixture(scope="module")
+def trace_results():
+    return replay_trace()
+
+
+def test_fig10_trace_replay(benchmark, trace_results):
+    results = benchmark.pedantic(replay_trace, rounds=1)
+    for row in results:
+        save_result(
+            "fig10",
+            f"real fig10 day {row['day']}: up={row['up_MBps']:.1f} MB/s "
+            f"down={row['down_MBps']:.1f} MB/s oprf={row['oprf']} "
+            f"container_fetches={row['container_fetches']}",
+        )
+    benchmark.extra_info["day1_up_MBps"] = round(results[0]["up_MBps"], 2)
+    benchmark.extra_info["steady_up_MBps"] = round(results[-1]["up_MBps"], 2)
+
+
+def test_fig10_day1_is_key_generation_bound(trace_results):
+    """Day 1 performs nearly all OPRF evaluations; later days nearly none
+    (cached keys + dedup), so upload speed jumps after day 1."""
+    day1 = trace_results[0]
+    later = trace_results[1:]
+    assert day1["oprf"] > 0
+    mean_later_oprf = sum(r["oprf"] for r in later) / len(later)
+    assert mean_later_oprf < 0.5 * day1["oprf"]
+    steady = sum(r["up_MBps"] for r in later) / len(later)
+    assert steady > 1.3 * day1["up_MBps"]
+
+
+def test_fig10_download_fragmentation_grows(trace_results):
+    """Fragmentation signal: a day-1 snapshot reads sequentially written
+    containers, while later snapshots mix chunks written on many
+    different days — so later downloads touch *more* containers per new
+    byte uploaded that day (their data mostly lives in old containers)."""
+    first = trace_results[0]
+    last = trace_results[-1]
+    # Day 1 reads roughly the containers it just wrote.  The last day
+    # wrote almost nothing new (high dedup) but still must fetch the
+    # containers of all its historical chunks.
+    assert last["container_fetches"] > 0
+    first_ratio = first["container_fetches"] / max(1, first["oprf"])
+    last_ratio = last["container_fetches"] / max(1, last["oprf"])
+    assert last_ratio >= first_ratio
+
+
+def test_fig10_model_scale():
+    """Paper-scale day-1 vs steady-state speeds from the cost model."""
+    day1 = PAPER_TESTBED.upload_rate(8 * KiB, "enhanced", keys_cached=False)
+    steady = PAPER_TESTBED.upload_rate(8 * KiB, "enhanced", keys_cached=True)
+    save_result(
+        "fig10",
+        f"model fig10: day1={day1 / MiB:.1f} MB/s "
+        f"(paper {PAPER_QUOTED['fig10.day1_upload']}), "
+        f"steady={steady / MiB:.1f} MB/s "
+        f"(paper {PAPER_QUOTED['fig10.steady_upload']})",
+    )
+    assert day1 / MiB == pytest.approx(13.1, rel=0.25)
+    assert steady / MiB == pytest.approx(105.0, rel=0.10)

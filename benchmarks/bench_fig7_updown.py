@@ -1,0 +1,152 @@
+"""Experiment A.3 / Figure 7: upload and download performance.
+
+Paper setup: a client uploads a 2 GB unique file, uploads it again
+(identical content, MLE keys now cached), then downloads it; plus 1-8
+clients uploading simultaneously.  Claims:
+
+* first upload is bounded by MLE key generation (Fig. 7a);
+* second upload and download approach the effective network speed
+  (~108 MB/s of 116 MB/s) because keys are cached and data is deduped
+  server-side (Fig. 7a/7b);
+* aggregate second-upload throughput scales with clients to ~375 MB/s
+  (Fig. 7c).
+
+Real measurement: the full client/server pipeline in process at 8 MB
+scale.  The reproducible shape: second upload is much faster than the
+first (key generation eliminated), and both schemes converge once keys
+are cached.
+"""
+
+import pytest
+
+from benchmarks.common import mbps, record_series, save_result
+from repro.chunking.chunker import ChunkingSpec
+from repro.core.system import build_system
+from repro.crypto.drbg import HmacDrbg
+from repro.sim.figures import PAPER_QUOTED, fig7a, fig7b, fig7c
+from repro.util.units import KiB, MiB
+from repro.workloads.synthetic import unique_data
+
+FILE_BYTES = 8 * MiB
+
+
+def fresh_system(scheme):
+    return build_system(
+        num_data_servers=4,
+        scheme=scheme,
+        chunking=ChunkingSpec(method="fixed", avg_size=8 * KiB),
+        key_bits=1024,
+        rng=HmacDrbg(b"fig7"),
+    )
+
+
+@pytest.mark.parametrize("scheme", ["basic", "enhanced"])
+def test_fig7a_first_upload(benchmark, scheme):
+    data = unique_data(FILE_BYTES, seed=71)
+    counter = [0]
+
+    def setup():
+        system = fresh_system(scheme)
+        client = system.new_client(f"u{counter[0]}", cache_bytes=64 * MiB)
+        counter[0] += 1
+        return (client, data), {}
+
+    def first_upload(client, payload):
+        return client.upload("file", payload)
+
+    benchmark.pedantic(first_upload, setup=setup, rounds=3)
+    rate = mbps(FILE_BYTES, benchmark.stats["mean"])
+    benchmark.extra_info["rate_MBps"] = round(rate, 2)
+    save_result("fig7", f"real fig7a 1st upload ({scheme}): {rate:.1f} MB/s")
+
+
+@pytest.mark.parametrize("scheme", ["basic", "enhanced"])
+def test_fig7a_second_upload(benchmark, scheme):
+    data = unique_data(FILE_BYTES, seed=72)
+    counter = [0]
+
+    def setup():
+        system = fresh_system(scheme)
+        client = system.new_client(f"u{counter[0]}", cache_bytes=64 * MiB)
+        counter[0] += 1
+        client.upload("file", data)  # primes server dedup + key cache
+        return (client, data), {}
+
+    def second_upload(client, payload):
+        return client.upload("file-again", payload)
+
+    benchmark.pedantic(second_upload, setup=setup, rounds=3)
+    rate = mbps(FILE_BYTES, benchmark.stats["mean"])
+    benchmark.extra_info["rate_MBps"] = round(rate, 2)
+    save_result("fig7", f"real fig7a 2nd upload ({scheme}): {rate:.1f} MB/s")
+
+
+@pytest.mark.parametrize("scheme", ["basic", "enhanced"])
+def test_fig7b_download(benchmark, scheme):
+    data = unique_data(FILE_BYTES, seed=73)
+    system = fresh_system(scheme)
+    client = system.new_client("downloader", cache_bytes=64 * MiB)
+    client.upload("file", data)
+
+    def download():
+        return client.download("file")
+
+    result = benchmark(download)
+    assert result.data == data
+    rate = mbps(FILE_BYTES, benchmark.stats["mean"])
+    benchmark.extra_info["rate_MBps"] = round(rate, 2)
+    save_result("fig7", f"real fig7b download ({scheme}): {rate:.1f} MB/s")
+
+
+@pytest.mark.parametrize("clients", [1, 2, 4])
+def test_fig7c_aggregate_second_upload(benchmark, clients):
+    """N clients uploading already-cached content concurrently."""
+    import threading
+
+    data = unique_data(FILE_BYTES // 2, seed=74)
+
+    def setup():
+        system = fresh_system("enhanced")
+        users = []
+        for i in range(clients):
+            user = system.new_client(f"c{i}", cache_bytes=64 * MiB)
+            user.upload(f"prime-{i}", data)
+            users.append(user)
+        return (users,), {}
+
+    def aggregate_upload(users):
+        threads = [
+            threading.Thread(target=u.upload, args=(f"again-{i}", data))
+            for i, u in enumerate(users)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    benchmark.pedantic(aggregate_upload, setup=setup, rounds=2)
+    rate = mbps(len(data) * clients, benchmark.stats["mean"])
+    benchmark.extra_info["aggregate_MBps"] = round(rate, 2)
+    save_result("fig7", f"real fig7c aggregate 2nd upload x{clients}: {rate:.1f} MB/s")
+
+
+def test_fig7_model_series(benchmark):
+    def generate():
+        return fig7a() + fig7b() + fig7c()
+
+    series = benchmark(generate)
+    record_series(
+        "fig7",
+        series,
+        preamble=(
+            "Figure 7 (model, paper scale) — paper quotes: 2nd upload "
+            f"{PAPER_QUOTED['fig7a.second.basic@16KB']}/"
+            f"{PAPER_QUOTED['fig7a.second.enhanced@16KB']} MB/s @16KB; "
+            f"download {PAPER_QUOTED['fig7b.basic@8KB+']} MB/s; "
+            f"aggregate {PAPER_QUOTED['fig7c.second@8clients']} MB/s @8 clients"
+        ),
+    )
+    second = next(s for s in series if s.label == "basic (2nd)")
+    assert second.y_at(16) == pytest.approx(108.1, rel=0.07)
+    agg = next(s for s in series if s.label == "Upload (2nd)")
+    assert agg.y_at(8) == pytest.approx(374.9, rel=0.05)

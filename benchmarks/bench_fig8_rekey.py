@@ -1,0 +1,146 @@
+"""Experiment A.4 / Figure 8: rekeying performance.
+
+Paper setup: rekey a stored file, varying (a) the total number of
+authorized users (100-500, 20 % revoked, 2 GB file), (b) the revocation
+ratio (5-50 %, 500 users), and (c) the rekeyed file size (1-8 GB, 500
+users, 20 %).  Claims: delays stay within seconds; lazy is ~0.6 s faster
+than active at 2 GB; lazy is flat in file size while active grows with
+the stub file.
+
+Real measurement: actual rekey operations through the full stack — real
+key-regression wind, real access-tree encryption over N-user policies,
+real stub-file re-encryption — at reduced file scale.  The real shapes
+(delay grows with remaining users; lazy flat in file size; active grows)
+are asserted, not just timed.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import record_series, save_result
+from repro.chunking.chunker import ChunkingSpec
+from repro.core.policy import FilePolicy
+from repro.core.rekey import RevocationMode
+from repro.core.system import build_system
+from repro.crypto.drbg import HmacDrbg
+from repro.sim.figures import PAPER_QUOTED, fig8a, fig8b, fig8c
+from repro.util.units import KiB, MiB
+from repro.workloads.synthetic import unique_data
+
+
+def system_with_file(file_bytes, users, tag):
+    system = build_system(
+        num_data_servers=1,
+        chunking=ChunkingSpec(method="fixed", avg_size=8 * KiB),
+        rng=HmacDrbg(tag),
+    )
+    owner = system.new_client("owner", cache_bytes=32 * MiB)
+    policy = FilePolicy.for_users(["owner"] + [f"user{i}" for i in range(users - 1)])
+    owner.upload("target", unique_data(file_bytes, seed=8), policy=policy)
+    return system, owner, policy
+
+
+@pytest.mark.parametrize("users", [100, 300, 500])
+@pytest.mark.parametrize("mode", [RevocationMode.LAZY, RevocationMode.ACTIVE])
+def test_fig8a_rekey_vs_users(benchmark, users, mode):
+    _system, owner, policy = system_with_file(1 * MiB, users, b"fig8a")
+    revoked = {f"user{i}" for i in range(int((users - 1) * 0.2))}
+    new_policy = policy.without_users(revoked)
+
+    def rekey():
+        return owner.rekey("target", new_policy, mode)
+
+    result = benchmark(rekey)
+    assert result.new_policy_text == new_policy.text
+    benchmark.extra_info["users"] = users
+    benchmark.extra_info["mode"] = mode.value
+    save_result(
+        "fig8",
+        f"real fig8a: users={users} mode={mode.value} "
+        f"-> {benchmark.stats['mean'] * 1e3:.2f} ms",
+    )
+
+
+@pytest.mark.parametrize("ratio", [0.1, 0.3, 0.5])
+def test_fig8b_rekey_vs_revocation_ratio(benchmark, ratio):
+    _system, owner, policy = system_with_file(1 * MiB, 200, b"fig8b")
+    revoked = {f"user{i}" for i in range(int(199 * ratio))}
+    new_policy = policy.without_users(revoked)
+
+    benchmark(lambda: owner.rekey("target", new_policy, RevocationMode.LAZY))
+    benchmark.extra_info["ratio"] = ratio
+    save_result(
+        "fig8",
+        f"real fig8b: ratio={ratio} -> {benchmark.stats['mean'] * 1e3:.2f} ms",
+    )
+
+
+@pytest.mark.parametrize("file_mib", [1, 4, 16])
+@pytest.mark.parametrize("mode", [RevocationMode.LAZY, RevocationMode.ACTIVE])
+def test_fig8c_rekey_vs_file_size(benchmark, file_mib, mode):
+    _system, owner, policy = system_with_file(file_mib * MiB, 50, b"fig8c")
+    new_policy = policy.without_users({f"user{i}" for i in range(10)})
+
+    benchmark(lambda: owner.rekey("target", new_policy, mode))
+    benchmark.extra_info["file_mib"] = file_mib
+    benchmark.extra_info["mode"] = mode.value
+    save_result(
+        "fig8",
+        f"real fig8c: file={file_mib}MiB mode={mode.value} "
+        f"-> {benchmark.stats['mean'] * 1e3:.2f} ms",
+    )
+
+
+def test_fig8_real_shapes():
+    """Assert the paper's qualitative claims on the real implementation."""
+    # (a) delay grows with authorized users (policy encryption is per leaf).
+    times = {}
+    for users in (50, 400):
+        _s, owner, policy = system_with_file(1 * MiB, users, b"shape-a")
+        start = time.perf_counter()
+        owner.rekey("target", policy, RevocationMode.LAZY)
+        times[users] = time.perf_counter() - start
+    assert times[400] > times[50]
+
+    # (c) lazy flat in file size, active grows.
+    lazy, active = {}, {}
+    for file_mib in (1, 16):
+        _s, owner, policy = system_with_file(file_mib * MiB, 20, b"shape-c")
+        start = time.perf_counter()
+        owner.rekey("target", policy, RevocationMode.LAZY)
+        lazy[file_mib] = time.perf_counter() - start
+        start = time.perf_counter()
+        owner.rekey("target", policy, RevocationMode.ACTIVE)
+        active[file_mib] = time.perf_counter() - start
+    assert active[16] > active[1]
+    # Lazy does not touch the stub file: its cost must not scale 16x.
+    assert lazy[16] < lazy[1] * 8
+    save_result(
+        "fig8",
+        "real shapes: rekey(users 50->400): "
+        f"{times[50] * 1e3:.1f}->{times[400] * 1e3:.1f} ms; "
+        f"active(1->16MiB): {active[1] * 1e3:.1f}->{active[16] * 1e3:.1f} ms; "
+        f"lazy(1->16MiB): {lazy[1] * 1e3:.1f}->{lazy[16] * 1e3:.1f} ms",
+    )
+
+
+def test_fig8_model_series(benchmark):
+    def generate():
+        return fig8a() + fig8b() + fig8c()
+
+    series = benchmark(generate)
+    record_series(
+        "fig8",
+        series,
+        preamble=(
+            "Figure 8 (model, paper scale) — paper quotes: lazy "
+            f"{PAPER_QUOTED['fig8c.lazy']} s (2GB/500 users/20%), active "
+            f"{PAPER_QUOTED['fig8c.active@8GB']} s @8GB, "
+            f"{PAPER_QUOTED['fig8b.lazy@50%']}/{PAPER_QUOTED['fig8b.active@50%']} s @50%"
+        ),
+    )
+    lazy_c = next(s for s in series if s.figure == "8c" and s.label == "lazy")
+    active_c = next(s for s in series if s.figure == "8c" and s.label == "active")
+    assert lazy_c.y_at(2) == pytest.approx(2.25, rel=0.08)
+    assert active_c.y_at(8) == pytest.approx(3.4, rel=0.08)

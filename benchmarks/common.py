@@ -1,0 +1,44 @@
+"""Shared helpers for the figure benchmarks.
+
+Every ``bench_fig*.py`` produces three kinds of output:
+
+1. **pytest-benchmark timings** of the real implementation at reduced
+   scale (pure-Python absolute numbers — see DESIGN.md §3 on why these
+   are not the paper's absolute numbers);
+2. a **derived throughput/ratio** for the real run, attached to the
+   benchmark's ``extra_info`` and appended to ``benchmarks/results/``;
+3. the **calibrated-model series at paper scale** (via
+   :mod:`repro.sim.figures`), printed next to the values the paper
+   quotes so shape and crossover comparisons are one glance away.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.sim.figures import Series, format_series_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_result(name: str, text: str) -> str:
+    """Append a result block to ``benchmarks/results/<name>.txt``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "a") as handle:
+        handle.write(text.rstrip() + "\n")
+    return path
+
+
+def record_series(name: str, series_list: list[Series], preamble: str = "") -> None:
+    """Persist a model-series table for a figure and echo it."""
+    text = (preamble + "\n" if preamble else "") + format_series_table(series_list)
+    save_result(name, text)
+    print("\n" + text)
+
+
+def mbps(num_bytes: int, seconds: float) -> float:
+    """Throughput in MB/s (binary), guarded against zero timings."""
+    if seconds <= 0:
+        return float("inf")
+    return num_bytes / (1024 * 1024) / seconds

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Experiment B.1 at your desk: replay an Fslhomes-style trace.
+
+Generates a scaled-down 147-day backup trace with the calibrated
+statistical generator, replays it through deduplication accounting, and
+prints the Figure 9 table — logical vs physical vs stub data — ending
+with the paper-comparison summary (paper: 98.6 % saving; 431.89 GB
+physical vs 380.14 GB stub).
+
+To replay a *real* converted FSL trace instead, write snapshots with
+``repro.workloads.fsl.read_text_snapshot`` and feed them to
+``replay_dedup_accounting`` the same way.
+
+Run:  python examples/trace_replay.py
+"""
+
+from repro.workloads.fsl import (
+    PAPER_PHYSICAL_GB,
+    PAPER_STUB_GB,
+    PAPER_TOTAL_SAVING,
+    FslhomesGenerator,
+    FslParameters,
+)
+from repro.workloads.replay import format_accounting_table, replay_dedup_accounting
+
+
+def main() -> None:
+    params = FslParameters(scale=1e-5)
+    print(
+        f"Generating {params.days} days x {params.users} users at scale "
+        f"{params.scale:g} (the paper's dataset is 56.2 TB; this run is "
+        f"~{56.2e12 * params.scale / 1e6:.0f} MB)..."
+    )
+    series = replay_dedup_accounting(FslhomesGenerator(params).days())
+
+    print("\nCumulative storage accounting (sampled every 21 days):")
+    print(format_accounting_table(series, every=21))
+
+    final = series[-1]
+    ratio = final.physical_bytes / final.stub_bytes
+    print("\nComparison with the paper (Experiment B.1):")
+    print(
+        f"  total saving: {final.total_saving:.2%}   "
+        f"(paper {PAPER_TOTAL_SAVING:.1%})"
+    )
+    print(
+        f"  physical:stub ratio: {ratio:.2f}   "
+        f"(paper {PAPER_PHYSICAL_GB / PAPER_STUB_GB:.2f})"
+    )
+    print(
+        f"  daily stored data: {final.stored_bytes / len(series) / 2**20:.2f} MB "
+        "of multi-GB logical days — the 'only 5.52 GB per day' effect"
+    )
+    print("\nRatios are scale-invariant; rerun with FslParameters(scale=...) ")
+    print("to trade runtime for scale. Done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""REED: a rekeying-aware encrypted deduplication storage system.
+
+A from-scratch Python reproduction of *"Rekeying for Encrypted
+Deduplication Storage"* (Li, Qin, Lee, Li — DSN 2016).
+
+Quickstart::
+
+    from repro import build_system, FilePolicy, RevocationMode
+
+    system = build_system()
+    alice = system.new_client("alice")
+    policy = FilePolicy.for_users(["alice", "bob"])
+    alice.upload("report", b"..." * 100_000, policy=policy)
+
+    bob = system.new_client("bob")
+    assert bob.download("report").data.startswith(b"...")
+
+    # Revoke bob, re-encrypting the stub file immediately.
+    alice.revoke_users("report", {"bob"}, RevocationMode.ACTIVE)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from repro.core import (
+    FilePolicy,
+    REEDClient,
+    REEDServer,
+    ReedSystem,
+    RekeyResult,
+    RevocationMode,
+    UploadResult,
+    build_system,
+    get_scheme,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FilePolicy",
+    "REEDClient",
+    "REEDServer",
+    "ReedSystem",
+    "RekeyResult",
+    "RevocationMode",
+    "UploadResult",
+    "__version__",
+    "build_system",
+    "get_scheme",
+]

@@ -1,0 +1,20 @@
+"""All-or-nothing transforms: Rivest's AONT and the convergent CAONT."""
+
+from repro.aont.caont import caont_revert, caont_transform
+from repro.aont.package import (
+    KEY_SIZE,
+    Package,
+    revert,
+    transform,
+    transform_with_key,
+)
+
+__all__ = [
+    "KEY_SIZE",
+    "Package",
+    "caont_revert",
+    "caont_transform",
+    "revert",
+    "transform",
+    "transform_with_key",
+]

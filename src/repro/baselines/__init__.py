@@ -1,0 +1,19 @@
+"""Rekeying baselines the paper compares REED against (Section II-C).
+
+* :mod:`repro.baselines.layered` — master-key-wrapped MLE keys: cheap
+  rekeying, but leaked MLE keys stay dangerous forever.
+* :mod:`repro.baselines.reencrypt` — epoch-keyed derivation with full
+  re-encryption: sound, but moves the whole dataset and breaks dedup
+  across epochs.
+"""
+
+from repro.baselines.layered import LayeredEncryption, WrappedKey, rekey_bytes_moved
+from repro.baselines.reencrypt import EpochedConvergentEncryption, ReencryptionCost
+
+__all__ = [
+    "EpochedConvergentEncryption",
+    "LayeredEncryption",
+    "ReencryptionCost",
+    "WrappedKey",
+    "rekey_bytes_moved",
+]

@@ -1,0 +1,51 @@
+"""Fixed-size chunking.
+
+REED supports both fixed-size and variable-size chunking (Section V-A).
+Fixed-size chunking is also what the synthetic experiments and the
+trace-driven workloads use when chunk boundaries are dictated by the
+trace records rather than by content.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.util.errors import ConfigurationError
+
+
+class FixedChunker:
+    """Streaming fixed-size chunker with the same API as RabinChunker."""
+
+    def __init__(self, chunk_size: int) -> None:
+        if chunk_size <= 0:
+            raise ConfigurationError("chunk size must be positive")
+        self.chunk_size = chunk_size
+        self._buffer = bytearray()
+
+    def update(self, data: bytes) -> Iterator[bytes]:
+        self._buffer.extend(data)
+        size = self.chunk_size
+        while len(self._buffer) >= size:
+            yield bytes(self._buffer[:size])
+            del self._buffer[:size]
+
+    def finalize(self) -> bytes | None:
+        if not self._buffer:
+            return None
+        chunk = bytes(self._buffer)
+        self._buffer.clear()
+        return chunk
+
+
+def fixed_chunks(
+    data_stream: Iterable[bytes] | bytes, chunk_size: int
+) -> Iterator[bytes]:
+    """Chunk a byte string or an iterable of byte blocks into fixed sizes."""
+    chunker = FixedChunker(chunk_size)
+    if isinstance(data_stream, (bytes, bytearray, memoryview)):
+        data_stream = [bytes(data_stream)]
+    for block in data_stream:
+        yield from chunker.update(block)
+    tail = chunker.finalize()
+    if tail is not None:
+        yield tail

@@ -1,0 +1,160 @@
+"""Content-defined chunking with Rabin fingerprinting.
+
+REED's clients divide files with variable-size chunking implemented via
+Rabin fingerprinting over a sliding window (Section V-A), with minimum and
+maximum chunk sizes fixed at 2 KB and 16 KB and a configurable average
+chunk size.
+
+This is a faithful LBFS-style implementation: the rolling fingerprint is
+the residue of the window's byte polynomial modulo an irreducible
+polynomial over GF(2), updated per byte with two precomputed 256-entry
+tables (one to shift a byte in, one to cancel the byte leaving the
+window).  A chunk boundary is declared when the low ``log2(average)``
+bits of the fingerprint match a fixed magic value, giving geometrically
+distributed chunk sizes with the requested mean (clamped to
+[minimum, maximum]).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.util.errors import ConfigurationError
+
+#: Degree-53 irreducible polynomial over GF(2) (the LBFS polynomial).
+IRREDUCIBLE_POLY = 0x3DA3358B4DC173
+POLY_DEGREE = 53
+
+#: Sliding-window width in bytes.
+WINDOW_SIZE = 48
+
+#: Paper defaults (Section V-A).
+DEFAULT_MIN_SIZE = 2 * 1024
+DEFAULT_MAX_SIZE = 16 * 1024
+DEFAULT_AVG_SIZE = 8 * 1024
+
+#: Boundary magic value compared against the masked fingerprint.
+BOUNDARY_MAGIC = 0x78
+
+
+def _poly_mod(value: int, poly: int, degree: int) -> int:
+    """Reduce ``value`` modulo ``poly`` in GF(2) polynomial arithmetic."""
+    while value.bit_length() > degree:
+        value ^= poly << (value.bit_length() - 1 - degree)
+    return value
+
+
+def _build_tables(poly: int, degree: int, window: int) -> tuple[list[int], list[int]]:
+    """Precompute the append and cancel tables for the rolling update.
+
+    ``append_table[top]`` reduces the high byte that overflows past the
+    polynomial degree when a new byte is shifted in.  ``cancel_table[b]``
+    is ``b * x^(8*window) mod poly``, the contribution of the byte leaving
+    the window.
+    """
+    append_table = []
+    for top in range(256):
+        append_table.append(_poly_mod(top << degree, poly, degree))
+    cancel_table = []
+    shift = 8 * window
+    for b in range(256):
+        cancel_table.append(_poly_mod(b << shift, poly, degree))
+    return append_table, cancel_table
+
+
+_APPEND_TABLE, _CANCEL_TABLE = _build_tables(IRREDUCIBLE_POLY, POLY_DEGREE, WINDOW_SIZE)
+
+
+class RabinChunker:
+    """Streaming content-defined chunker.
+
+    Feed data with :meth:`update` (which yields completed chunks) and call
+    :meth:`finalize` for the trailing partial chunk.  The boundary
+    decision depends only on the last ``WINDOW_SIZE`` bytes, so inserting
+    or deleting data early in a file only disturbs nearby chunk
+    boundaries — the property that makes deduplication robust to edits.
+    """
+
+    def __init__(
+        self,
+        min_size: int = DEFAULT_MIN_SIZE,
+        max_size: int = DEFAULT_MAX_SIZE,
+        avg_size: int = DEFAULT_AVG_SIZE,
+    ) -> None:
+        if min_size <= 0 or not min_size <= avg_size <= max_size:
+            raise ConfigurationError(
+                f"require 0 < min ({min_size}) <= avg ({avg_size}) <= max ({max_size})"
+            )
+        if avg_size & (avg_size - 1):
+            raise ConfigurationError("average chunk size must be a power of two")
+        if min_size <= WINDOW_SIZE:
+            raise ConfigurationError(
+                f"minimum chunk size must exceed the window size {WINDOW_SIZE}"
+            )
+        self.min_size = min_size
+        self.max_size = max_size
+        self.avg_size = avg_size
+        self._mask = avg_size - 1
+        self._magic = BOUNDARY_MAGIC & self._mask
+        self._reset_chunk_state()
+
+    def _reset_chunk_state(self) -> None:
+        self._buffer = bytearray()
+        self._fingerprint = 0
+        self._window = bytearray(WINDOW_SIZE)
+        self._window_pos = 0
+        self._window_filled = 0
+
+    def _roll(self, byte: int) -> None:
+        """Advance the rolling fingerprint by one byte."""
+        # Cancel the byte leaving the window (zero while still filling).
+        outgoing = self._window[self._window_pos]
+        self._window[self._window_pos] = byte
+        self._window_pos = (self._window_pos + 1) % WINDOW_SIZE
+        fp = self._fingerprint ^ _CANCEL_TABLE[outgoing]
+        # Shift the new byte in: fp = (fp * x^8 + byte) mod P.
+        top = fp >> (POLY_DEGREE - 8)
+        fp = ((fp << 8) | byte) & ((1 << POLY_DEGREE) - 1)
+        fp ^= _APPEND_TABLE[top]
+        self._fingerprint = fp
+
+    def update(self, data: bytes) -> Iterator[bytes]:
+        """Consume bytes, yielding each completed chunk as it is cut."""
+        for byte in data:
+            self._buffer.append(byte)
+            self._roll(byte)
+            size = len(self._buffer)
+            if size < self.min_size:
+                continue
+            if size >= self.max_size or (
+                self._fingerprint & self._mask
+            ) == self._magic:
+                chunk = bytes(self._buffer)
+                self._reset_chunk_state()
+                yield chunk
+
+    def finalize(self) -> bytes | None:
+        """Return the final partial chunk, or None if the stream ended on
+        a boundary."""
+        if not self._buffer:
+            return None
+        chunk = bytes(self._buffer)
+        self._reset_chunk_state()
+        return chunk
+
+
+def rabin_chunks(
+    data_stream: Iterable[bytes] | bytes,
+    min_size: int = DEFAULT_MIN_SIZE,
+    max_size: int = DEFAULT_MAX_SIZE,
+    avg_size: int = DEFAULT_AVG_SIZE,
+) -> Iterator[bytes]:
+    """Chunk a byte string or an iterable of byte blocks."""
+    chunker = RabinChunker(min_size=min_size, max_size=max_size, avg_size=avg_size)
+    if isinstance(data_stream, (bytes, bytearray, memoryview)):
+        data_stream = [bytes(data_stream)]
+    for block in data_stream:
+        yield from chunker.update(block)
+    tail = chunker.finalize()
+    if tail is not None:
+        yield tail

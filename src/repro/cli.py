@@ -1,0 +1,464 @@
+"""The ``reed`` command-line tool.
+
+Operates a REED deployment from the shell:
+
+* ``reed org init`` — create an organization directory: the trust root
+  holding the attribute authority's master secret, the key manager's
+  RSA key, and per-user derivation keys.  In the paper's setting this
+  is the enterprise's security office (Section III).
+* ``reed serve storage|keystore|km`` — run one service on a TCP port.
+* ``reed upload / download / revoke / ls`` — client operations against
+  a running cluster.
+* ``reed demo`` — an end-to-end in-process walkthrough.
+
+Example session::
+
+    reed org init --org ./org
+    reed serve storage  --org ./org --port 7001 --data ./srv1 &
+    reed serve storage  --org ./org --port 7002 --data ./srv2 &
+    reed serve keystore --org ./org --port 7010 &
+    reed serve km       --org ./org --port 7020 &
+
+    reed upload   --org ./org --user alice --storage localhost:7001,localhost:7002 \\
+                  --keystore localhost:7010 --km localhost:7020 \\
+                  --id report --file ./report.bin --policy "alice or bob"
+    reed download --org ./org --user bob   ... --id report --out ./copy.bin
+    reed revoke   --org ./org --user alice ... --id report --users bob --mode active
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.abe.cpabe import AttributeAuthority
+from repro.chunking.chunker import ChunkingSpec
+from repro.core.client import REEDClient
+from repro.core.policy import FilePolicy
+from repro.core.rekey import RevocationMode
+from repro.core.server import REEDServer
+from repro.core.service import (
+    RemoteKeyManagerChannel,
+    RemoteKeyStore,
+    RemoteStorageService,
+    register_key_manager,
+    register_keystate_service,
+    register_storage_service,
+)
+from repro.core.system import ShardedStorageService
+from repro.crypto.rsa import RSAPrivateKey, generate_keypair
+from repro.keyreg.rsa_keyreg import KeyRegressionOwner
+from repro.mle.cache import MLEKeyCache
+from repro.mle.keymanager import KeyManager
+from repro.mle.server_aided import ServerAidedKeyClient
+from repro.net.rpc import ServiceRegistry
+from repro.net.tcp import TcpConnection, TcpServer
+from repro.storage.backend import DirectoryBackend
+from repro.storage.datastore import DataStore
+from repro.storage.keystore import KeyStore
+from repro.util.errors import ConfigurationError, ReproError
+from repro.util.units import MiB
+
+_MASTER_FILE = "authority.master"
+_KM_FILE = "keymanager.rsa"
+_USERS_DIR = "users"
+
+
+# ---------------------------------------------------------------------------
+# Organization state
+# ---------------------------------------------------------------------------
+
+
+class OrgState:
+    """The organization directory: authority, KM key, user keys."""
+
+    def __init__(self, path: str) -> None:
+        self.path = os.path.abspath(path)
+
+    def _file(self, name: str) -> str:
+        return os.path.join(self.path, name)
+
+    def exists(self) -> bool:
+        return os.path.isfile(self._file(_MASTER_FILE))
+
+    def init(self, key_bits: int) -> None:
+        if self.exists():
+            raise ConfigurationError(f"organization already initialized at {self.path}")
+        os.makedirs(self._file(_USERS_DIR), exist_ok=True)
+        with open(self._file(_MASTER_FILE), "wb") as handle:
+            handle.write(os.urandom(32))
+        with open(self._file(_KM_FILE), "wb") as handle:
+            handle.write(generate_keypair(key_bits).encode())
+
+    def authority(self) -> AttributeAuthority:
+        with open(self._file(_MASTER_FILE), "rb") as handle:
+            return AttributeAuthority(master_secret=handle.read())
+
+    def key_manager_key(self) -> RSAPrivateKey:
+        with open(self._file(_KM_FILE), "rb") as handle:
+            return RSAPrivateKey.decode(handle.read())
+
+    def derivation_key(self, user: str, key_bits: int) -> RSAPrivateKey:
+        """Load or create a user's derivation keypair (owner identity)."""
+        path = os.path.join(self._file(_USERS_DIR), f"{user}.key")
+        if os.path.isfile(path):
+            with open(path, "rb") as handle:
+                return RSAPrivateKey.decode(handle.read())
+        key = generate_keypair(key_bits)
+        with open(path, "wb") as handle:
+            handle.write(key.encode())
+        return key
+
+
+def _load_org(args) -> OrgState:
+    org = OrgState(args.org)
+    if not org.exists():
+        raise ConfigurationError(
+            f"no organization at {org.path}; run `reed org init --org {args.org}`"
+        )
+    return org
+
+
+# ---------------------------------------------------------------------------
+# Client wiring
+# ---------------------------------------------------------------------------
+
+
+def _parse_endpoint(text: str) -> tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise ConfigurationError(f"endpoint must be host:port, got {text!r}")
+    return host, int(port)
+
+
+def _build_client(args, org: OrgState) -> tuple[REEDClient, list[TcpConnection]]:
+    connections: list[TcpConnection] = []
+
+    def connect(endpoint: str):
+        conn = TcpConnection(*_parse_endpoint(endpoint))
+        connections.append(conn)
+        return conn.client()
+
+    storage = ShardedStorageService(
+        [RemoteStorageService(connect(ep)) for ep in args.storage.split(",")]
+    )
+    authority = org.authority()
+    client = REEDClient(
+        user_id=args.user,
+        key_client=ServerAidedKeyClient(
+            RemoteKeyManagerChannel(connect(args.km)),
+            client_id=args.user,
+            cache=MLEKeyCache(256 * MiB),
+        ),
+        storage=storage,
+        keystore=RemoteKeyStore(connect(args.keystore)),
+        private_access_key=authority.issue_private_key(args.user),
+        wrap_keys_provider=authority.wrap_keys_for,
+        keyreg_owner=KeyRegressionOwner(
+            private_key=org.derivation_key(args.user, args.key_bits)
+        ),
+        scheme=args.scheme,
+        chunking=ChunkingSpec(avg_size=args.chunk_size),
+    )
+    return client, connections
+
+
+def _add_client_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--org", required=True, help="organization directory")
+    parser.add_argument("--user", required=True, help="acting user id")
+    parser.add_argument(
+        "--storage", required=True, help="comma-separated data-server host:port list"
+    )
+    parser.add_argument("--keystore", required=True, help="key-store host:port")
+    parser.add_argument("--km", required=True, help="key-manager host:port")
+    parser.add_argument("--scheme", default="enhanced", choices=["basic", "enhanced"])
+    parser.add_argument("--chunk-size", type=int, default=8192)
+    parser.add_argument("--key-bits", type=int, default=1024)
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_org_init(args) -> int:
+    org = OrgState(args.org)
+    org.init(args.key_bits)
+    print(f"organization initialized at {org.path}")
+    return 0
+
+
+def start_service(
+    role: str,
+    org: OrgState,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    data: str | None = None,
+) -> TcpServer:
+    """Start one REED service and return its (already listening) server.
+
+    Used by ``reed serve`` and directly by tests/embedding code.
+    """
+    registry = ServiceRegistry()
+    if role == "storage":
+        store = DataStore(DirectoryBackend(data)) if data else DataStore()
+        register_storage_service(registry, REEDServer(store))
+    elif role == "keystore":
+        backend = DirectoryBackend(data) if data else None
+        register_keystate_service(registry, KeyStore(backend))
+    elif role == "km":
+        register_key_manager(registry, KeyManager(private_key=org.key_manager_key()))
+    else:
+        raise ConfigurationError(f"unknown service role {role!r}")
+    server = TcpServer(registry, host=host, port=port)
+    server.start()
+    return server
+
+
+def cmd_serve(args) -> int:
+    org = _load_org(args)
+    server = start_service(args.role, org, args.host, args.port, args.data)
+    host, port = server.address
+    print(f"{args.role} serving on {host}:{port}", flush=True)
+    if args.once:  # test hook: do not block; the caller owns the lifetime
+        return 0
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def cmd_upload(args) -> int:
+    org = _load_org(args)
+    client, connections = _build_client(args, org)
+    try:
+        with open(args.file, "rb") as handle:
+            data = handle.read()
+        policy = (
+            FilePolicy.parse(args.policy)
+            if args.policy
+            else FilePolicy.for_users([args.user])
+        )
+        result = client.upload(args.id, data, policy=policy, pathname=args.file)
+        print(
+            f"uploaded {result.size:,} bytes as {args.id!r}: "
+            f"{result.chunk_count} chunks, {result.new_chunks} new, "
+            f"policy {policy.text}"
+        )
+        return 0
+    finally:
+        for conn in connections:
+            conn.close()
+
+
+def cmd_download(args) -> int:
+    org = _load_org(args)
+    client, connections = _build_client(args, org)
+    try:
+        result = client.download(args.id)
+        with open(args.out, "wb") as handle:
+            handle.write(result.data)
+        print(f"downloaded {args.id!r}: {len(result.data):,} bytes -> {args.out}")
+        return 0
+    finally:
+        for conn in connections:
+            conn.close()
+
+
+def cmd_revoke(args) -> int:
+    org = _load_org(args)
+    client, connections = _build_client(args, org)
+    try:
+        mode = RevocationMode(args.mode)
+        result = client.revoke_users(args.id, set(args.users.split(",")), mode)
+        print(
+            f"rekeyed {args.id!r} ({mode.value}): key "
+            f"v{result.old_key_version} -> v{result.new_key_version}, "
+            f"new policy {result.new_policy_text}, "
+            f"{result.stub_bytes_reencrypted:,} stub bytes moved"
+        )
+        return 0
+    finally:
+        for conn in connections:
+            conn.close()
+
+
+def cmd_group(args) -> int:
+    from repro.core.groups import GroupManager
+
+    org = _load_org(args)
+    client, connections = _build_client(args, org)
+    try:
+        groups = GroupManager(client)
+        if args.group_command == "create":
+            groups.create_group(args.group, FilePolicy.parse(args.policy))
+            print(f"group {args.group!r} created with policy {args.policy}")
+        elif args.group_command == "upload":
+            with open(args.file, "rb") as handle:
+                data = handle.read()
+            result = groups.upload(args.group, args.id, data, pathname=args.file)
+            print(
+                f"uploaded {result.size:,} bytes as {args.id!r} into group "
+                f"{args.group!r} ({result.new_chunks} new chunks)"
+            )
+        elif args.group_command == "members":
+            for file_id in groups.members(args.group):
+                print(file_id)
+        else:  # revoke
+            mode = RevocationMode(args.mode)
+            result = groups.revoke_users(args.group, set(args.users.split(",")), mode)
+            print(
+                f"group {args.group!r} rekeyed ({mode.value}): "
+                f"v{result.old_group_version} -> v{result.new_group_version}, "
+                f"{result.files_rewrapped} files re-wrapped with "
+                f"{result.abe_operations} policy encryption"
+            )
+        return 0
+    finally:
+        for conn in connections:
+            conn.close()
+
+
+def cmd_ls(args) -> int:
+    org = _load_org(args)
+    client, connections = _build_client(args, org)
+    try:
+        for file_id in client.storage.recipe_list():
+            print(file_id)
+        return 0
+    finally:
+        for conn in connections:
+            conn.close()
+
+
+def cmd_demo(_args) -> int:
+    from repro.core.system import build_system
+    from repro.workloads.synthetic import unique_data
+    from repro.util.errors import AccessDeniedError
+
+    system = build_system()
+    alice = system.new_client("alice", cache_bytes=64 * MiB)
+    bob = system.new_client("bob", owner=False)
+    data = unique_data(500_000, seed=1)
+    alice.upload("demo", data, policy=FilePolicy.for_users(["alice", "bob"]))
+    assert bob.download("demo").data == data
+    print("upload + shared download: OK")
+    alice.revoke_users("demo", {"bob"}, RevocationMode.ACTIVE)
+    try:
+        bob.download("demo")
+        print("ERROR: revocation failed")
+        return 1
+    except AccessDeniedError:
+        print("active revocation: OK")
+    assert alice.download("demo").data == data
+    print("owner access after rekey: OK")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reed", description="REED: rekeying-aware encrypted deduplication storage"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    org = sub.add_parser("org", help="organization management")
+    org_sub = org.add_subparsers(dest="org_command", required=True)
+    org_init = org_sub.add_parser("init", help="create an organization directory")
+    org_init.add_argument("--org", required=True)
+    org_init.add_argument("--key-bits", type=int, default=1024)
+    org_init.set_defaults(func=cmd_org_init)
+
+    serve = sub.add_parser("serve", help="run one service")
+    serve.add_argument("role", choices=["storage", "keystore", "km"])
+    serve.add_argument("--org", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument("--data", default=None, help="durable storage directory")
+    serve.add_argument(
+        "--once", action="store_true", help=argparse.SUPPRESS
+    )  # test hook: do not block
+    serve.set_defaults(func=cmd_serve)
+
+    upload = sub.add_parser("upload", help="encrypt and store a file")
+    _add_client_args(upload)
+    upload.add_argument("--id", required=True, help="file identifier")
+    upload.add_argument("--file", required=True, help="path to upload")
+    upload.add_argument("--policy", default=None, help='e.g. "alice or bob"')
+    upload.set_defaults(func=cmd_upload)
+
+    download = sub.add_parser("download", help="retrieve and decrypt a file")
+    _add_client_args(download)
+    download.add_argument("--id", required=True)
+    download.add_argument("--out", required=True)
+    download.set_defaults(func=cmd_download)
+
+    revoke = sub.add_parser("revoke", help="rekey a file, removing users")
+    _add_client_args(revoke)
+    revoke.add_argument("--id", required=True)
+    revoke.add_argument("--users", required=True, help="comma-separated user ids")
+    revoke.add_argument("--mode", default="lazy", choices=["lazy", "active"])
+    revoke.set_defaults(func=cmd_revoke)
+
+    ls = sub.add_parser("ls", help="list stored files")
+    _add_client_args(ls)
+    ls.set_defaults(func=cmd_ls)
+
+    group = sub.add_parser("group", help="group operations (amortized rekeying)")
+    group_sub = group.add_subparsers(dest="group_command", required=True)
+
+    group_create = group_sub.add_parser("create", help="create a file group")
+    _add_client_args(group_create)
+    group_create.add_argument("--group", required=True)
+    group_create.add_argument("--policy", required=True)
+    group_create.set_defaults(func=cmd_group)
+
+    group_upload = group_sub.add_parser("upload", help="upload a file into a group")
+    _add_client_args(group_upload)
+    group_upload.add_argument("--group", required=True)
+    group_upload.add_argument("--id", required=True)
+    group_upload.add_argument("--file", required=True)
+    group_upload.set_defaults(func=cmd_group)
+
+    group_members = group_sub.add_parser("members", help="list a group's files")
+    _add_client_args(group_members)
+    group_members.add_argument("--group", required=True)
+    group_members.set_defaults(func=cmd_group)
+
+    group_revoke = group_sub.add_parser(
+        "revoke", help="revoke users from a whole group (one rekey)"
+    )
+    _add_client_args(group_revoke)
+    group_revoke.add_argument("--group", required=True)
+    group_revoke.add_argument("--users", required=True)
+    group_revoke.add_argument("--mode", default="lazy", choices=["lazy", "active"])
+    group_revoke.set_defaults(func=cmd_group)
+
+    demo = sub.add_parser("demo", help="in-process end-to-end walkthrough")
+    demo.set_defaults(func=cmd_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,480 @@
+"""The REED client.
+
+The client is the trusted software layer on each user machine (Section
+III-A).  It implements the four operations of Section IV-D:
+
+* **upload** — chunk the file, obtain MLE keys from the key manager via
+  the blind-RSA OPRF, transform every chunk into a trimmed package plus
+  stub with the configured encryption scheme, and ship trimmed packages
+  (batched), the encrypted stub file, the file recipe, and the
+  ABE-encrypted key state;
+* **download** — the reverse, unwinding key-regression states as needed
+  and aborting on any integrity violation;
+* **rekey** — renew the key state (and, for active revocation, the stub
+  file) under a new policy; and
+* **delete** — release chunk references and remove file metadata.
+
+Performance measures from Section V-B are built in: MLE-key batching and
+caching (in :class:`~repro.mle.server_aided.ServerAidedKeyClient`),
+4 MB upload batches, and multi-threaded chunk encryption.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.abe.cpabe import abe_decrypt, abe_encrypt, PrivateAccessKey
+from repro.chunking.chunker import Chunk, ChunkingSpec, chunk_stream
+from repro.core import envelopes
+from repro.core.policy import FilePolicy
+from repro.core.rekey import RekeyResult, RevocationMode
+from repro.core.schemes import EncryptionScheme, SplitPackage, get_scheme
+from repro.core.server import StorageService
+from repro.core.stubs import decrypt_stub_file, encrypt_stub_file
+from repro.crypto.cipher import SymmetricCipher
+from repro.crypto.drbg import SYSTEM_RANDOM, RandomSource
+from repro.crypto.rsa import RSAPublicKey
+from repro.keyreg.rsa_keyreg import KeyRegressionMember, KeyRegressionOwner, KeyState
+from repro.mle.server_aided import ServerAidedKeyClient
+from repro.storage.keystore import KeyStateRecord, KeyStore
+from repro.storage.recipes import ChunkRef, FileRecipe, obfuscate_pathname
+from repro.util.errors import (
+    ConfigurationError,
+    CorruptionError,
+    IntegrityError,
+)
+from repro.util.units import MiB
+
+#: Client-side upload batch: trimmed packages buffered before one RPC
+#: (Section V-B sets the in-memory buffer to 4 MB).
+DEFAULT_UPLOAD_BATCH_BYTES = 4 * MiB
+
+#: Encryption worker threads (the paper uses two; Experiment A.2).
+DEFAULT_ENCRYPTION_THREADS = 2
+
+
+@dataclass(frozen=True)
+class UploadResult:
+    """Summary of one file upload."""
+
+    file_id: str
+    size: int
+    chunk_count: int
+    #: Chunks the server had not seen before (bytes actually stored).
+    new_chunks: int
+    #: Bytes of trimmed packages sent (== file size for both schemes).
+    trimmed_bytes: int
+    #: Bytes of the encrypted stub file.
+    stub_file_bytes: int
+    key_version: int
+
+
+@dataclass(frozen=True)
+class DownloadResult:
+    """A downloaded file plus its reassembly metadata."""
+
+    file_id: str
+    data: bytes
+    chunk_count: int
+    key_version: int
+
+
+class REEDClient:
+    """A user's REED client.
+
+    One client instance acts for one user (``user_id``): it holds the
+    user's private access key (CP-ABE), the user's derivation keypair
+    (key regression, needed only to *own* files), and a channel to the
+    key manager.
+    """
+
+    def __init__(
+        self,
+        user_id: str,
+        key_client: ServerAidedKeyClient,
+        storage: StorageService,
+        keystore: KeyStore,
+        private_access_key: PrivateAccessKey,
+        wrap_keys_provider,
+        keyreg_owner: KeyRegressionOwner | None = None,
+        scheme: str | EncryptionScheme = "enhanced",
+        cipher: SymmetricCipher | None = None,
+        chunking: ChunkingSpec | None = None,
+        upload_batch_bytes: int = DEFAULT_UPLOAD_BATCH_BYTES,
+        encryption_threads: int = DEFAULT_ENCRYPTION_THREADS,
+        rng: RandomSource | None = None,
+        pathname_salt: bytes | None = None,
+    ) -> None:
+        if encryption_threads < 1:
+            raise ConfigurationError("need at least one encryption thread")
+        self.user_id = user_id
+        self.key_client = key_client
+        self.storage = storage
+        self.keystore = keystore
+        self.private_access_key = private_access_key
+        #: Callable mapping a policy tree to its attribute wrap keys
+        #: (the attribute authority, local or remote).
+        self.wrap_keys_provider = wrap_keys_provider
+        self.keyreg_owner = keyreg_owner
+        if isinstance(scheme, str):
+            scheme = get_scheme(scheme, cipher=cipher)
+        self.scheme = scheme
+        self.chunking = chunking or ChunkingSpec()
+        self.upload_batch_bytes = upload_batch_bytes
+        self.encryption_threads = encryption_threads
+        self.rng = rng or SYSTEM_RANDOM
+        #: When set, pathnames are obfuscated with this salt before they
+        #: reach the recipe (paper Section IV-D: "we can obfuscate
+        #: sensitive metadata information, such as the file pathname, by
+        #: encoding it via a salted hash function").
+        self.pathname_salt = pathname_salt
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _require_owner(self) -> KeyRegressionOwner:
+        if self.keyreg_owner is None:
+            raise ConfigurationError(
+                f"client {self.user_id!r} has no derivation key pair; "
+                "only file owners can upload or rekey"
+            )
+        return self.keyreg_owner
+
+    def _encrypt_chunks(
+        self, chunks: list[Chunk], mle_keys: list[bytes]
+    ) -> list[SplitPackage]:
+        """Encrypt a batch of chunks, using worker threads when configured."""
+        if self.encryption_threads == 1 or len(chunks) < 2:
+            return [
+                self.scheme.encrypt_chunk(chunk.data, key)
+                for chunk, key in zip(chunks, mle_keys)
+            ]
+        with ThreadPoolExecutor(max_workers=self.encryption_threads) as pool:
+            return list(
+                pool.map(
+                    self.scheme.encrypt_chunk,
+                    [chunk.data for chunk in chunks],
+                    mle_keys,
+                )
+            )
+
+    def _seal_key_state(
+        self, file_id: str, state: KeyState, policy: FilePolicy
+    ) -> KeyStateRecord:
+        owner = self._require_owner()
+        ciphertext = abe_encrypt(
+            self.wrap_keys_provider(policy.tree),
+            policy.tree,
+            state.encode(),
+            cipher=self.scheme.cipher,
+            rng=self.rng,
+        )
+        return KeyStateRecord(
+            file_id=file_id,
+            policy_text=policy.text,
+            key_version=state.version,
+            encrypted_state=envelopes.seal_abe(ciphertext),
+            owner_public_key=owner.public_key.encode(),
+        )
+
+    def group_record_id(self, group_id: str) -> str:
+        """Key-store identifier for a group's own key-state record."""
+        return f"@group/{group_id}"
+
+    def _group_key_at(self, group_id: str, version: int) -> bytes:
+        """Resolve a group key: open the group's (ABE-sealed) key state
+        and unwind it to the requested version."""
+        record = self.keystore.get(self.group_record_id(group_id))
+        state = self._open_key_state(record)
+        if version > state.version:
+            raise CorruptionError(
+                f"envelope references future group version {version}"
+            )
+        return self._file_key_at(record, state, version)
+
+    def _open_key_state(self, record: KeyStateRecord) -> KeyState:
+        """Open a key-state record with this user's credentials.
+
+        ABE envelopes decrypt with the private access key; group
+        envelopes resolve the group's key state first (itself
+        ABE-protected), so access control composes transparently.
+        """
+        tag, payload = envelopes.decode_envelope(record.encrypted_state)
+        if tag == envelopes.TAG_ABE:
+            plaintext = abe_decrypt(
+                self.private_access_key, payload, cipher=self.scheme.cipher
+            )
+        else:
+            group_key = self._group_key_at(payload.group_id, payload.group_version)
+            plaintext = envelopes.open_group(
+                payload, group_key, cipher=self.scheme.cipher
+            )
+        state = KeyState.decode(plaintext)
+        if state.version != record.key_version:
+            raise CorruptionError(
+                "key-state version disagrees with its record metadata"
+            )
+        return state
+
+    def _file_key_at(
+        self, record: KeyStateRecord, state: KeyState, version: int
+    ) -> bytes:
+        """Derive the file key for ``version`` from the current state."""
+        if version == state.version:
+            return state.derive_key()
+        member = KeyRegressionMember(RSAPublicKey.decode(record.owner_public_key))
+        return member.unwind_to(state, version).derive_key()
+
+    # ------------------------------------------------------------------
+    # upload
+    # ------------------------------------------------------------------
+
+    def upload(
+        self,
+        file_id: str,
+        data: bytes | Iterable[bytes],
+        policy: FilePolicy | None = None,
+        pathname: str = "",
+    ) -> UploadResult:
+        """Encrypt and store a file under ``file_id``.
+
+        ``policy`` defaults to "only this user".  ``data`` may be a byte
+        string or an iterable of byte blocks (streaming upload).
+        """
+        owner = self._require_owner()
+        if policy is None:
+            policy = FilePolicy.for_users([self.user_id])
+        state = owner.initial_state()
+        file_key = state.derive_key()
+
+        refs: list[ChunkRef] = []
+        stubs: list[bytes] = []
+        total_size = 0
+        new_chunks = 0
+        trimmed_bytes = 0
+
+        batch: list[Chunk] = []
+        batch_bytes = 0
+
+        def ship(chunks: list[Chunk]) -> int:
+            nonlocal trimmed_bytes
+            mle_keys = self.key_client.get_keys([c.fingerprint for c in chunks])
+            packages = self._encrypt_chunks(chunks, mle_keys)
+            payload = []
+            for chunk, package in zip(chunks, packages):
+                refs.append(
+                    ChunkRef(fingerprint=package.fingerprint, length=chunk.size)
+                )
+                stubs.append(package.stub)
+                payload.append((package.fingerprint, package.trimmed_package))
+                trimmed_bytes += len(package.trimmed_package)
+            return self.storage.chunk_put_batch(payload)
+
+        for chunk in chunk_stream(data, self.chunking):
+            total_size += chunk.size
+            batch.append(chunk)
+            batch_bytes += chunk.size
+            if batch_bytes >= self.upload_batch_bytes:
+                new_chunks += ship(batch)
+                batch = []
+                batch_bytes = 0
+        if batch:
+            new_chunks += ship(batch)
+        self.storage.flush()
+
+        stub_file = encrypt_stub_file(
+            file_key,
+            stubs,
+            stub_size=self.scheme.stub_size,
+            cipher=self.scheme.cipher,
+            rng=self.rng,
+        )
+        self.storage.stub_put(file_id, stub_file)
+
+        if pathname and self.pathname_salt is not None:
+            pathname = obfuscate_pathname(pathname, self.pathname_salt)
+        recipe = FileRecipe(
+            file_id=file_id,
+            pathname=pathname,
+            size=total_size,
+            scheme=self.scheme.name,
+            key_version=state.version,
+            chunks=tuple(refs),
+        )
+        self.storage.recipe_put(file_id, recipe.encode())
+        self.keystore.put(self._seal_key_state(file_id, state, policy))
+
+        return UploadResult(
+            file_id=file_id,
+            size=total_size,
+            chunk_count=len(refs),
+            new_chunks=new_chunks,
+            trimmed_bytes=trimmed_bytes,
+            stub_file_bytes=len(stub_file),
+            key_version=state.version,
+        )
+
+    def upload_path(
+        self,
+        file_id: str,
+        path: str,
+        policy: FilePolicy | None = None,
+        read_block: int = 4 * MiB,
+    ) -> UploadResult:
+        """Upload a file from disk, streaming in ``read_block`` pieces.
+
+        Memory use stays bounded by the read block plus one upload
+        batch, so GB-scale files never materialize in memory.
+        """
+
+        def blocks():
+            with open(path, "rb") as handle:
+                while True:
+                    block = handle.read(read_block)
+                    if not block:
+                        return
+                    yield block
+
+        return self.upload(file_id, blocks(), policy=policy, pathname=path)
+
+    # ------------------------------------------------------------------
+    # download
+    # ------------------------------------------------------------------
+
+    def download(self, file_id: str, fetch_batch_chunks: int = 512) -> DownloadResult:
+        """Retrieve and decrypt a file; aborts on any tampered chunk."""
+        record = self.keystore.get(file_id)
+        state = self._open_key_state(record)
+        recipe = FileRecipe.decode(self.storage.recipe_get(file_id))
+        if recipe.file_id != file_id or record.file_id != file_id:
+            raise IntegrityError(
+                "stored metadata does not name the requested file"
+            )
+        if recipe.key_version > state.version:
+            raise CorruptionError(
+                "recipe references a key version newer than the key state"
+            )
+        file_key = self._file_key_at(record, state, recipe.key_version)
+        stubs = decrypt_stub_file(
+            file_key, self.storage.stub_get(file_id), cipher=self.scheme.cipher
+        )
+        if len(stubs) != recipe.chunk_count:
+            raise IntegrityError(
+                f"stub file holds {len(stubs)} stubs but the recipe lists "
+                f"{recipe.chunk_count} chunks"
+            )
+        scheme = self.scheme
+        if recipe.scheme != scheme.name:
+            scheme = get_scheme(recipe.scheme, cipher=self.scheme.cipher)
+
+        pieces: list[bytes] = []
+        for start in range(0, recipe.chunk_count, fetch_batch_chunks):
+            window = recipe.chunks[start : start + fetch_batch_chunks]
+            packages = self.storage.chunk_get_batch([ref.fingerprint for ref in window])
+            for position, (ref, trimmed) in enumerate(zip(window, packages)):
+                chunk = scheme.decrypt_chunk(trimmed, stubs[start + position])
+                if len(chunk) != ref.length:
+                    raise IntegrityError(
+                        "decrypted chunk length disagrees with the recipe"
+                    )
+                pieces.append(chunk)
+        data = b"".join(pieces)
+        if len(data) != recipe.size:
+            raise IntegrityError("reassembled file size disagrees with the recipe")
+        return DownloadResult(
+            file_id=file_id,
+            data=data,
+            chunk_count=recipe.chunk_count,
+            key_version=state.version,
+        )
+
+    def download_path(self, file_id: str, path: str) -> DownloadResult:
+        """Download a file and write its contents to ``path``."""
+        result = self.download(file_id)
+        with open(path, "wb") as handle:
+            handle.write(result.data)
+        return result
+
+    # ------------------------------------------------------------------
+    # rekey
+    # ------------------------------------------------------------------
+
+    def rekey(
+        self,
+        file_id: str,
+        new_policy: FilePolicy,
+        mode: RevocationMode = RevocationMode.LAZY,
+    ) -> RekeyResult:
+        """Renew a file's key state under ``new_policy``.
+
+        Follows Section IV-D: download + ABE-decrypt the key state, wind
+        it forward, ABE-encrypt under the new policy, and upload.  In
+        :attr:`RevocationMode.ACTIVE`, additionally download the stub
+        file, re-encrypt it under the new file key, re-upload it, and
+        bump the recipe's key version.
+        """
+        owner = self._require_owner()
+        record = self.keystore.get(file_id)
+        old_state = self._open_key_state(record)
+        new_state = owner.wind(old_state)
+        self.keystore.put(self._seal_key_state(file_id, new_state, new_policy))
+
+        stub_bytes = 0
+        if mode is RevocationMode.ACTIVE:
+            recipe = FileRecipe.decode(self.storage.recipe_get(file_id))
+            old_file_key = self._file_key_at(record, old_state, recipe.key_version)
+            stub_file = self.storage.stub_get(file_id)
+            stubs = decrypt_stub_file(old_file_key, stub_file, cipher=self.scheme.cipher)
+            new_stub_file = encrypt_stub_file(
+                new_state.derive_key(),
+                stubs,
+                stub_size=len(stubs[0]) if stubs else self.scheme.stub_size,
+                cipher=self.scheme.cipher,
+                rng=self.rng,
+            )
+            self.storage.stub_put(file_id, new_stub_file)
+            stub_bytes = len(stub_file) + len(new_stub_file)
+            updated = FileRecipe(
+                file_id=recipe.file_id,
+                pathname=recipe.pathname,
+                size=recipe.size,
+                scheme=recipe.scheme,
+                key_version=new_state.version,
+                chunks=recipe.chunks,
+            )
+            self.storage.recipe_put(file_id, updated.encode())
+
+        return RekeyResult(
+            file_id=file_id,
+            mode=mode,
+            old_key_version=old_state.version,
+            new_key_version=new_state.version,
+            new_policy_text=new_policy.text,
+            stub_bytes_reencrypted=stub_bytes,
+        )
+
+    def revoke_users(
+        self,
+        file_id: str,
+        revoked: set[str],
+        mode: RevocationMode = RevocationMode.LAZY,
+    ) -> RekeyResult:
+        """Convenience: rekey with the current policy minus ``revoked``."""
+        record = self.keystore.get(file_id)
+        current = FilePolicy.parse(record.policy_text)
+        return self.rekey(file_id, current.without_users(revoked), mode)
+
+    # ------------------------------------------------------------------
+    # delete
+    # ------------------------------------------------------------------
+
+    def delete(self, file_id: str) -> None:
+        """Remove a file: release its chunks and drop its metadata."""
+        recipe = FileRecipe.decode(self.storage.recipe_get(file_id))
+        self.storage.chunk_release_batch([ref.fingerprint for ref in recipe.chunks])
+        self.storage.stub_delete(file_id)
+        self.storage.recipe_delete(file_id)
+        self.keystore.delete(file_id)

@@ -1,0 +1,36 @@
+"""Rekeying types: revocation modes and operation results.
+
+REED supports two revocation modes (Section II-B):
+
+* **lazy** — only the key state is renewed; re-encryption of the stored
+  file is deferred until its next update.  Authorized users keep reading
+  the old file by unwinding the key-regression chain.
+* **active** — the file's stub file is immediately re-encrypted under the
+  new file key, so even the old file version is now gated by the new key.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RevocationMode(enum.Enum):
+    """How existing stored data is treated when a file is rekeyed."""
+
+    LAZY = "lazy"
+    ACTIVE = "active"
+
+
+@dataclass(frozen=True)
+class RekeyResult:
+    """What a rekey operation did (returned by ``REEDClient.rekey``)."""
+
+    file_id: str
+    mode: RevocationMode
+    old_key_version: int
+    new_key_version: int
+    new_policy_text: str
+    #: Bytes of stub file downloaded, re-encrypted, and re-uploaded
+    #: (0 for lazy revocation).
+    stub_bytes_reencrypted: int

@@ -1,0 +1,136 @@
+"""The REED server.
+
+A REED server performs server-side deduplication (Section III-A): for
+every received trimmed package it checks the fingerprint index and
+stores only unique packages, batching them into containers in the
+storage backend.  It also keeps file recipes and encrypted stub files on
+behalf of clients.
+
+The server exposes *batch* operations — the client sends up to 4 MB of
+trimmed packages per request (Section V-B) — and is transport-agnostic:
+use it directly in-process, or behind RPC via
+:mod:`repro.core.service`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.crypto.hashing import fingerprint as _fingerprint
+from repro.storage.datastore import DataStore, DataStoreStats
+from repro.storage.sharding import ShardedDataStore
+from repro.util.errors import IntegrityError
+
+
+class StorageService(Protocol):
+    """What a REED client needs from the storage side."""
+
+    def chunk_exists_batch(self, fingerprints: list[bytes]) -> list[bool]: ...
+
+    def chunk_put_batch(self, chunks: list[tuple[bytes, bytes]]) -> int: ...
+
+    def chunk_get_batch(self, fingerprints: list[bytes]) -> list[bytes]: ...
+
+    def chunk_release_batch(self, fingerprints: list[bytes]) -> None: ...
+
+    def recipe_put(self, file_id: str, data: bytes) -> None: ...
+
+    def recipe_get(self, file_id: str) -> bytes: ...
+
+    def recipe_delete(self, file_id: str) -> None: ...
+
+    def recipe_list(self) -> list[str]: ...
+
+    def stub_put(self, file_id: str, data: bytes) -> None: ...
+
+    def stub_get(self, file_id: str) -> bytes: ...
+
+    def stub_delete(self, file_id: str) -> None: ...
+
+    def flush(self) -> None: ...
+
+
+@dataclass
+class ServerCounters:
+    """Per-server request accounting (used by the evaluation harness)."""
+
+    put_batches: int = 0
+    get_batches: int = 0
+    bytes_received: int = 0
+    bytes_sent: int = 0
+
+
+class REEDServer:
+    """Storage-service implementation over a (possibly sharded) data store."""
+
+    def __init__(self, store: DataStore | ShardedDataStore | None = None) -> None:
+        self.store = store if store is not None else DataStore()
+        self.counters = ServerCounters()
+
+    # -- chunks ---------------------------------------------------------------
+
+    def chunk_exists_batch(self, fingerprints: list[bytes]) -> list[bool]:
+        return [self.store.has_chunk(fp) for fp in fingerprints]
+
+    def chunk_put_batch(self, chunks: list[tuple[bytes, bytes]]) -> int:
+        """Store (fingerprint, trimmed package) pairs; returns #new chunks.
+
+        The server re-derives each fingerprint and rejects mismatches —
+        a malicious or buggy client must not be able to poison another
+        user's chunk under a false fingerprint.
+        """
+        new = 0
+        for fp, data in chunks:
+            self.counters.bytes_received += len(data)
+            if _fingerprint(data) != fp:
+                raise IntegrityError(
+                    "uploaded chunk does not match its declared fingerprint"
+                )
+            if self.store.put_chunk(fp, data):
+                new += 1
+        self.counters.put_batches += 1
+        return new
+
+    def chunk_get_batch(self, fingerprints: list[bytes]) -> list[bytes]:
+        out = []
+        for fp in fingerprints:
+            data = self.store.get_chunk(fp)
+            self.counters.bytes_sent += len(data)
+            out.append(data)
+        self.counters.get_batches += 1
+        return out
+
+    def chunk_release_batch(self, fingerprints: list[bytes]) -> None:
+        for fp in fingerprints:
+            self.store.release_chunk(fp)
+
+    # -- recipes / stub files ------------------------------------------------------
+
+    def recipe_put(self, file_id: str, data: bytes) -> None:
+        self.store.put_recipe(file_id, data)
+
+    def recipe_get(self, file_id: str) -> bytes:
+        return self.store.get_recipe(file_id)
+
+    def recipe_delete(self, file_id: str) -> None:
+        self.store.delete_recipe(file_id)
+
+    def recipe_list(self) -> list[str]:
+        return self.store.list_recipes()
+
+    def stub_put(self, file_id: str, data: bytes) -> None:
+        self.store.put_stub_file(file_id, data)
+
+    def stub_get(self, file_id: str) -> bytes:
+        return self.store.get_stub_file(file_id)
+
+    def stub_delete(self, file_id: str) -> None:
+        self.store.delete_stub_file(file_id)
+
+    def flush(self) -> None:
+        self.store.flush()
+
+    @property
+    def stats(self) -> DataStoreStats:
+        return self.store.stats

@@ -1,0 +1,375 @@
+"""RPC bindings for REED's services.
+
+Three services cross the network in a REED deployment (Fig. 1):
+
+* the **storage service** (REED data-store servers),
+* the **key-state service** (the key-store server), and
+* the **key manager** (blind-RSA OPRF).
+
+For each, this module provides ``register_*`` (server side: binds the
+in-process object's methods into a :class:`ServiceRegistry`) and a
+``Remote*`` stub (client side: same Python interface, calls over any RPC
+client).  A client can therefore be wired to in-process objects in tests
+and to TCP servers in deployments without changing a line.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.server import REEDServer
+from repro.crypto.rsa import RSAPublicKey
+from repro.mle.keymanager import KeyManager
+from repro.net.rpc import RpcClient, ServiceRegistry
+from repro.storage.keystore import KeyStateRecord, KeyStore
+from repro.util.codec import Decoder, Encoder
+
+# ---------------------------------------------------------------------------
+# Storage service
+# ---------------------------------------------------------------------------
+
+
+def register_storage_service(
+    registry: ServiceRegistry, server: REEDServer, prefix: str = "storage."
+) -> None:
+    """Expose a :class:`REEDServer` through an RPC registry."""
+
+    def exists(payload: bytes) -> bytes:
+        fps = Decoder(payload).list_of()
+        flags = server.chunk_exists_batch(fps)
+        return bytes(1 if flag else 0 for flag in flags)
+
+    def put(payload: bytes) -> bytes:
+        dec = Decoder(payload)
+        count = dec.uint()
+        chunks = [(dec.blob(), dec.blob()) for _ in range(count)]
+        dec.expect_end()
+        return Encoder().uint(server.chunk_put_batch(chunks)).done()
+
+    def get(payload: bytes) -> bytes:
+        fps = Decoder(payload).list_of()
+        return Encoder().list_of(server.chunk_get_batch(fps)).done()
+
+    def release(payload: bytes) -> bytes:
+        server.chunk_release_batch(Decoder(payload).list_of())
+        return b""
+
+    def recipe_put(payload: bytes) -> bytes:
+        dec = Decoder(payload)
+        server.recipe_put(dec.text(), dec.blob())
+        return b""
+
+    def recipe_get(payload: bytes) -> bytes:
+        return server.recipe_get(Decoder(payload).text())
+
+    def recipe_delete(payload: bytes) -> bytes:
+        server.recipe_delete(Decoder(payload).text())
+        return b""
+
+    def recipe_list(_payload: bytes) -> bytes:
+        names = [name.encode("utf-8") for name in server.recipe_list()]
+        return Encoder().list_of(names).done()
+
+    def stub_put(payload: bytes) -> bytes:
+        dec = Decoder(payload)
+        server.stub_put(dec.text(), dec.blob())
+        return b""
+
+    def stub_get(payload: bytes) -> bytes:
+        return server.stub_get(Decoder(payload).text())
+
+    def stub_delete(payload: bytes) -> bytes:
+        server.stub_delete(Decoder(payload).text())
+        return b""
+
+    def flush(_payload: bytes) -> bytes:
+        server.flush()
+        return b""
+
+    registry.register(prefix + "exists", exists)
+    registry.register(prefix + "put", put)
+    registry.register(prefix + "get", get)
+    registry.register(prefix + "release", release)
+    registry.register(prefix + "recipe_put", recipe_put)
+    registry.register(prefix + "recipe_get", recipe_get)
+    registry.register(prefix + "recipe_delete", recipe_delete)
+    registry.register(prefix + "recipe_list", recipe_list)
+    registry.register(prefix + "stub_put", stub_put)
+    registry.register(prefix + "stub_get", stub_get)
+    registry.register(prefix + "stub_delete", stub_delete)
+    registry.register(prefix + "flush", flush)
+
+
+class RemoteStorageService:
+    """Client stub implementing the StorageService protocol over RPC."""
+
+    def __init__(self, rpc: RpcClient, prefix: str = "storage.") -> None:
+        self._rpc = rpc
+        self._prefix = prefix
+
+    def _call(self, method: str, payload: bytes = b"") -> bytes:
+        return self._rpc.call(self._prefix + method, payload)
+
+    def chunk_exists_batch(self, fingerprints: list[bytes]) -> list[bool]:
+        flags = self._call("exists", Encoder().list_of(fingerprints).done())
+        return [bool(b) for b in flags]
+
+    def chunk_put_batch(self, chunks: list[tuple[bytes, bytes]]) -> int:
+        enc = Encoder().uint(len(chunks))
+        for fp, data in chunks:
+            enc.blob(fp).blob(data)
+        dec = Decoder(self._call("put", enc.done()))
+        new = dec.uint()
+        dec.expect_end()
+        return new
+
+    def chunk_get_batch(self, fingerprints: list[bytes]) -> list[bytes]:
+        payload = self._call("get", Encoder().list_of(fingerprints).done())
+        return Decoder(payload).list_of()
+
+    def chunk_release_batch(self, fingerprints: list[bytes]) -> None:
+        self._call("release", Encoder().list_of(fingerprints).done())
+
+    def recipe_put(self, file_id: str, data: bytes) -> None:
+        self._call("recipe_put", Encoder().text(file_id).blob(data).done())
+
+    def recipe_get(self, file_id: str) -> bytes:
+        return self._call("recipe_get", Encoder().text(file_id).done())
+
+    def recipe_delete(self, file_id: str) -> None:
+        self._call("recipe_delete", Encoder().text(file_id).done())
+
+    def recipe_list(self) -> list[str]:
+        payload = self._call("recipe_list")
+        return [name.decode("utf-8") for name in Decoder(payload).list_of()]
+
+    def stub_put(self, file_id: str, data: bytes) -> None:
+        self._call("stub_put", Encoder().text(file_id).blob(data).done())
+
+    def stub_get(self, file_id: str) -> bytes:
+        return self._call("stub_get", Encoder().text(file_id).done())
+
+    def stub_delete(self, file_id: str) -> None:
+        self._call("stub_delete", Encoder().text(file_id).done())
+
+    def flush(self) -> None:
+        self._call("flush")
+
+
+# ---------------------------------------------------------------------------
+# Key-state service (key store)
+# ---------------------------------------------------------------------------
+
+
+def register_keystate_service(
+    registry: ServiceRegistry, keystore: KeyStore, prefix: str = "keystore."
+) -> None:
+    def put(payload: bytes) -> bytes:
+        keystore.put(KeyStateRecord.decode(payload))
+        return b""
+
+    def get(payload: bytes) -> bytes:
+        return keystore.get(Decoder(payload).text()).encode()
+
+    def delete(payload: bytes) -> bytes:
+        keystore.delete(Decoder(payload).text())
+        return b""
+
+    def exists(payload: bytes) -> bytes:
+        return b"\x01" if keystore.exists(Decoder(payload).text()) else b"\x00"
+
+    def list_files(_payload: bytes) -> bytes:
+        names = [name.encode("utf-8") for name in keystore.list_files()]
+        return Encoder().list_of(names).done()
+
+    registry.register(prefix + "put", put)
+    registry.register(prefix + "get", get)
+    registry.register(prefix + "delete", delete)
+    registry.register(prefix + "exists", exists)
+    registry.register(prefix + "list", list_files)
+
+
+class RemoteKeyStore:
+    """Client stub with the same interface as :class:`KeyStore`."""
+
+    def __init__(self, rpc: RpcClient, prefix: str = "keystore.") -> None:
+        self._rpc = rpc
+        self._prefix = prefix
+
+    def put(self, record: KeyStateRecord) -> None:
+        self._rpc.call(self._prefix + "put", record.encode())
+
+    def get(self, file_id: str) -> KeyStateRecord:
+        payload = self._rpc.call(self._prefix + "get", Encoder().text(file_id).done())
+        return KeyStateRecord.decode(payload)
+
+    def delete(self, file_id: str) -> None:
+        self._rpc.call(self._prefix + "delete", Encoder().text(file_id).done())
+
+    def exists(self, file_id: str) -> bool:
+        payload = self._rpc.call(self._prefix + "exists", Encoder().text(file_id).done())
+        return payload == b"\x01"
+
+    def list_files(self) -> list[str]:
+        payload = self._rpc.call(self._prefix + "list")
+        return [name.decode("utf-8") for name in Decoder(payload).list_of()]
+
+
+# ---------------------------------------------------------------------------
+# Key manager
+# ---------------------------------------------------------------------------
+
+
+def register_key_manager(
+    registry: ServiceRegistry, manager: KeyManager, prefix: str = "km."
+) -> None:
+    def public_key(_payload: bytes) -> bytes:
+        return manager.public_key.encode()
+
+    def sign_batch(payload: bytes) -> bytes:
+        dec = Decoder(payload)
+        client_id = dec.text()
+        blinded = [int.from_bytes(blob, "big") for blob in dec.list_of()]
+        dec.expect_end()
+        signatures = manager.sign_batch(client_id, blinded)
+        byte_size = manager.public_key.byte_size
+        return (
+            Encoder()
+            .list_of([sig.to_bytes(byte_size, "big") for sig in signatures])
+            .done()
+        )
+
+    def backoff_hint(payload: bytes) -> bytes:
+        dec = Decoder(payload)
+        client_id = dec.text()
+        batch_size = dec.uint()
+        dec.expect_end()
+        return struct.pack(">d", manager.seconds_until_allowed(client_id, batch_size))
+
+    registry.register(prefix + "public_key", public_key)
+    registry.register(prefix + "sign_batch", sign_batch)
+    registry.register(prefix + "backoff_hint", backoff_hint)
+
+
+# ---------------------------------------------------------------------------
+# Threshold key managers
+# ---------------------------------------------------------------------------
+
+
+def register_threshold_key_manager(
+    registry: ServiceRegistry, manager, prefix: str = "tkm."
+) -> None:
+    """Expose one :class:`~repro.mle.threshold.ThresholdKeyManager`.
+
+    Each group member runs on its own host/port; the client-side
+    :class:`RemoteThresholdManager` stubs plug into a
+    :class:`~repro.mle.threshold.ThresholdKeyManagerChannel` unchanged.
+    """
+
+    def info(_payload: bytes) -> bytes:
+        share = manager._share
+        return (
+            Encoder()
+            .uint(share.index)
+            .uint(share.threshold)
+            .uint(share.players)
+            .blob(share.public_key.encode())
+            .done()
+        )
+
+    def sign_partial(payload: bytes) -> bytes:
+        dec = Decoder(payload)
+        client_id = dec.text()
+        blinded = [int.from_bytes(blob, "big") for blob in dec.list_of()]
+        dec.expect_end()
+        partials = manager.sign_batch_partial(client_id, blinded)
+        byte_size = manager.public_key.byte_size
+        return (
+            Encoder()
+            .list_of([p.to_bytes(byte_size, "big") for p in partials])
+            .done()
+        )
+
+    registry.register(prefix + "info", info)
+    registry.register(prefix + "sign_partial", sign_partial)
+
+
+class RemoteThresholdManager:
+    """Client stub for one remote threshold key manager.
+
+    Duck-types :class:`~repro.mle.threshold.ThresholdKeyManager` closely
+    enough for :class:`~repro.mle.threshold.ThresholdKeyManagerChannel`:
+    it exposes ``index``, ``available``, ``_share`` metadata, and
+    ``sign_batch_partial``.
+    """
+
+    def __init__(self, rpc: RpcClient, prefix: str = "tkm.") -> None:
+        self._rpc = rpc
+        self._prefix = prefix
+        dec = Decoder(self._rpc.call(prefix + "info"))
+        index = dec.uint()
+        threshold = dec.uint()
+        players = dec.uint()
+        public_key = RSAPublicKey.decode(dec.blob())
+        dec.expect_end()
+        from repro.mle.threshold import KeyShare
+
+        # value=0: the share value never leaves the manager; only the
+        # metadata travels, which is all the channel needs.
+        self._share = KeyShare(
+            index=index,
+            value=0,
+            threshold=threshold,
+            players=players,
+            public_key=public_key,
+        )
+        self.available = True
+
+    @property
+    def index(self) -> int:
+        return self._share.index
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self._share.public_key
+
+    def sign_batch_partial(self, client_id: str, blinded_values: list[int]) -> list[int]:
+        byte_size = self._share.public_key.byte_size
+        enc = Encoder().text(client_id)
+        enc.list_of([v.to_bytes(byte_size, "big") for v in blinded_values])
+        payload = self._rpc.call(self._prefix + "sign_partial", enc.done())
+        return [int.from_bytes(blob, "big") for blob in Decoder(payload).list_of()]
+
+    def _bucket(self, client_id: str):
+        raise NotImplementedError  # backoff hints come from the remote errors
+
+
+class RemoteKeyManagerChannel:
+    """Client stub implementing the KeyManagerChannel protocol over RPC."""
+
+    def __init__(self, rpc: RpcClient, prefix: str = "km.") -> None:
+        self._rpc = rpc
+        self._prefix = prefix
+        self._cached_key: RSAPublicKey | None = None
+
+    def public_key(self) -> RSAPublicKey:
+        if self._cached_key is None:
+            self._cached_key = RSAPublicKey.decode(
+                self._rpc.call(self._prefix + "public_key")
+            )
+        return self._cached_key
+
+    def sign_batch(self, client_id: str, blinded_values: list[int]) -> list[int]:
+        enc = Encoder().text(client_id)
+        # Blinded values are uniform in Z_n; encode at the modulus width.
+        byte_size = self.public_key().byte_size
+        enc.list_of([value.to_bytes(byte_size, "big") for value in blinded_values])
+        payload = self._rpc.call(self._prefix + "sign_batch", enc.done())
+        return [int.from_bytes(blob, "big") for blob in Decoder(payload).list_of()]
+
+    def backoff_hint(self, client_id: str, batch_size: int) -> float:
+        payload = self._rpc.call(
+            self._prefix + "backoff_hint",
+            Encoder().text(client_id).uint(batch_size).done(),
+        )
+        return struct.unpack(">d", payload)[0]

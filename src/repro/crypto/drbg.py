@@ -1,0 +1,75 @@
+"""Randomness sources: OS entropy and a deterministic HMAC-DRBG.
+
+Key states, stub-file nonces, and RSA blinding factors need randomness.
+Production code uses :func:`os.urandom`; tests and reproducible
+experiments inject :class:`HmacDrbg`, an HMAC-SHA-256 deterministic random
+bit generator (the NIST SP 800-90A HMAC_DRBG update/generate structure,
+without the reseed bookkeeping that the spec requires for certification).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.crypto.hashing import hmac_sha256
+from repro.util.errors import ConfigurationError
+
+
+class RandomSource:
+    """Default randomness source backed by the operating system."""
+
+    def random_bytes(self, n: int) -> bytes:
+        if n < 0:
+            raise ConfigurationError("cannot draw a negative number of bytes")
+        return os.urandom(n)
+
+    def randint_below(self, bound: int) -> int:
+        """Uniform integer in ``[0, bound)`` via rejection sampling."""
+        if bound <= 0:
+            raise ConfigurationError("bound must be positive")
+        nbytes = (bound.bit_length() + 7) // 8
+        # Rejection sampling over the smallest power-of-256 range covering
+        # the bound keeps the result exactly uniform.
+        limit = (256**nbytes // bound) * bound
+        while True:
+            candidate = int.from_bytes(self.random_bytes(nbytes), "big")
+            if candidate < limit:
+                return candidate % bound
+
+
+class HmacDrbg(RandomSource):
+    """Deterministic HMAC-SHA-256 DRBG seeded from explicit bytes.
+
+    Identical seeds produce identical byte streams, making every
+    randomized component of the system replayable in tests and
+    experiments.
+    """
+
+    def __init__(self, seed: bytes) -> None:
+        self._key = b"\x00" * 32
+        self._value = b"\x01" * 32
+        self._lock = threading.Lock()
+        self._update(seed)
+
+    def _update(self, data: bytes = b"") -> None:
+        self._key = hmac_sha256(self._key, self._value + b"\x00" + data)
+        self._value = hmac_sha256(self._key, self._value)
+        if data:
+            self._key = hmac_sha256(self._key, self._value + b"\x01" + data)
+            self._value = hmac_sha256(self._key, self._value)
+
+    def random_bytes(self, n: int) -> bytes:
+        if n < 0:
+            raise ConfigurationError("cannot draw a negative number of bytes")
+        with self._lock:
+            out = bytearray()
+            while len(out) < n:
+                self._value = hmac_sha256(self._key, self._value)
+                out.extend(self._value)
+            self._update()
+            return bytes(out[:n])
+
+
+#: Process-wide default randomness source.
+SYSTEM_RANDOM = RandomSource()

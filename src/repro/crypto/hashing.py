@@ -1,0 +1,82 @@
+"""Hashing primitives: fingerprints, HMAC, and key derivation.
+
+REED identifies every chunk by a cryptographic fingerprint (SHA-256) and
+assumes fingerprint collisions between distinct chunks are negligible
+(Section II-A).  The FSL traces used in Experiment B identify chunks by
+48-bit truncated fingerprints, so truncation helpers are provided too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+from repro.util.errors import ConfigurationError
+
+#: Size in bytes of a full fingerprint / hash output (SHA-256).
+DIGEST_SIZE = 32
+
+#: Size in bytes of the truncated fingerprints in the FSL trace format.
+FSL_FINGERPRINT_SIZE = 6
+
+
+def sha256(data: bytes) -> bytes:
+    """The hash function ``H(.)`` used throughout REED (SHA-256)."""
+    return hashlib.sha256(data).digest()
+
+
+def fingerprint(data: bytes) -> bytes:
+    """Chunk fingerprint: SHA-256 of the chunk content."""
+    return hashlib.sha256(data).digest()
+
+
+def truncated_fingerprint(data: bytes, size: int = FSL_FINGERPRINT_SIZE) -> bytes:
+    """A ``size``-byte truncated fingerprint (FSL traces use 48 bits)."""
+    if not 1 <= size <= DIGEST_SIZE:
+        raise ConfigurationError(f"truncated size must be in [1, {DIGEST_SIZE}]")
+    return hashlib.sha256(data).digest()[:size]
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA-256, used for keyed derivations and message authentication."""
+    return _hmac.new(key, data, hashlib.sha256).digest()
+
+
+def kdf(key: bytes, label: str, length: int = DIGEST_SIZE) -> bytes:
+    """Derive ``length`` bytes from ``key`` bound to a domain-separation label.
+
+    An HKDF-expand style construction: output blocks are
+    ``HMAC(key, prev || label || counter)``.  Used to derive distinct
+    subkeys (e.g. a stub-encryption key and a recipe-MAC key) from one
+    file key.
+    """
+    if length <= 0:
+        raise ConfigurationError("kdf length must be positive")
+    info = label.encode("utf-8")
+    out = bytearray()
+    prev = b""
+    counter = 1
+    while len(out) < length:
+        prev = _hmac.new(key, prev + info + bytes([counter & 0xFF]), hashlib.sha256).digest()
+        out.extend(prev)
+        counter += 1
+    return bytes(out[:length])
+
+
+def hash_to_int(data: bytes, modulus: int) -> int:
+    """Full-domain hash of ``data`` into ``Z_modulus`` (for RSA-FDH / OPRF).
+
+    Expands SHA-256 in counter mode until enough bytes cover the modulus,
+    then reduces.  The slight bias from the final ``mod`` is negligible
+    because we generate ``bit_length + 64`` extra bits.
+    """
+    if modulus <= 1:
+        raise ConfigurationError("modulus must be > 1")
+    needed_bits = modulus.bit_length() + 64
+    needed_bytes = (needed_bits + 7) // 8
+    out = bytearray()
+    counter = 0
+    while len(out) < needed_bytes:
+        out.extend(hashlib.sha256(counter.to_bytes(4, "big") + data).digest())
+        counter += 1
+    return int.from_bytes(bytes(out[:needed_bytes]), "big") % modulus

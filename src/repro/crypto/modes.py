@@ -1,0 +1,58 @@
+"""Block-cipher modes of operation.
+
+Only CTR is needed: REED's constructions use the cipher either as a
+keystream generator (the AONT mask ``G(K) = E(K, S)``) or as a
+deterministic encryption for MLE (same key + same message must give the
+same ciphertext, so the nonce is fixed to zero — safe here because MLE
+keys are message-derived and never reused across distinct messages).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+from repro.util.bytesutil import xor_bytes
+from repro.util.errors import ConfigurationError
+
+#: Nonce used for deterministic (MLE) encryption.
+ZERO_NONCE = b"\x00" * 8
+
+
+def ctr_keystream(aes: AES, nonce: bytes, length: int) -> bytes:
+    """Generate ``length`` keystream bytes: ``E(K, nonce || counter)``.
+
+    The 16-byte counter block is an 8-byte nonce followed by a 64-bit
+    big-endian block counter.
+    """
+    if len(nonce) != 8:
+        raise ConfigurationError("CTR nonce must be 8 bytes")
+    if length < 0:
+        raise ConfigurationError("keystream length must be non-negative")
+    blocks = (length + BLOCK_SIZE - 1) // BLOCK_SIZE
+    out = bytearray()
+    for counter in range(blocks):
+        out.extend(aes.encrypt_block(nonce + counter.to_bytes(8, "big")))
+    return bytes(out[:length])
+
+
+def ctr_encrypt(key: bytes, nonce: bytes, plaintext: bytes) -> bytes:
+    """CTR encryption; identical to decryption (XOR with keystream)."""
+    aes = AES(key)
+    return xor_bytes(plaintext, ctr_keystream(aes, nonce, len(plaintext)))
+
+
+def ctr_decrypt(key: bytes, nonce: bytes, ciphertext: bytes) -> bytes:
+    return ctr_encrypt(key, nonce, ciphertext)
+
+
+def deterministic_encrypt(key: bytes, plaintext: bytes) -> bytes:
+    """Deterministic encryption for MLE: CTR with a fixed zero nonce.
+
+    Two identical messages under the same (message-derived) key produce
+    identical ciphertexts, which is exactly the property deduplication
+    needs (Section II-A).
+    """
+    return ctr_encrypt(key, ZERO_NONCE, plaintext)
+
+
+def deterministic_decrypt(key: bytes, ciphertext: bytes) -> bytes:
+    return ctr_encrypt(key, ZERO_NONCE, ciphertext)

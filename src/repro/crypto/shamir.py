@@ -1,0 +1,123 @@
+"""Shamir secret sharing over a prime field.
+
+The access-tree encryption in :mod:`repro.abe` splits a secret down the
+policy tree: each k-of-n threshold gate shares its incoming secret among
+its children with a degree-(k-1) random polynomial, exactly as in
+Bethencourt–Sahai–Waters CP-ABE's tree layer.  Reconstruction uses
+Lagrange interpolation at x = 0.
+
+The field is the prime field GF(p) with p = 2^256 + 297 (the smallest
+prime above 2^256), so any 32-byte secret embeds directly as a field
+element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.drbg import SYSTEM_RANDOM, RandomSource
+from repro.util.errors import ConfigurationError
+
+#: Field modulus: the smallest prime greater than 2^256.
+PRIME = 2**256 + 297
+
+#: Secrets are 32-byte strings; shares need 33 bytes to cover the field.
+SECRET_SIZE = 32
+SHARE_VALUE_SIZE = 33
+
+
+@dataclass(frozen=True)
+class Share:
+    """One share: the evaluation point ``x`` and value ``y = f(x) mod p``."""
+
+    x: int
+    y: int
+
+    def encode(self) -> bytes:
+        return self.x.to_bytes(4, "big") + self.y.to_bytes(SHARE_VALUE_SIZE, "big")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Share":
+        if len(data) != 4 + SHARE_VALUE_SIZE:
+            raise ConfigurationError("malformed share encoding")
+        return cls(
+            x=int.from_bytes(data[:4], "big"),
+            y=int.from_bytes(data[4:], "big"),
+        )
+
+
+def split_secret(
+    secret: int,
+    threshold: int,
+    num_shares: int,
+    rng: RandomSource | None = None,
+    xs: list[int] | None = None,
+) -> list[Share]:
+    """Split ``secret`` into ``num_shares`` shares, any ``threshold`` of
+    which reconstruct it.
+
+    ``xs`` optionally fixes the evaluation points (they must be distinct
+    and non-zero); by default points 1..num_shares are used.  The access
+    tree uses child indexes as points, as BSW CP-ABE does.
+    """
+    if not 0 <= secret < PRIME:
+        raise ConfigurationError("secret out of field range")
+    if threshold < 1 or num_shares < threshold:
+        raise ConfigurationError(
+            f"invalid threshold {threshold} for {num_shares} shares"
+        )
+    if xs is None:
+        xs = list(range(1, num_shares + 1))
+    if len(xs) != num_shares:
+        raise ConfigurationError("xs length must equal num_shares")
+    if len(set(xs)) != len(xs) or any(x == 0 for x in xs):
+        raise ConfigurationError("evaluation points must be distinct and non-zero")
+    rng = rng or SYSTEM_RANDOM
+    # f(x) = secret + a1 x + ... + a_{k-1} x^{k-1}, coefficients uniform.
+    coefficients = [secret] + [rng.randint_below(PRIME) for _ in range(threshold - 1)]
+    shares = []
+    for x in xs:
+        y = 0
+        for coefficient in reversed(coefficients):  # Horner's rule
+            y = (y * x + coefficient) % PRIME
+        shares.append(Share(x=x, y=y))
+    return shares
+
+
+def recover_secret(shares: list[Share]) -> int:
+    """Reconstruct the secret by Lagrange interpolation at x = 0.
+
+    The caller must supply at least ``threshold`` shares from the same
+    split; with fewer shares the result is uniformly random garbage (that
+    is the security property), and with inconsistent shares the result is
+    undefined — callers bind an integrity check to the plaintext.
+    """
+    if not shares:
+        raise ConfigurationError("cannot recover a secret from zero shares")
+    if len({s.x for s in shares}) != len(shares):
+        raise ConfigurationError("duplicate share points")
+    secret = 0
+    for i, share_i in enumerate(shares):
+        numerator = 1
+        denominator = 1
+        for j, share_j in enumerate(shares):
+            if i == j:
+                continue
+            numerator = (numerator * (-share_j.x)) % PRIME
+            denominator = (denominator * (share_i.x - share_j.x)) % PRIME
+        lagrange = (numerator * pow(denominator, -1, PRIME)) % PRIME
+        secret = (secret + share_i.y * lagrange) % PRIME
+    return secret
+
+
+def secret_to_bytes(secret: int) -> bytes:
+    """Encode a field element that fits in 32 bytes (raises otherwise)."""
+    if secret >= 2**256:
+        raise ConfigurationError("secret does not fit in 32 bytes")
+    return secret.to_bytes(SECRET_SIZE, "big")
+
+
+def bytes_to_secret(data: bytes) -> int:
+    if len(data) != SECRET_SIZE:
+        raise ConfigurationError(f"secret must be {SECRET_SIZE} bytes")
+    return int.from_bytes(data, "big")

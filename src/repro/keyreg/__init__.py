@@ -1,0 +1,15 @@
+"""Key regression for lazy revocation (RSA construction of Fu et al.)."""
+
+from repro.keyreg.rsa_keyreg import (
+    DERIVED_KEY_SIZE,
+    KeyRegressionMember,
+    KeyRegressionOwner,
+    KeyState,
+)
+
+__all__ = [
+    "DERIVED_KEY_SIZE",
+    "KeyRegressionMember",
+    "KeyRegressionOwner",
+    "KeyState",
+]

@@ -1,0 +1,138 @@
+"""The REED key manager (DupLESS-style server-aided MLE key generation).
+
+The key manager holds a system-wide RSA keypair (the paper uses 1024-bit
+RSA, Section V-A).  Clients send *blinded* chunk fingerprints in batches;
+the key manager answers each with a blind RSA signature — one private-key
+operation per chunk — without ever learning the fingerprints (oblivious
+key generation, Section III-B).
+
+To slow online brute-force attacks from compromised clients, requests are
+rate-limited per client with a token bucket (Section II-A).  The manager
+also keeps per-client accounting used by the evaluation harness.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.crypto import blindrsa
+from repro.crypto.drbg import RandomSource
+from repro.crypto.rsa import DEFAULT_KEY_BITS, RSAPrivateKey, RSAPublicKey, generate_keypair
+from repro.util.errors import ConfigurationError, RateLimitExceeded
+from repro.util.tokenbucket import TokenBucket
+
+#: Default per-client sustained request rate (chunk keys per second).
+#: Generous enough for legitimate backup workloads (the paper's key
+#: manager saturates around 1600 signatures/s) while bounding brute force.
+DEFAULT_RATE_LIMIT = 8192.0
+
+#: Default burst: one maximum-size batch.
+DEFAULT_BURST = 16384.0
+
+
+@dataclass
+class ClientQuota:
+    """Per-client rate-limit state and accounting."""
+
+    bucket: TokenBucket
+    requests: int = 0
+    rejected: int = 0
+
+
+@dataclass
+class KeyManagerStats:
+    """Counters exposed for the evaluation harness."""
+
+    clients: int = 0
+    signatures: int = 0
+    batches: int = 0
+    rejected: int = 0
+    busy_seconds: float = 0.0
+
+
+class KeyManager:
+    """Transport-agnostic key-manager core.
+
+    The networked deployment wraps this class behind an RPC service
+    (:mod:`repro.net.rpc`); tests and single-process experiments call it
+    directly.
+    """
+
+    def __init__(
+        self,
+        private_key: RSAPrivateKey | None = None,
+        key_bits: int = DEFAULT_KEY_BITS,
+        rate_limit: float = DEFAULT_RATE_LIMIT,
+        burst: float = DEFAULT_BURST,
+        rng: RandomSource | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if private_key is None:
+            private_key = generate_keypair(key_bits, rng=rng)
+        self._private_key = private_key
+        self._rate_limit = rate_limit
+        self._burst = burst
+        self._clock = clock
+        self._quotas: dict[str, ClientQuota] = {}
+        self._lock = threading.Lock()
+        self.stats = KeyManagerStats()
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        """The system-wide public key clients blind against."""
+        return self._private_key.public
+
+    def _quota_for(self, client_id: str) -> ClientQuota:
+        with self._lock:
+            quota = self._quotas.get(client_id)
+            if quota is None:
+                quota = ClientQuota(
+                    bucket=TokenBucket(self._rate_limit, self._burst, clock=self._clock)
+                )
+                self._quotas[client_id] = quota
+                self.stats.clients += 1
+            return quota
+
+    def sign_batch(self, client_id: str, blinded_values: list[int]) -> list[int]:
+        """Sign a batch of blinded fingerprints for ``client_id``.
+
+        Raises :class:`RateLimitExceeded` when the client's token bucket
+        cannot cover the batch; the client is expected to back off (the
+        batch is all-or-nothing so partial progress never leaks through
+        the limiter).
+        """
+        if not blinded_values:
+            return []
+        if len(blinded_values) > self._burst:
+            raise ConfigurationError(
+                f"batch of {len(blinded_values)} exceeds the maximum batch "
+                f"size {int(self._burst)}"
+            )
+        quota = self._quota_for(client_id)
+        if not quota.bucket.try_take(len(blinded_values)):
+            quota.rejected += len(blinded_values)
+            self.stats.rejected += len(blinded_values)
+            raise RateLimitExceeded(
+                f"client {client_id!r} exceeded the key-generation rate limit"
+            )
+        started = self._clock()
+        signatures = [
+            blindrsa.sign_blinded(self._private_key, value) for value in blinded_values
+        ]
+        elapsed = self._clock() - started
+        with self._lock:
+            quota.requests += len(blinded_values)
+            self.stats.signatures += len(blinded_values)
+            self.stats.batches += 1
+            self.stats.busy_seconds += elapsed
+        return signatures
+
+    def seconds_until_allowed(self, client_id: str, batch_size: int) -> float:
+        """Back-off hint: seconds until a batch of ``batch_size`` is allowed."""
+        return self._quota_for(client_id).bucket.seconds_until(batch_size)
+
+    def client_stats(self, client_id: str) -> dict[str, int]:
+        quota = self._quota_for(client_id)
+        return {"requests": quota.requests, "rejected": quota.rejected}

@@ -1,0 +1,175 @@
+"""Client side of server-aided MLE key generation.
+
+For every chunk fingerprint the client runs the blind-RSA OPRF with the
+key manager (Section V-A):
+
+    blind -> send batch -> unblind -> verify -> hash into the MLE key
+
+with three performance measures from Section V-B layered on top:
+
+* **batching** — up to ``batch_size`` per-chunk requests per round trip
+  (the paper finds the key manager saturates around batch size 256);
+* **caching** — an LRU fingerprint→key cache consulted first;
+* **deduplication within a request** — repeated fingerprints in one call
+  cost a single OPRF evaluation.
+
+The key-manager *channel* is pluggable: a direct in-process call for
+tests and experiments, or an RPC stub over TCP (:mod:`repro.net`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from typing import Protocol
+
+from repro.crypto import blindrsa
+from repro.crypto.drbg import SYSTEM_RANDOM, RandomSource
+from repro.crypto.rsa import RSAPublicKey
+from repro.mle.cache import MLEKeyCache
+from repro.mle.keymanager import KeyManager
+from repro.util.errors import ConfigurationError, KeyManagerError, RateLimitExceeded
+
+#: Default number of per-chunk key requests batched per round trip
+#: (Section V-B / Experiment A.1).
+DEFAULT_BATCH_SIZE = 256
+
+#: Bounded retries when the key manager rate-limits us.
+DEFAULT_MAX_RETRIES = 8
+
+
+class KeyManagerChannel(Protocol):
+    """Transport abstraction over the key manager."""
+
+    def public_key(self) -> RSAPublicKey:
+        """Fetch the system-wide RSA public key."""
+        ...
+
+    def sign_batch(self, client_id: str, blinded_values: list[int]) -> list[int]:
+        """Submit one batch of blinded values; returns blind signatures."""
+        ...
+
+    def backoff_hint(self, client_id: str, batch_size: int) -> float:
+        """Seconds to wait before a batch of this size will be admitted."""
+        ...
+
+
+class LocalKeyManagerChannel:
+    """Directly invokes an in-process :class:`KeyManager` (no network)."""
+
+    def __init__(self, manager: KeyManager) -> None:
+        self._manager = manager
+
+    def public_key(self) -> RSAPublicKey:
+        return self._manager.public_key
+
+    def sign_batch(self, client_id: str, blinded_values: list[int]) -> list[int]:
+        return self._manager.sign_batch(client_id, blinded_values)
+
+    def backoff_hint(self, client_id: str, batch_size: int) -> float:
+        return self._manager.seconds_until_allowed(client_id, batch_size)
+
+
+class ServerAidedKeyClient:
+    """Obtains MLE keys from the key manager via the blind-RSA OPRF."""
+
+    def __init__(
+        self,
+        channel: KeyManagerChannel,
+        client_id: str,
+        cache: MLEKeyCache | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        rng: RandomSource | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+    ) -> None:
+        if batch_size < 1:
+            raise ConfigurationError("batch size must be at least 1")
+        self._channel = channel
+        self._client_id = client_id
+        self._cache = cache
+        self._batch_size = batch_size
+        self._rng = rng or SYSTEM_RANDOM
+        self._sleep = sleep
+        self._max_retries = max_retries
+        self._public_key: RSAPublicKey | None = None
+        #: OPRF evaluations actually performed (cache misses), for stats.
+        self.oprf_evaluations = 0
+        #: Requests answered from the cache.
+        self.cache_hits = 0
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        if self._public_key is None:
+            self._public_key = self._channel.public_key()
+        return self._public_key
+
+    def clear_cache(self) -> None:
+        if self._cache is not None:
+            self._cache.clear()
+
+    # ------------------------------------------------------------------
+
+    def _send_with_backoff(self, blinded: list[int]) -> list[int]:
+        for attempt in range(self._max_retries + 1):
+            try:
+                return self._channel.sign_batch(self._client_id, blinded)
+            except RateLimitExceeded:
+                if attempt == self._max_retries:
+                    raise
+                delay = self._channel.backoff_hint(self._client_id, len(blinded))
+                # Nudge past the boundary to avoid a refill race.
+                self._sleep(max(delay, 1e-4) * 1.05)
+        raise AssertionError("unreachable")
+
+    def _fetch_batch(self, fingerprints: list[bytes]) -> list[bytes]:
+        """One OPRF round trip for up to ``batch_size`` fingerprints."""
+        public_key = self.public_key
+        blinded_values: list[int] = []
+        states: list[blindrsa.BlindingState] = []
+        for fp in fingerprints:
+            blinded, state = blindrsa.blind(public_key, fp, self._rng)
+            blinded_values.append(blinded)
+            states.append(state)
+        signatures = self._send_with_backoff(blinded_values)
+        if len(signatures) != len(blinded_values):
+            raise KeyManagerError(
+                f"key manager returned {len(signatures)} signatures for "
+                f"{len(blinded_values)} requests"
+            )
+        keys = []
+        for state, signature in zip(states, signatures):
+            unblinded = blindrsa.unblind(public_key, state, signature)
+            keys.append(blindrsa.signature_to_key(unblinded, public_key.byte_size))
+        self.oprf_evaluations += len(keys)
+        return keys
+
+    def get_keys(self, fingerprints: Sequence[bytes]) -> list[bytes]:
+        """Return MLE keys for ``fingerprints`` (order-preserving).
+
+        Cache hits and duplicate fingerprints within the call are served
+        without extra OPRF evaluations.
+        """
+        results: dict[bytes, bytes] = {}
+        missing: list[bytes] = []
+        seen: set[bytes] = set()
+        for fp in fingerprints:
+            if fp in seen:
+                continue
+            seen.add(fp)
+            cached = self._cache.get(fp) if self._cache is not None else None
+            if cached is not None:
+                results[fp] = cached
+                self.cache_hits += 1
+            else:
+                missing.append(fp)
+        for start in range(0, len(missing), self._batch_size):
+            batch = missing[start : start + self._batch_size]
+            for fp, key in zip(batch, self._fetch_batch(batch)):
+                results[fp] = key
+                if self._cache is not None:
+                    self._cache.put(fp, key)
+        return [results[fp] for fp in fingerprints]
+
+    def get_key(self, fingerprint: bytes) -> bytes:
+        return self.get_keys([fingerprint])[0]

@@ -1,0 +1,29 @@
+"""Networking: message framing, RPC, loopback and TCP transports."""
+
+from repro.net.message import MAX_MESSAGE_BYTES, Message, frame, read_frame
+from repro.net.retry import RetryingRpcClient, RetryPolicy
+from repro.net.rpc import (
+    LoopbackTransport,
+    RpcClient,
+    ServiceRegistry,
+    decode_error,
+    encode_error,
+)
+from repro.net.tcp import TcpConnection, TcpServer, connect
+
+__all__ = [
+    "LoopbackTransport",
+    "MAX_MESSAGE_BYTES",
+    "Message",
+    "RetryPolicy",
+    "RetryingRpcClient",
+    "RpcClient",
+    "ServiceRegistry",
+    "TcpConnection",
+    "TcpServer",
+    "connect",
+    "decode_error",
+    "encode_error",
+    "frame",
+    "read_frame",
+]

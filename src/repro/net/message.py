@@ -1,0 +1,67 @@
+"""RPC message framing.
+
+Every request/response is a :class:`Message`: a correlation id, a method
+name, a success/error flag, and an opaque payload encoded by the service
+layer.  On byte streams (TCP) messages are framed with a 4-byte
+big-endian length prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.codec import Decoder, Encoder
+from repro.util.errors import CorruptionError, ProtocolError
+
+#: Upper bound on a single message body (64 MiB) — a sanity limit that
+#: turns a corrupted length prefix into a clean error instead of an
+#: attempted multi-gigabyte allocation.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Message:
+    """One framed RPC message."""
+
+    message_id: int
+    method: str
+    is_error: bool
+    payload: bytes
+
+    def encode(self) -> bytes:
+        return (
+            Encoder()
+            .uint(self.message_id)
+            .text(self.method)
+            .boolean(self.is_error)
+            .blob(self.payload)
+            .done()
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Message":
+        dec = Decoder(data)
+        msg = cls(
+            message_id=dec.uint(),
+            method=dec.text(),
+            is_error=dec.boolean(),
+            payload=dec.blob(),
+        )
+        dec.expect_end()
+        return msg
+
+
+def frame(data: bytes) -> bytes:
+    """Length-prefix a message body for stream transports."""
+    if len(data) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message of {len(data)} bytes exceeds the frame limit")
+    return len(data).to_bytes(4, "big") + data
+
+
+def read_frame(recv_exact) -> bytes:
+    """Read one frame using ``recv_exact(n) -> bytes`` (raises on EOF)."""
+    header = recv_exact(4)
+    length = int.from_bytes(header, "big")
+    if length > MAX_MESSAGE_BYTES:
+        raise CorruptionError(f"frame length {length} exceeds the limit")
+    return recv_exact(length)

@@ -1,0 +1,95 @@
+"""Retry policy for RPC calls.
+
+Transient faults — a dropped TCP connection, a server restarting, a
+timeout — surface as :class:`ProtocolError`/:class:`OSError` from the
+transport.  Idempotent REED operations (every storage/key-state method
+is idempotent: puts overwrite deterministically, gets are reads) can
+simply be retried.
+
+:class:`RetryPolicy` implements capped exponential backoff; ``wrap``
+produces a drop-in replacement for an :class:`RpcClient` whose ``call``
+retries through transient failures and optionally re-establishes the
+connection between attempts.  Library errors that represent *semantic*
+failures (NotFound, AccessDenied, Integrity, RateLimit — which has its
+own backoff protocol) are never retried here.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from repro.net.rpc import RpcClient
+from repro.util.errors import ConfigurationError, ProtocolError, ReproError
+
+#: Exception types considered transient (safe to retry).
+TRANSIENT_ERRORS: tuple[type[BaseException], ...] = (ProtocolError, OSError)
+
+
+class RetryPolicy:
+    """Capped exponential backoff: ``base * 2^attempt``, up to ``cap``."""
+
+    def __init__(
+        self,
+        attempts: int = 4,
+        base_delay: float = 0.05,
+        cap: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if attempts < 1:
+            raise ConfigurationError("need at least one attempt")
+        if base_delay < 0 or cap < 0:
+            raise ConfigurationError("delays must be non-negative")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.cap = cap
+        self._sleep = sleep
+
+    def delay(self, attempt: int) -> float:
+        return min(self.cap, self.base_delay * (2**attempt))
+
+    def run(self, operation: Callable[[], bytes]) -> bytes:
+        """Run ``operation``, retrying transient failures."""
+        last: BaseException | None = None
+        for attempt in range(self.attempts):
+            try:
+                return operation()
+            except TRANSIENT_ERRORS as exc:
+                last = exc
+                if attempt + 1 < self.attempts:
+                    self._sleep(self.delay(attempt))
+            except ReproError:
+                raise  # semantic failure: never retry
+        raise ProtocolError(
+            f"operation failed after {self.attempts} attempts: {last}"
+        ) from last
+
+
+class RetryingRpcClient:
+    """An RpcClient wrapper that retries transient transport failures.
+
+    ``reconnect`` (optional) is called between attempts to obtain a
+    fresh underlying client — e.g. re-dialing a TCP connection after the
+    server came back.
+    """
+
+    def __init__(
+        self,
+        client: RpcClient,
+        policy: RetryPolicy | None = None,
+        reconnect: Callable[[], RpcClient] | None = None,
+    ) -> None:
+        self._client = client
+        self._policy = policy or RetryPolicy()
+        self._reconnect = reconnect
+
+    def call(self, method: str, payload: bytes = b"") -> bytes:
+        first = [True]
+
+        def attempt() -> bytes:
+            if not first[0] and self._reconnect is not None:
+                self._client = self._reconnect()
+            first[0] = False
+            return self._client.call(method, payload)
+
+        return self._policy.run(attempt)

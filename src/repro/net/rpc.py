@@ -1,0 +1,144 @@
+"""A small synchronous RPC layer.
+
+A :class:`ServiceRegistry` maps method names to handlers (payload bytes
+in, payload bytes out).  Library exceptions raised by handlers are
+serialized by class name and re-raised as the *same class* on the
+client, so e.g. a :class:`RateLimitExceeded` from the key manager
+travels through TCP intact and the client's back-off logic does not care
+whether the key manager is local or remote.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+
+from repro.net.message import Message
+from repro.util import errors
+from repro.util.codec import Decoder, Encoder
+from repro.util.errors import ProtocolError, ReproError
+
+Handler = Callable[[bytes], bytes]
+
+#: Exception classes allowed to cross the wire by name.
+_WIRE_ERRORS: dict[str, type[ReproError]] = {
+    cls.__name__: cls
+    for cls in (
+        errors.ReproError,
+        errors.ConfigurationError,
+        errors.IntegrityError,
+        errors.CorruptionError,
+        errors.AccessDeniedError,
+        errors.KeyManagerError,
+        errors.RateLimitExceeded,
+        errors.StorageError,
+        errors.NotFoundError,
+        errors.ProtocolError,
+    )
+}
+
+
+def encode_error(exc: Exception) -> bytes:
+    name = type(exc).__name__ if type(exc).__name__ in _WIRE_ERRORS else "ReproError"
+    return Encoder().text(name).text(str(exc)).done()
+
+
+def decode_error(payload: bytes) -> ReproError:
+    dec = Decoder(payload)
+    name = dec.text()
+    message = dec.text()
+    dec.expect_end()
+    return _WIRE_ERRORS.get(name, ReproError)(message)
+
+
+class ServiceRegistry:
+    """Method-name → handler dispatch table shared by all transports."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[str, Handler] = {}
+
+    def register(self, method: str, handler: Handler) -> None:
+        if method in self._handlers:
+            raise ProtocolError(f"method {method!r} registered twice")
+        self._handlers[method] = handler
+
+    def methods(self) -> list[str]:
+        return sorted(self._handlers)
+
+    def dispatch(self, request: Message) -> Message:
+        """Run a handler, converting exceptions into error replies."""
+        handler = self._handlers.get(request.method)
+        if handler is None:
+            return Message(
+                message_id=request.message_id,
+                method=request.method,
+                is_error=True,
+                payload=encode_error(ProtocolError(f"unknown method {request.method!r}")),
+            )
+        try:
+            payload = handler(request.payload)
+        except Exception as exc:  # noqa: BLE001 - faults must cross the wire
+            return Message(
+                message_id=request.message_id,
+                method=request.method,
+                is_error=True,
+                payload=encode_error(exc),
+            )
+        return Message(
+            message_id=request.message_id,
+            method=request.method,
+            is_error=False,
+            payload=payload,
+        )
+
+
+class RpcClient:
+    """Client over any transport that can round-trip a :class:`Message`.
+
+    ``send`` is a callable mapping a request Message to a response
+    Message; transports provide it (direct dispatch for in-memory, framed
+    sockets for TCP).
+    """
+
+    def __init__(self, send: Callable[[Message], Message]) -> None:
+        self._send = send
+        self._next_id = 0
+        self._lock = threading.Lock()
+
+    def call(self, method: str, payload: bytes = b"") -> bytes:
+        with self._lock:
+            self._next_id += 1
+            message_id = self._next_id
+        request = Message(
+            message_id=message_id, method=method, is_error=False, payload=payload
+        )
+        response = self._send(request)
+        if response.message_id != message_id:
+            raise ProtocolError(
+                f"response id {response.message_id} does not match request {message_id}"
+            )
+        if response.is_error:
+            raise decode_error(response.payload)
+        return response.payload
+
+
+class LoopbackTransport:
+    """Zero-copy in-process transport: dispatch straight into a registry.
+
+    An optional ``on_message(request_bytes, response_bytes)`` hook lets
+    the simulation layer account for the bytes that *would* have crossed
+    the network.
+    """
+
+    def __init__(self, registry: ServiceRegistry, on_message=None) -> None:
+        self._registry = registry
+        self._on_message = on_message
+
+    def client(self) -> RpcClient:
+        def send(request: Message) -> Message:
+            response = self._registry.dispatch(request)
+            if self._on_message is not None:
+                self._on_message(request.encode(), response.encode())
+            return response
+
+        return RpcClient(send)

@@ -1,0 +1,138 @@
+"""TCP transport for the RPC layer.
+
+A thread-per-connection server and a blocking client connection, with
+4-byte length framing from :mod:`repro.net.message`.  This is the
+deployment transport: the examples run a full REED cluster (data-store
+servers, key-store server, key manager) over localhost sockets.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.net.message import Message, frame, read_frame
+from repro.net.rpc import RpcClient, ServiceRegistry
+from repro.util.errors import ProtocolError
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    out = bytearray()
+    while len(out) < n:
+        piece = sock.recv(n - len(out))
+        if not piece:
+            raise ProtocolError("peer closed the connection mid-frame")
+        out.extend(piece)
+    return bytes(out)
+
+
+class TcpServer:
+    """Serves a :class:`ServiceRegistry` on a listening socket."""
+
+    def __init__(self, registry: ServiceRegistry, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._registry = registry
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self._running = False
+        self._threads: list[threading.Thread] = []
+        self._accept_thread: threading.Thread | None = None
+        self._connections: list[socket.socket] = []
+        self._conn_lock = threading.Lock()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._listener.getsockname()
+
+    def start(self) -> None:
+        """Start accepting connections on a background thread."""
+        self._running = True
+        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            if not self._running:
+                # A connect raced the shutdown: the kernel completed the
+                # handshake between the stop flag and the listener close.
+                # Drop it rather than serve a stopped server.
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                return
+            with self._conn_lock:
+                self._connections.append(conn)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            while True:
+                try:
+                    body = read_frame(lambda n: _recv_exact(conn, n))
+                except Exception:
+                    return  # disconnect or framing damage: drop the connection
+                response = self._registry.dispatch(Message.decode(body))
+                try:
+                    conn.sendall(frame(response.encode()))
+                except OSError:
+                    return
+
+    def stop(self) -> None:
+        """Stop accepting and drop every live connection."""
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._conn_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+class TcpConnection:
+    """A client connection; thread-safe (one in-flight call at a time)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._lock = threading.Lock()
+
+    def client(self) -> RpcClient:
+        def send(request: Message) -> Message:
+            with self._lock:
+                self._sock.sendall(frame(request.encode()))
+                body = read_frame(lambda n: _recv_exact(self._sock, n))
+            return Message.decode(body)
+
+        return RpcClient(send)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def connect(host: str, port: int, timeout: float = 30.0) -> RpcClient:
+    """Convenience: open a connection and return its RPC client."""
+    return TcpConnection(host, port, timeout).client()

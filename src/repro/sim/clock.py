@@ -1,0 +1,32 @@
+"""A manually advanced clock for deterministic time-dependent tests.
+
+Injected into the token-bucket rate limiter and the key manager so tests
+can verify rate-limit behaviour without real sleeping.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ConfigurationError
+
+
+class SimClock:
+    """Monotonic clock advanced explicitly by the test harness."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ConfigurationError("cannot advance a monotonic clock backward")
+        self._now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        """Sleep function for injection: just advances the clock."""
+        self.advance(max(0.0, seconds))

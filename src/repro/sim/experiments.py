@@ -1,0 +1,116 @@
+"""One-command reproduction report: ``python -m repro.sim.experiments``.
+
+Prints, for every figure of the paper's evaluation, the values the paper
+quotes next to this repository's regenerated numbers — the model-scale
+series for Figures 5–8 and the trace-replay aggregates for Figure 9 —
+and flags any point that drifted outside tolerance.  The same
+comparisons are enforced as tests; this module exists so a human can see
+the whole reproduction at a glance without running pytest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import figures
+from repro.sim.costmodel import PAPER_TESTBED
+from repro.util.units import GiB, KiB, MiB
+from repro.workloads.fsl import (
+    PAPER_PHYSICAL_GB,
+    PAPER_STUB_GB,
+    PAPER_TOTAL_SAVING,
+    FslhomesGenerator,
+    FslParameters,
+)
+from repro.workloads.replay import replay_dedup_accounting
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-quoted value vs the reproduced value."""
+
+    figure: str
+    what: str
+    paper: float
+    reproduced: float
+    tolerance: float  # relative
+
+    @property
+    def within(self) -> bool:
+        if self.paper == 0:
+            return abs(self.reproduced) <= self.tolerance
+        return abs(self.reproduced - self.paper) / abs(self.paper) <= self.tolerance
+
+
+def model_comparisons() -> list[Comparison]:
+    """Every paper-quoted point recomputed from the calibrated model."""
+    m = PAPER_TESTBED
+    out = [
+        Comparison("5a", "keygen @16KB (MB/s)", 17.64, m.keygen_rate(16 * KiB, 256) / MiB, 0.10),
+        Comparison("5b", "keygen plateau @8KB (MB/s)", 12.5, m.keygen_rate(8 * KiB, 4096) / MiB, 0.10),
+        Comparison("6", "basic encrypt @8KB (MB/s)", 203, m.encrypt_rate(8 * KiB, "basic") / MiB, 0.05),
+        Comparison("6", "enhanced encrypt @8KB (MB/s)", 155, m.encrypt_rate(8 * KiB, "enhanced") / MiB, 0.05),
+        Comparison("7a", "2nd upload basic @16KB (MB/s)", 108.1, m.upload_rate(16 * KiB, "basic", True) / MiB, 0.07),
+        Comparison("7b", "download basic @8KB (MB/s)", 108.0, m.download_rate(8 * KiB, "basic") / MiB, 0.10),
+        Comparison("7c", "aggregate 2nd upload @8 clients (MB/s)", 374.9, m.aggregate_upload_rate(8, 8 * KiB, "enhanced", True) / MiB, 0.05),
+        Comparison("8b", "lazy rekey @50% of 500 users (s)", 1.44, m.rekey_time(500, 0.5, 2 * GiB, False), 0.10),
+        Comparison("8b", "active rekey @50% of 500 users (s)", 2.0, m.rekey_time(500, 0.5, 2 * GiB, True), 0.10),
+        Comparison("8c", "lazy rekey 2GB/500/20% (s)", 2.25, m.rekey_time(500, 0.2, 2 * GiB, False), 0.08),
+        Comparison("8c", "active rekey @8GB (s)", 3.4, m.rekey_time(500, 0.2, 8 * GiB, True), 0.08),
+    ]
+    return out
+
+
+def trace_comparisons(scale: float = 1e-5) -> list[Comparison]:
+    """Experiment B.1 aggregates from a scaled trace replay."""
+    series = replay_dedup_accounting(FslhomesGenerator(FslParameters(scale=scale)).days())
+    final = series[-1]
+    return [
+        Comparison("9a", "total saving after 147 days", PAPER_TOTAL_SAVING, final.total_saving, 0.01),
+        Comparison(
+            "9b",
+            "physical:stub ratio",
+            PAPER_PHYSICAL_GB / PAPER_STUB_GB,
+            final.physical_bytes / final.stub_bytes,
+            0.35,
+        ),
+    ]
+
+
+def format_report(comparisons: list[Comparison]) -> str:
+    lines = [
+        f"{'fig':>4} {'quantity':<42} {'paper':>10} {'repro':>10} {'ok':>4}",
+        "-" * 74,
+    ]
+    for c in comparisons:
+        lines.append(
+            f"{c.figure:>4} {c.what:<42} {c.paper:>10.2f} "
+            f"{c.reproduced:>10.2f} {'yes' if c.within else 'NO':>4}"
+        )
+    bad = sum(1 for c in comparisons if not c.within)
+    lines.append("-" * 74)
+    lines.append(
+        f"{len(comparisons) - bad}/{len(comparisons)} quoted values within tolerance"
+    )
+    return "\n".join(lines)
+
+
+def main() -> int:
+    comparisons = model_comparisons() + trace_comparisons()
+    print("REED reproduction report — paper-quoted values vs this repository\n")
+    print(format_report(comparisons))
+    print("\nFigure shapes (model, paper scale):")
+    from repro.sim.plots import render_figure
+
+    for figure_id, series_list in figures.all_model_figures().items():
+        print()
+        print(render_figure(figure_id, series_list))
+    print("\nFull series tables:")
+    for figure_id, series_list in figures.all_model_figures().items():
+        print()
+        print(figures.format_series_table(series_list))
+    return 0 if all(c.within for c in comparisons) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

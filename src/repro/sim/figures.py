@@ -1,0 +1,269 @@
+"""Figure regeneration at paper scale.
+
+One function per figure of the evaluation section (Figs. 5–10), each
+returning :class:`Series` rows computed from the calibrated
+:class:`~repro.sim.costmodel.TestbedModel`.  The benchmark harnesses in
+``benchmarks/`` print these next to (a) the values the paper quotes in
+its text and (b) real measurements of this library at reduced scale.
+
+Experiment parameters mirror the paper exactly: 2 GB synthetic files,
+chunk sizes {2, 4, 8, 16} KB, batch sizes 1…4096, 1–8 clients, 100–500
+users, 5–50 % revocation ratios, 1–8 GB rekeyed files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.costmodel import PAPER_TESTBED, TestbedModel
+from repro.util.units import GiB, KiB, MiB
+
+#: The paper's experiment constants.
+CHUNK_SIZES = [2 * KiB, 4 * KiB, 8 * KiB, 16 * KiB]
+BATCH_SIZES = [1, 4, 16, 64, 256, 1024, 4096]
+CLIENT_COUNTS = [1, 2, 3, 4, 5, 6, 7, 8]
+USER_COUNTS = [100, 200, 300, 400, 500]
+REVOCATION_RATIOS = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50]
+FILE_SIZES = [1 * GiB, 2 * GiB, 4 * GiB, 8 * GiB]
+SYNTHETIC_FILE = 2 * GiB
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted line: (x, y) points plus axis metadata."""
+
+    figure: str
+    label: str
+    x_label: str
+    y_label: str
+    points: tuple[tuple[float, float], ...]
+
+    def y_at(self, x: float) -> float:
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"no point at x={x} in series {self.label!r}")
+
+
+#: Values the paper quotes in its prose, used for paper-vs-model tables.
+PAPER_QUOTED = {
+    "fig5a.keygen@16KB": 17.64,
+    "fig5b.plateau@8KB": 12.5,
+    "fig6.basic@8KB": 203.0,
+    "fig6.enhanced@8KB": 155.0,
+    "fig7a.second.basic@16KB": 108.1,
+    "fig7a.second.enhanced@16KB": 107.2,
+    "fig7b.basic@8KB+": 108.0,
+    "fig7b.enhanced@8KB+": 106.6,
+    "fig7c.second@8clients": 374.9,
+    "fig8b.lazy@50%": 1.44,
+    "fig8b.active@50%": 2.0,
+    "fig8c.lazy": 2.25,
+    "fig8c.active@8GB": 3.4,
+    "fig9.total_saving": 0.986,
+    "fig9.physical_gb": 431.89,
+    "fig9.stub_gb": 380.14,
+    "fig10.day1_upload": 13.1,
+    "fig10.steady_upload": 105.0,
+}
+
+
+def fig5a(model: TestbedModel = PAPER_TESTBED) -> list[Series]:
+    """Fig. 5(a): MLE key generation speed vs average chunk size."""
+    points = tuple(
+        (size / KiB, model.keygen_rate(size, 256) / MiB) for size in CHUNK_SIZES
+    )
+    return [
+        Series(
+            figure="5a",
+            label="keygen",
+            x_label="avg chunk size (KB)",
+            y_label="speed (MB/s)",
+            points=points,
+        )
+    ]
+
+
+def fig5b(model: TestbedModel = PAPER_TESTBED) -> list[Series]:
+    """Fig. 5(b): key generation speed vs batch size (8 KB chunks)."""
+    points = tuple(
+        (batch, model.keygen_rate(8 * KiB, batch) / MiB) for batch in BATCH_SIZES
+    )
+    return [
+        Series(
+            figure="5b",
+            label="keygen",
+            x_label="batch size",
+            y_label="speed (MB/s)",
+            points=points,
+        )
+    ]
+
+
+def fig6(model: TestbedModel = PAPER_TESTBED) -> list[Series]:
+    """Fig. 6: encryption speed vs chunk size, basic vs enhanced."""
+    return [
+        Series(
+            figure="6",
+            label=scheme,
+            x_label="avg chunk size (KB)",
+            y_label="speed (MB/s)",
+            points=tuple(
+                (size / KiB, model.encrypt_rate(size, scheme) / MiB)
+                for size in CHUNK_SIZES
+            ),
+        )
+        for scheme in ("basic", "enhanced")
+    ]
+
+
+def fig7a(model: TestbedModel = PAPER_TESTBED) -> list[Series]:
+    """Fig. 7(a): upload speed, first vs second upload, both schemes."""
+    out = []
+    for scheme in ("basic", "enhanced"):
+        for cached, tag in ((False, "1st"), (True, "2nd")):
+            out.append(
+                Series(
+                    figure="7a",
+                    label=f"{scheme} ({tag})",
+                    x_label="avg chunk size (KB)",
+                    y_label="upload speed (MB/s)",
+                    points=tuple(
+                        (
+                            size / KiB,
+                            model.upload_rate(size, scheme, keys_cached=cached) / MiB,
+                        )
+                        for size in CHUNK_SIZES
+                    ),
+                )
+            )
+    return out
+
+
+def fig7b(model: TestbedModel = PAPER_TESTBED) -> list[Series]:
+    """Fig. 7(b): download speed vs chunk size, both schemes."""
+    return [
+        Series(
+            figure="7b",
+            label=scheme,
+            x_label="avg chunk size (KB)",
+            y_label="download speed (MB/s)",
+            points=tuple(
+                (size / KiB, model.download_rate(size, scheme) / MiB)
+                for size in CHUNK_SIZES
+            ),
+        )
+        for scheme in ("basic", "enhanced")
+    ]
+
+
+def fig7c(model: TestbedModel = PAPER_TESTBED) -> list[Series]:
+    """Fig. 7(c): aggregate upload speed vs number of clients (8 KB,
+    enhanced scheme, first and second uploads)."""
+    out = []
+    for cached, tag in ((False, "Upload (1st)"), (True, "Upload (2nd)")):
+        out.append(
+            Series(
+                figure="7c",
+                label=tag,
+                x_label="number of clients",
+                y_label="aggregate upload speed (MB/s)",
+                points=tuple(
+                    (
+                        clients,
+                        model.aggregate_upload_rate(
+                            clients, 8 * KiB, "enhanced", keys_cached=cached
+                        )
+                        / MiB,
+                    )
+                    for clients in CLIENT_COUNTS
+                ),
+            )
+        )
+    return out
+
+
+def fig8a(model: TestbedModel = PAPER_TESTBED) -> list[Series]:
+    """Fig. 8(a): rekey delay vs total users (2 GB file, 20 % revoked)."""
+    return [
+        Series(
+            figure="8a",
+            label=mode,
+            x_label="total number of users",
+            y_label="time delay (s)",
+            points=tuple(
+                (
+                    users,
+                    model.rekey_time(users, 0.20, 2 * GiB, active=(mode == "active")),
+                )
+                for users in USER_COUNTS
+            ),
+        )
+        for mode in ("lazy", "active")
+    ]
+
+
+def fig8b(model: TestbedModel = PAPER_TESTBED) -> list[Series]:
+    """Fig. 8(b): rekey delay vs revocation ratio (2 GB, 500 users)."""
+    return [
+        Series(
+            figure="8b",
+            label=mode,
+            x_label="revocation ratio (%)",
+            y_label="time delay (s)",
+            points=tuple(
+                (
+                    ratio * 100,
+                    model.rekey_time(500, ratio, 2 * GiB, active=(mode == "active")),
+                )
+                for ratio in REVOCATION_RATIOS
+            ),
+        )
+        for mode in ("lazy", "active")
+    ]
+
+
+def fig8c(model: TestbedModel = PAPER_TESTBED) -> list[Series]:
+    """Fig. 8(c): rekey delay vs rekeyed file size (500 users, 20 %)."""
+    return [
+        Series(
+            figure="8c",
+            label=mode,
+            x_label="file size (GB)",
+            y_label="time delay (s)",
+            points=tuple(
+                (
+                    size / GiB,
+                    model.rekey_time(500, 0.20, size, active=(mode == "active")),
+                )
+                for size in FILE_SIZES
+            ),
+        )
+        for mode in ("lazy", "active")
+    ]
+
+
+def all_model_figures(model: TestbedModel = PAPER_TESTBED) -> dict[str, list[Series]]:
+    """Every model-derived figure, keyed by figure id."""
+    return {
+        "5a": fig5a(model),
+        "5b": fig5b(model),
+        "6": fig6(model),
+        "7a": fig7a(model),
+        "7b": fig7b(model),
+        "7c": fig7c(model),
+        "8a": fig8a(model),
+        "8b": fig8b(model),
+        "8c": fig8c(model),
+    }
+
+
+def format_series_table(series_list: list[Series]) -> str:
+    """Render series as an aligned text table (benchmark harness output)."""
+    lines = []
+    for series in series_list:
+        lines.append(f"Figure {series.figure} — {series.label}")
+        lines.append(f"  {series.x_label:>24s} | {series.y_label}")
+        for x, y in series.points:
+            lines.append(f"  {x:>24.6g} | {y:.2f}")
+    return "\n".join(lines)

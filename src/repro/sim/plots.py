@@ -1,0 +1,84 @@
+"""ASCII rendering of figure series.
+
+The figure harnesses produce :class:`~repro.sim.figures.Series` point
+lists; this module renders them as terminal charts so the reproduction
+report and the benchmark output show the *shape* of each figure — the
+monotone rises, plateaus, and crossovers the paper's plots convey —
+without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from repro.sim.figures import Series
+from repro.util.errors import ConfigurationError
+
+#: Glyphs assigned to series in order.
+_MARKS = "*o+x#@%&"
+
+
+def render_chart(
+    series_list: list[Series],
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Render one or more series sharing axes into an ASCII chart.
+
+    X positions are spread by rank (the paper's figures use categorical
+    x axes — chunk sizes, client counts — often log-spaced), Y is scaled
+    linearly from zero to the maximum.
+    """
+    if not series_list:
+        raise ConfigurationError("nothing to plot")
+    if width < 10 or height < 4:
+        raise ConfigurationError("chart too small to be legible")
+    xs = sorted({x for series in series_list for x, _ in series.points})
+    if not xs:
+        raise ConfigurationError("series contain no points")
+    y_max = max(y for series in series_list for _, y in series.points)
+    if y_max <= 0:
+        y_max = 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    x_position = {
+        x: (
+            0
+            if len(xs) == 1
+            else round(index * (width - 1) / (len(xs) - 1))
+        )
+        for index, x in enumerate(xs)
+    }
+    for series_index, series in enumerate(series_list):
+        mark = _MARKS[series_index % len(_MARKS)]
+        for x, y in series.points:
+            column = x_position[x]
+            row = height - 1 - round(y / y_max * (height - 1))
+            grid[row][column] = mark
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:>10.4g} |"
+        elif row_index == height - 1:
+            label = f"{0:>10.4g} |"
+        else:
+            label = " " * 10 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * (width - 1))
+    x_labels = " " * 12 + f"{xs[0]:g}"
+    tail = f"{xs[-1]:g}"
+    pad = 12 + width - len(x_labels) - len(tail)
+    lines.append(x_labels + " " * max(1, pad) + tail)
+    first = series_list[0]
+    lines.append(" " * 12 + f"x: {first.x_label}   y: {first.y_label}")
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {series.label}"
+        for i, series in enumerate(series_list)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def render_figure(figure_id: str, series_list: list[Series]) -> str:
+    """A titled chart for one paper figure."""
+    header = f"Figure {figure_id}"
+    return header + "\n" + "=" * len(header) + "\n" + render_chart(series_list)

@@ -1,0 +1,161 @@
+"""Blob storage backends.
+
+The REED server persists containers, recipes, stub files, and key states
+in a *storage backend* — S3 in the paper's deployment sketch, a local
+disk in its evaluation (Section VI).  This module defines the minimal
+key→blob interface and two implementations: an in-memory backend for
+tests/experiments and a directory-backed backend for durability.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+
+from repro.util.errors import ConfigurationError, NotFoundError, StorageError
+
+
+class BlobBackend(ABC):
+    """A flat namespace of named immutable blobs."""
+
+    @abstractmethod
+    def put(self, name: str, data: bytes) -> None:
+        """Store a blob (overwrites an existing blob of the same name)."""
+
+    @abstractmethod
+    def get(self, name: str) -> bytes:
+        """Fetch a blob; raises :class:`NotFoundError` if absent."""
+
+    @abstractmethod
+    def delete(self, name: str) -> None:
+        """Remove a blob; raises :class:`NotFoundError` if absent."""
+
+    @abstractmethod
+    def exists(self, name: str) -> bool: ...
+
+    @abstractmethod
+    def list(self, prefix: str = "") -> Iterator[str]:
+        """Iterate blob names with the given prefix (sorted)."""
+
+    @abstractmethod
+    def size(self, name: str) -> int:
+        """Size in bytes of a stored blob."""
+
+    def total_bytes(self, prefix: str = "") -> int:
+        """Total stored bytes under a prefix (used by the storage bench)."""
+        return sum(self.size(name) for name in self.list(prefix))
+
+
+class MemoryBackend(BlobBackend):
+    """Dictionary-backed blob store (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+
+    def put(self, name: str, data: bytes) -> None:
+        with self._lock:
+            self._blobs[name] = bytes(data)
+
+    def get(self, name: str) -> bytes:
+        with self._lock:
+            try:
+                return self._blobs[name]
+            except KeyError:
+                raise NotFoundError(f"no blob named {name!r}") from None
+
+    def delete(self, name: str) -> None:
+        with self._lock:
+            if name not in self._blobs:
+                raise NotFoundError(f"no blob named {name!r}")
+            del self._blobs[name]
+
+    def exists(self, name: str) -> bool:
+        with self._lock:
+            return name in self._blobs
+
+    def list(self, prefix: str = "") -> Iterator[str]:
+        with self._lock:
+            names = sorted(n for n in self._blobs if n.startswith(prefix))
+        return iter(names)
+
+    def size(self, name: str) -> int:
+        with self._lock:
+            try:
+                return len(self._blobs[name])
+            except KeyError:
+                raise NotFoundError(f"no blob named {name!r}") from None
+
+
+class DirectoryBackend(BlobBackend):
+    """Filesystem-backed blob store; blob names map to files.
+
+    Blob names may contain ``/`` which become subdirectories.  Writes go
+    through a temporary file + rename so a crash never leaves a partial
+    blob visible.
+    """
+
+    def __init__(self, root: str) -> None:
+        self._root = os.path.abspath(root)
+        os.makedirs(self._root, exist_ok=True)
+        self._lock = threading.Lock()
+
+    def _path(self, name: str) -> str:
+        if not name or name.startswith("/") or ".." in name.split("/"):
+            raise ConfigurationError(f"invalid blob name {name!r}")
+        return os.path.join(self._root, name)
+
+    def put(self, name: str, data: bytes) -> None:
+        path = self._path(name)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + ".tmp"
+        with self._lock:
+            try:
+                with open(tmp, "wb") as handle:
+                    handle.write(data)
+                os.replace(tmp, path)
+            except OSError as exc:
+                raise StorageError(f"failed to store blob {name!r}: {exc}") from exc
+
+    def get(self, name: str) -> bytes:
+        path = self._path(name)
+        try:
+            with open(path, "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            raise NotFoundError(f"no blob named {name!r}") from None
+        except OSError as exc:
+            raise StorageError(f"failed to read blob {name!r}: {exc}") from exc
+
+    def delete(self, name: str) -> None:
+        path = self._path(name)
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            raise NotFoundError(f"no blob named {name!r}") from None
+        except OSError as exc:
+            raise StorageError(f"failed to delete blob {name!r}: {exc}") from exc
+
+    def exists(self, name: str) -> bool:
+        return os.path.isfile(self._path(name))
+
+    def list(self, prefix: str = "") -> Iterator[str]:
+        names = []
+        for dirpath, _dirnames, filenames in os.walk(self._root):
+            for filename in filenames:
+                if filename.endswith(".tmp"):
+                    continue
+                full = os.path.join(dirpath, filename)
+                name = os.path.relpath(full, self._root).replace(os.sep, "/")
+                if name.startswith(prefix):
+                    names.append(name)
+        return iter(sorted(names))
+
+    def size(self, name: str) -> int:
+        path = self._path(name)
+        try:
+            return os.path.getsize(path)
+        except FileNotFoundError:
+            raise NotFoundError(f"no blob named {name!r}") from None

@@ -1,0 +1,132 @@
+"""Container batching for unique chunks.
+
+Writing each trimmed package as its own object would swamp the backend
+with small I/O; the REED server therefore batches unique chunks into
+4 MB container units before storing them (Section V-B, "Batching").
+Reads fetch a whole container and slice the requested chunk, with a small
+LRU container cache — this is also where the download-fragmentation
+effect in Experiment B.2 comes from: chunks of one file end up scattered
+across many containers written by earlier backups.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.storage.backend import BlobBackend
+from repro.storage.index import ChunkLocation
+from repro.util.errors import ConfigurationError, NotFoundError
+from repro.util.lru import LRUCache
+from repro.util.units import MiB
+
+#: Container capacity (paper Section V-B).
+DEFAULT_CONTAINER_BYTES = 4 * MiB
+
+#: Containers cached on the read path.
+DEFAULT_READ_CACHE_CONTAINERS = 16
+
+_PREFIX = "container/"
+
+
+class ContainerStore:
+    """Append-oriented chunk storage batched into fixed-size containers.
+
+    ``append`` buffers chunk bytes in the open container and returns the
+    location the chunk *will* occupy; ``flush`` seals the open container
+    into the backend.  Locations are valid immediately — reads check the
+    open container before the backend — so callers never wait for a
+    flush to use a location.
+    """
+
+    def __init__(
+        self,
+        backend: BlobBackend,
+        container_bytes: int = DEFAULT_CONTAINER_BYTES,
+        read_cache_containers: int = DEFAULT_READ_CACHE_CONTAINERS,
+    ) -> None:
+        if container_bytes <= 0:
+            raise ConfigurationError("container size must be positive")
+        self._backend = backend
+        self._capacity = container_bytes
+        self._lock = threading.Lock()
+        self._open_id = self._next_container_id()
+        self._open_buffer = bytearray()
+        self._read_cache: LRUCache[int, bytes] = LRUCache(read_cache_containers)
+        #: Number of sealed containers written (for stats/experiments).
+        self.sealed_containers = 0
+        #: Container fetches that missed the read cache.
+        self.container_fetches = 0
+
+    def _next_container_id(self) -> int:
+        """Resume numbering after existing containers (restart support)."""
+        highest = -1
+        for name in self._backend.list(_PREFIX):
+            try:
+                highest = max(highest, int(name[len(_PREFIX):]))
+            except ValueError:
+                continue
+        return highest + 1
+
+    @staticmethod
+    def _name(container_id: int) -> str:
+        return f"{_PREFIX}{container_id:012d}"
+
+    def append(self, data: bytes) -> ChunkLocation:
+        """Buffer a chunk, sealing the open container when it fills."""
+        if not data:
+            raise ConfigurationError("cannot store an empty chunk")
+        with self._lock:
+            if self._open_buffer and len(self._open_buffer) + len(data) > self._capacity:
+                self._seal_locked()
+            location = ChunkLocation(
+                container_id=self._open_id,
+                offset=len(self._open_buffer),
+                length=len(data),
+            )
+            self._open_buffer.extend(data)
+            if len(self._open_buffer) >= self._capacity:
+                self._seal_locked()
+            return location
+
+    def _seal_locked(self) -> None:
+        if not self._open_buffer:
+            return
+        self._backend.put(self._name(self._open_id), bytes(self._open_buffer))
+        self.sealed_containers += 1
+        self._open_id += 1
+        self._open_buffer = bytearray()
+
+    def flush(self) -> None:
+        """Seal the open container (called at the end of an upload batch)."""
+        with self._lock:
+            self._seal_locked()
+
+    def read(self, location: ChunkLocation) -> bytes:
+        """Fetch a chunk's bytes from its container."""
+        with self._lock:
+            if location.container_id == self._open_id:
+                # Still buffered; serve from memory.
+                end = location.offset + location.length
+                if end > len(self._open_buffer):
+                    raise NotFoundError("location beyond the open container")
+                return bytes(self._open_buffer[location.offset : end])
+        container = self._read_cache.get(location.container_id)
+        if container is None:
+            container = self._backend.get(self._name(location.container_id))
+            self.container_fetches += 1
+            self._read_cache.put(location.container_id, container)
+        end = location.offset + location.length
+        if end > len(container):
+            raise NotFoundError("location beyond its container's size")
+        return container[location.offset : end]
+
+    def delete_container(self, container_id: int) -> None:
+        """Drop a sealed container (garbage collection)."""
+        self._read_cache.pop(container_id)
+        self._backend.delete(self._name(container_id))
+
+    def stored_bytes(self) -> int:
+        """Bytes in sealed containers plus the open buffer."""
+        with self._lock:
+            buffered = len(self._open_buffer)
+        return self._backend.total_bytes(_PREFIX) + buffered

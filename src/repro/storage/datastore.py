@@ -1,0 +1,167 @@
+"""The data store: deduplicated chunk storage plus file data.
+
+One REED data-store server manages (Section V-A):
+
+* unique **trimmed packages**, deduplicated via the fingerprint index and
+  batched into 4 MB containers;
+* **file recipes**;
+* encrypted **stub files**; and
+* the associated accounting (logical vs physical vs stub bytes) that
+  Experiment B.1 reports.
+
+Stub files are *not* deduplicated: they are encrypted under renewable
+file keys, so identical chunks in different files still have distinct
+encrypted stubs (the storage-overhead experiment measures exactly this).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.storage.backend import BlobBackend, MemoryBackend
+from repro.storage.container import DEFAULT_CONTAINER_BYTES, ContainerStore
+from repro.storage.index import FingerprintIndex
+from repro.util.errors import NotFoundError
+
+_RECIPE_PREFIX = "recipe/"
+_STUB_PREFIX = "stub/"
+
+
+@dataclass
+class DataStoreStats:
+    """Byte accounting in the terms of Experiment B.1."""
+
+    #: Bytes of trimmed packages received, before deduplication.
+    logical_bytes: int = 0
+    #: Bytes of unique trimmed packages actually stored.
+    physical_bytes: int = 0
+    #: Bytes of encrypted stub files stored.
+    stub_bytes: int = 0
+    #: Chunks received / unique chunks stored.
+    chunks_received: int = 0
+    chunks_stored: int = 0
+
+    @property
+    def dedup_saving(self) -> float:
+        """Fraction of logical data eliminated by deduplication."""
+        if self.logical_bytes == 0:
+            return 0.0
+        return 1.0 - self.physical_bytes / self.logical_bytes
+
+    @property
+    def total_saving(self) -> float:
+        """Saving counting stub overhead against the logical data."""
+        if self.logical_bytes == 0:
+            return 0.0
+        return 1.0 - (self.physical_bytes + self.stub_bytes) / self.logical_bytes
+
+
+class DataStore:
+    """A single data-store server's storage engine."""
+
+    def __init__(
+        self,
+        backend: BlobBackend | None = None,
+        container_bytes: int = DEFAULT_CONTAINER_BYTES,
+    ) -> None:
+        self.backend = backend if backend is not None else MemoryBackend()
+        self.index = FingerprintIndex()
+        self.containers = ContainerStore(self.backend, container_bytes)
+        self.stats = DataStoreStats()
+        self._container_live: dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    # -- chunks --------------------------------------------------------------
+
+    def has_chunk(self, fingerprint: bytes) -> bool:
+        return self.index.contains(fingerprint)
+
+    def put_chunk(self, fingerprint: bytes, data: bytes) -> bool:
+        """Store a trimmed package, deduplicating by fingerprint.
+
+        Returns True when the chunk was new (bytes were stored) and False
+        on a dedup hit (only a reference was added).
+        """
+        with self._lock:
+            self.stats.logical_bytes += len(data)
+            self.stats.chunks_received += 1
+            if self.index.contains(fingerprint):
+                self.index.addref(fingerprint)
+                return False
+            location = self.containers.append(data)
+            self.index.add(fingerprint, location)
+            self.stats.physical_bytes += len(data)
+            self.stats.chunks_stored += 1
+            self._container_live[location.container_id] = (
+                self._container_live.get(location.container_id, 0) + 1
+            )
+            return True
+
+    def get_chunk(self, fingerprint: bytes) -> bytes:
+        return self.containers.read(self.index.lookup(fingerprint))
+
+    def release_chunk(self, fingerprint: bytes) -> None:
+        """Drop one reference; reclaims container space when possible.
+
+        A container whose chunks are all garbage is deleted outright —
+        the simple grouped-reclamation GC the container layout affords.
+        """
+        with self._lock:
+            location = self.index.lookup(fingerprint)
+            if not self.index.release(fingerprint):
+                return
+            self.stats.physical_bytes -= location.length
+            self.stats.chunks_stored -= 1
+            cid = location.container_id
+            live = self._container_live.get(cid, 0) - 1
+            if live > 0:
+                self._container_live[cid] = live
+                return
+            self._container_live.pop(cid, None)
+            if self.backend.exists(f"container/{cid:012d}"):
+                self.containers.delete_container(cid)
+
+    def flush(self) -> None:
+        self.containers.flush()
+
+    # -- recipes ---------------------------------------------------------------
+
+    def put_recipe(self, file_id: str, data: bytes) -> None:
+        self.backend.put(_RECIPE_PREFIX + file_id, data)
+
+    def get_recipe(self, file_id: str) -> bytes:
+        return self.backend.get(_RECIPE_PREFIX + file_id)
+
+    def delete_recipe(self, file_id: str) -> None:
+        self.backend.delete(_RECIPE_PREFIX + file_id)
+
+    def has_recipe(self, file_id: str) -> bool:
+        return self.backend.exists(_RECIPE_PREFIX + file_id)
+
+    def list_recipes(self) -> list[str]:
+        return [
+            name[len(_RECIPE_PREFIX):] for name in self.backend.list(_RECIPE_PREFIX)
+        ]
+
+    # -- stub files --------------------------------------------------------------
+
+    def put_stub_file(self, file_id: str, data: bytes) -> None:
+        """Store (or replace, on rekey) a file's encrypted stub file."""
+        name = _STUB_PREFIX + file_id
+        with self._lock:
+            if self.backend.exists(name):
+                self.stats.stub_bytes -= self.backend.size(name)
+            self.backend.put(name, data)
+            self.stats.stub_bytes += len(data)
+
+    def get_stub_file(self, file_id: str) -> bytes:
+        return self.backend.get(_STUB_PREFIX + file_id)
+
+    def delete_stub_file(self, file_id: str) -> None:
+        name = _STUB_PREFIX + file_id
+        with self._lock:
+            if not self.backend.exists(name):
+                raise NotFoundError(f"no stub file for {file_id!r}")
+            self.stats.stub_bytes -= self.backend.size(name)
+            self.backend.delete(name)

@@ -1,0 +1,125 @@
+"""The fingerprint index.
+
+The REED server keeps a fingerprint index tracking every trimmed package
+uploaded to the cloud (Section III-A): a given fingerprint maps to the
+container holding its bytes, plus a reference count so space can be
+reclaimed when the last file referencing a chunk is deleted.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.util.codec import Decoder, Encoder
+from repro.util.errors import NotFoundError, StorageError
+
+
+@dataclass(frozen=True)
+class ChunkLocation:
+    """Where a chunk's bytes live: a container and a slice within it."""
+
+    container_id: int
+    offset: int
+    length: int
+
+
+@dataclass
+class _IndexEntry:
+    location: ChunkLocation
+    refcount: int
+
+
+class FingerprintIndex:
+    """Thread-safe fingerprint → (location, refcount) map.
+
+    ``lookup``/``contains`` are the dedup test on the upload path;
+    ``add``/``addref``/``release`` maintain reference counts as file
+    recipes are stored and deleted.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[bytes, _IndexEntry] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def contains(self, fingerprint: bytes) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    def lookup(self, fingerprint: bytes) -> ChunkLocation:
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                raise NotFoundError(f"fingerprint {fingerprint.hex()} not indexed")
+            return entry.location
+
+    def refcount(self, fingerprint: bytes) -> int:
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            return entry.refcount if entry else 0
+
+    def add(self, fingerprint: bytes, location: ChunkLocation) -> None:
+        """Register a newly stored chunk with refcount 1."""
+        with self._lock:
+            if fingerprint in self._entries:
+                raise StorageError(
+                    f"fingerprint {fingerprint.hex()} already indexed"
+                )
+            self._entries[fingerprint] = _IndexEntry(location=location, refcount=1)
+
+    def addref(self, fingerprint: bytes) -> None:
+        """Count one more reference to an existing chunk (dedup hit)."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                raise NotFoundError(f"fingerprint {fingerprint.hex()} not indexed")
+            entry.refcount += 1
+
+    def release(self, fingerprint: bytes) -> bool:
+        """Drop one reference; returns True when the chunk became garbage."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                raise NotFoundError(f"fingerprint {fingerprint.hex()} not indexed")
+            entry.refcount -= 1
+            if entry.refcount > 0:
+                return False
+            del self._entries[fingerprint]
+            return True
+
+    def fingerprints(self) -> list[bytes]:
+        with self._lock:
+            return list(self._entries)
+
+    # -- persistence -------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Serialize the index (stored alongside containers for restart)."""
+        with self._lock:
+            enc = Encoder().uint(len(self._entries))
+            for fingerprint, entry in self._entries.items():
+                enc.blob(fingerprint)
+                enc.uint(entry.location.container_id)
+                enc.uint(entry.location.offset)
+                enc.uint(entry.location.length)
+                enc.uint(entry.refcount)
+            return enc.done()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "FingerprintIndex":
+        dec = Decoder(data)
+        index = cls()
+        for _ in range(dec.uint()):
+            fingerprint = dec.blob()
+            location = ChunkLocation(
+                container_id=dec.uint(), offset=dec.uint(), length=dec.uint()
+            )
+            refcount = dec.uint()
+            index._entries[fingerprint] = _IndexEntry(
+                location=location, refcount=refcount
+            )
+        dec.expect_end()
+        return index

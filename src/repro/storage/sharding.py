@@ -1,0 +1,100 @@
+"""Sharding across multiple data-store servers.
+
+The paper's testbed runs four data-store servers plus one key-store
+server; a client spreads its data across all data servers so each
+processes a smaller share (Section V-B, "Parallelization").  This module
+routes chunk operations by fingerprint (so a chunk deterministically
+lives on one shard and global deduplication is preserved) and
+recipes/stub files by file identifier.
+"""
+
+from __future__ import annotations
+
+from repro.storage.datastore import DataStore, DataStoreStats
+from repro.util.errors import ConfigurationError
+
+
+class ShardedDataStore:
+    """Fans a DataStore-shaped API out over several shards.
+
+    Placement is ``int(fingerprint) mod shards`` — deterministic, so two
+    clients uploading the same chunk hit the same shard and deduplicate
+    against each other exactly as with a single server.
+    """
+
+    def __init__(self, shards: list[DataStore]) -> None:
+        if not shards:
+            raise ConfigurationError("need at least one data-store shard")
+        self._shards = shards
+
+    @property
+    def shards(self) -> list[DataStore]:
+        return list(self._shards)
+
+    def shard_for_chunk(self, fingerprint: bytes) -> DataStore:
+        return self._shards[int.from_bytes(fingerprint[:8], "big") % len(self._shards)]
+
+    def shard_for_file(self, file_id: str) -> DataStore:
+        digest = sum(file_id.encode("utf-8"))
+        return self._shards[digest % len(self._shards)]
+
+    # -- chunk API -------------------------------------------------------------
+
+    def has_chunk(self, fingerprint: bytes) -> bool:
+        return self.shard_for_chunk(fingerprint).has_chunk(fingerprint)
+
+    def put_chunk(self, fingerprint: bytes, data: bytes) -> bool:
+        return self.shard_for_chunk(fingerprint).put_chunk(fingerprint, data)
+
+    def get_chunk(self, fingerprint: bytes) -> bytes:
+        return self.shard_for_chunk(fingerprint).get_chunk(fingerprint)
+
+    def release_chunk(self, fingerprint: bytes) -> None:
+        self.shard_for_chunk(fingerprint).release_chunk(fingerprint)
+
+    def flush(self) -> None:
+        for shard in self._shards:
+            shard.flush()
+
+    # -- recipes and stub files ---------------------------------------------------
+
+    def put_recipe(self, file_id: str, data: bytes) -> None:
+        self.shard_for_file(file_id).put_recipe(file_id, data)
+
+    def get_recipe(self, file_id: str) -> bytes:
+        return self.shard_for_file(file_id).get_recipe(file_id)
+
+    def delete_recipe(self, file_id: str) -> None:
+        self.shard_for_file(file_id).delete_recipe(file_id)
+
+    def has_recipe(self, file_id: str) -> bool:
+        return self.shard_for_file(file_id).has_recipe(file_id)
+
+    def list_recipes(self) -> list[str]:
+        names: list[str] = []
+        for shard in self._shards:
+            names.extend(shard.list_recipes())
+        return sorted(names)
+
+    def put_stub_file(self, file_id: str, data: bytes) -> None:
+        self.shard_for_file(file_id).put_stub_file(file_id, data)
+
+    def get_stub_file(self, file_id: str) -> bytes:
+        return self.shard_for_file(file_id).get_stub_file(file_id)
+
+    def delete_stub_file(self, file_id: str) -> None:
+        self.shard_for_file(file_id).delete_stub_file(file_id)
+
+    # -- accounting -------------------------------------------------------------
+
+    @property
+    def stats(self) -> DataStoreStats:
+        """Aggregate byte accounting across all shards."""
+        total = DataStoreStats()
+        for shard in self._shards:
+            total.logical_bytes += shard.stats.logical_bytes
+            total.physical_bytes += shard.stats.physical_bytes
+            total.stub_bytes += shard.stats.stub_bytes
+            total.chunks_received += shard.stats.chunks_received
+            total.chunks_stored += shard.stats.chunks_stored
+        return total

@@ -1,0 +1,80 @@
+"""Token-bucket rate limiter.
+
+The DupLESS-style key manager rate-limits per-client key-generation
+requests to slow online brute-force attacks (Section II-A / III-B).  A
+token bucket allows short bursts (a full batch of 256 per-chunk requests)
+while bounding the sustained request rate.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.util.errors import ConfigurationError
+
+
+class TokenBucket:
+    """Classic token bucket with injectable clock for deterministic tests.
+
+    ``rate`` tokens accrue per second up to ``burst`` tokens.  ``try_take``
+    is non-blocking; callers that want back-pressure can use
+    ``seconds_until(n)`` to sleep for exactly the needed interval.
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ConfigurationError("rate and burst must be positive")
+        self._rate = float(rate)
+        self._burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    @property
+    def burst(self) -> float:
+        return self._burst
+
+    def _refill_locked(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(self._burst, self._tokens + elapsed * self._rate)
+
+    def available(self) -> float:
+        with self._lock:
+            self._refill_locked()
+            return self._tokens
+
+    def try_take(self, amount: float = 1.0) -> bool:
+        """Take ``amount`` tokens if available; return whether it succeeded."""
+        if amount <= 0:
+            raise ConfigurationError("token amount must be positive")
+        with self._lock:
+            self._refill_locked()
+            if self._tokens >= amount:
+                self._tokens -= amount
+                return True
+            return False
+
+    def seconds_until(self, amount: float = 1.0) -> float:
+        """Seconds until ``amount`` tokens will be available (0 if now).
+
+        Amounts above the burst size can never be satisfied; callers must
+        split such requests (the key manager splits oversized batches).
+        """
+        if amount > self._burst:
+            raise ConfigurationError(
+                f"requested {amount} tokens exceeds burst capacity {self._burst}"
+            )
+        with self._lock:
+            self._refill_locked()
+            deficit = amount - self._tokens
+            if deficit <= 0:
+                return 0.0
+            return deficit / self._rate

@@ -1,0 +1,31 @@
+"""Byte-size constants and human-readable formatting.
+
+The paper quotes sizes in KB/MB/GB/TB (binary units) and speeds in MB/s;
+these helpers keep the experiment harnesses readable.
+"""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+_SUFFIXES = ["B", "KB", "MB", "GB", "TB", "PB"]
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with binary units, e.g. ``format_bytes(8192) == '8.0KB'``."""
+    value = float(n)
+    for suffix in _SUFFIXES:
+        if abs(value) < 1024.0 or suffix == _SUFFIXES[-1]:
+            if suffix == "B":
+                return f"{int(value)}B"
+            return f"{value:.1f}{suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Render a throughput in MB/s, the unit the paper's figures use."""
+    return f"{bytes_per_second / MiB:.1f}MB/s"

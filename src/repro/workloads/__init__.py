@@ -1,0 +1,35 @@
+"""Workload generators: synthetic data and FSL-style backup traces."""
+
+from repro.workloads.fsl import (
+    FINGERPRINT_SIZE,
+    FslhomesGenerator,
+    FslParameters,
+    Snapshot,
+    TraceChunk,
+    chunk_bytes_from_fingerprint,
+    read_trace,
+    write_trace,
+)
+from repro.workloads.replay import (
+    DayAccounting,
+    format_accounting_table,
+    replay_dedup_accounting,
+)
+from repro.workloads.synthetic import duplicated_data, mutate, unique_data
+
+__all__ = [
+    "DayAccounting",
+    "FINGERPRINT_SIZE",
+    "FslParameters",
+    "FslhomesGenerator",
+    "Snapshot",
+    "TraceChunk",
+    "chunk_bytes_from_fingerprint",
+    "duplicated_data",
+    "format_accounting_table",
+    "mutate",
+    "read_trace",
+    "replay_dedup_accounting",
+    "unique_data",
+    "write_trace",
+]

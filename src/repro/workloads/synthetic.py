@@ -1,0 +1,73 @@
+"""Synthetic workloads (Experiments A.1–A.4).
+
+The paper's synthetic experiments use a 2 GB file of *globally unique*
+chunks (no duplicate content) held in memory.  This module generates
+such data deterministically (numpy PRNG — fast enough to build hundreds
+of MB in milliseconds), plus helpers for controlled-duplication streams
+and day-over-day mutation used in ablation benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+
+def unique_data(size: int, seed: int = 0) -> bytes:
+    """``size`` bytes of deterministic pseudo-random (dedup-free) data."""
+    if size < 0:
+        raise ConfigurationError("size must be non-negative")
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+
+
+def duplicated_data(size: int, duplicate_fraction: float, seed: int = 0, unit: int = 8192) -> bytes:
+    """Data where ``duplicate_fraction`` of ``unit``-sized blocks repeat.
+
+    Duplicate blocks are copies of a single hot block, giving an exactly
+    controllable dedup ratio for fixed-size chunking at ``unit``.
+    """
+    if not 0.0 <= duplicate_fraction <= 1.0:
+        raise ConfigurationError("duplicate_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    hot = rng.integers(0, 256, size=unit, dtype=np.uint8).tobytes()
+    blocks = []
+    produced = 0
+    index = 0
+    while produced < size:
+        take = min(unit, size - produced)
+        # Deterministic interleaving that hits the requested fraction.
+        if (index * duplicate_fraction) % 1.0 + duplicate_fraction >= 1.0:
+            blocks.append(hot[:take])
+        else:
+            blocks.append(
+                rng.integers(0, 256, size=take, dtype=np.uint8).tobytes()
+            )
+        produced += take
+        index += 1
+    return b"".join(blocks)
+
+
+def mutate(data: bytes, fraction: float, seed: int = 0, unit: int = 8192) -> bytes:
+    """Rewrite ``fraction`` of ``unit``-sized blocks with fresh bytes.
+
+    Models the day-over-day churn of backup snapshots: most blocks are
+    untouched (and will deduplicate against the previous snapshot), a few
+    are rewritten.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError("fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    out = bytearray(data)
+    block_count = (len(data) + unit - 1) // unit
+    rewrites = int(block_count * fraction)
+    if rewrites == 0:
+        return bytes(out)
+    for block in rng.choice(block_count, size=rewrites, replace=False):
+        start = int(block) * unit
+        end = min(start + unit, len(data))
+        out[start:end] = rng.integers(
+            0, 256, size=end - start, dtype=np.uint8
+        ).tobytes()
+    return bytes(out)

@@ -1,0 +1,180 @@
+"""Tests for the CP-ABE-style policy encryption."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.abe import access_tree as at
+from repro.abe.cpabe import (
+    AbeCiphertext,
+    AttributeAuthority,
+    abe_decrypt,
+    abe_encrypt,
+)
+from repro.crypto.drbg import HmacDrbg
+from repro.util.errors import (
+    AccessDeniedError,
+    ConfigurationError,
+    CorruptionError,
+    IntegrityError,
+)
+
+
+@pytest.fixture()
+def authority():
+    return AttributeAuthority(master_secret=b"\x11" * 32)
+
+
+def encrypt(authority, policy_text, plaintext, seed=b"abe"):
+    tree = at.parse_policy(policy_text)
+    return abe_encrypt(
+        authority.wrap_keys_for(tree), tree, plaintext, rng=HmacDrbg(seed)
+    )
+
+
+class TestAuthority:
+    def test_attribute_keys_deterministic(self, authority):
+        assert authority.attribute_key("a") == authority.attribute_key("a")
+        assert authority.attribute_key("a") != authority.attribute_key("b")
+
+    def test_different_masters_different_keys(self):
+        a = AttributeAuthority(master_secret=b"\x01" * 32)
+        b = AttributeAuthority(master_secret=b"\x02" * 32)
+        assert a.attribute_key("x") != b.attribute_key("x")
+
+    def test_issue_default_identifier_attribute(self, authority):
+        key = authority.issue_private_key("alice")
+        assert key.attributes == {"alice"}
+
+    def test_issue_custom_attributes(self, authority):
+        key = authority.issue_private_key("alice", {"alice", "dept:g"})
+        assert key.attributes == {"alice", "dept:g"}
+
+    def test_bad_master_size(self):
+        with pytest.raises(ConfigurationError):
+            AttributeAuthority(master_secret=b"short")
+
+
+class TestEncryptDecrypt:
+    def test_or_policy(self, authority):
+        ct = encrypt(authority, "alice or bob", b"key state")
+        assert abe_decrypt(authority.issue_private_key("alice"), ct) == b"key state"
+        assert abe_decrypt(authority.issue_private_key("bob"), ct) == b"key state"
+
+    def test_unauthorized_denied(self, authority):
+        ct = encrypt(authority, "alice or bob", b"secret")
+        with pytest.raises(AccessDeniedError):
+            abe_decrypt(authority.issue_private_key("carol"), ct)
+
+    def test_and_policy(self, authority):
+        ct = encrypt(authority, "alice and dept:g", b"secret")
+        full = authority.issue_private_key("alice", {"alice", "dept:g"})
+        partial = authority.issue_private_key("alice", {"alice"})
+        assert abe_decrypt(full, ct) == b"secret"
+        with pytest.raises(AccessDeniedError):
+            abe_decrypt(partial, ct)
+
+    def test_threshold_policy(self, authority):
+        ct = encrypt(authority, "2 of (a, b, c)", b"secret")
+        two = authority.issue_private_key("u", {"a", "c"})
+        one = authority.issue_private_key("u", {"b"})
+        assert abe_decrypt(two, ct) == b"secret"
+        with pytest.raises(AccessDeniedError):
+            abe_decrypt(one, ct)
+
+    def test_nested_policy(self, authority):
+        ct = encrypt(authority, "(alice or bob) and (x and y)", b"s")
+        ok = authority.issue_private_key("bob", {"bob", "x", "y"})
+        assert abe_decrypt(ok, ct) == b"s"
+
+    def test_extra_attributes_harmless(self, authority):
+        ct = encrypt(authority, "alice", b"s")
+        key = authority.issue_private_key("alice", {"alice", "z", "w"})
+        assert abe_decrypt(key, ct) == b"s"
+
+    @given(st.binary(max_size=512))
+    def test_arbitrary_plaintexts(self, plaintext):
+        authority = AttributeAuthority(master_secret=b"\x11" * 32)
+        ct = encrypt(authority, "alice", plaintext)
+        assert abe_decrypt(authority.issue_private_key("alice"), ct) == plaintext
+
+    def test_randomized_ciphertexts(self, authority):
+        a = encrypt(authority, "alice", b"same", seed=b"one")
+        b = encrypt(authority, "alice", b"same", seed=b"two")
+        assert a.body != b.body
+
+    def test_500_user_or_policy(self, authority):
+        users = [f"user{i}" for i in range(500)]
+        tree = at.or_of_identifiers(users)
+        ct = abe_encrypt(
+            authority.wrap_keys_for(tree), tree, b"s", rng=HmacDrbg(b"big")
+        )
+        assert len(ct.wrapped_shares) == 500
+        assert abe_decrypt(authority.issue_private_key("user123"), ct) == b"s"
+
+
+class TestWireFormat:
+    def test_ciphertext_roundtrip(self, authority):
+        ct = encrypt(authority, "(alice or bob) and c", b"payload")
+        decoded = AbeCiphertext.decode(ct.encode())
+        key = authority.issue_private_key("alice", {"alice", "c"})
+        assert abe_decrypt(key, decoded) == b"payload"
+
+    def test_share_count_mismatch_rejected(self, authority):
+        ct = encrypt(authority, "alice or bob", b"p")
+        broken = AbeCiphertext(
+            policy=ct.policy,
+            wrapped_shares=ct.wrapped_shares[:1],
+            nonce=ct.nonce,
+            body=ct.body,
+            mac=ct.mac,
+        )
+        with pytest.raises(CorruptionError):
+            AbeCiphertext.decode(broken.encode())
+
+
+class TestTampering:
+    def test_tampered_body_detected(self, authority):
+        ct = encrypt(authority, "alice", b"payload")
+        bad = AbeCiphertext(
+            policy=ct.policy,
+            wrapped_shares=ct.wrapped_shares,
+            nonce=ct.nonce,
+            body=ct.body[:-1] + bytes([ct.body[-1] ^ 1]),
+            mac=ct.mac,
+        )
+        with pytest.raises(IntegrityError):
+            abe_decrypt(authority.issue_private_key("alice"), bad)
+
+    def test_tampered_share_detected(self, authority):
+        ct = encrypt(authority, "alice", b"payload")
+        share = bytearray(ct.wrapped_shares[0])
+        share[5] ^= 0x01
+        bad = AbeCiphertext(
+            policy=ct.policy,
+            wrapped_shares=(bytes(share),),
+            nonce=ct.nonce,
+            body=ct.body,
+            mac=ct.mac,
+        )
+        with pytest.raises(IntegrityError):
+            abe_decrypt(authority.issue_private_key("alice"), bad)
+
+    def test_swapped_policy_detected(self, authority):
+        """Re-binding a ciphertext to a looser policy must fail the MAC."""
+        ct = encrypt(authority, "alice", b"payload")
+        other = encrypt(authority, "mallory", b"payload", seed=b"m")
+        frankenstein = AbeCiphertext(
+            policy=other.policy,
+            wrapped_shares=other.wrapped_shares,
+            nonce=other.nonce,
+            body=ct.body,
+            mac=ct.mac,
+        )
+        with pytest.raises((IntegrityError, AccessDeniedError)):
+            abe_decrypt(authority.issue_private_key("mallory"), frankenstein)
+
+    def test_missing_wrap_key_rejected(self, authority):
+        tree = at.parse_policy("alice or bob")
+        with pytest.raises(ConfigurationError):
+            abe_encrypt({"alice": b"\x01" * 32}, tree, b"p", rng=HmacDrbg(b"x"))

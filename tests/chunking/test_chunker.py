@@ -1,0 +1,69 @@
+"""Tests for the chunking front-end (Chunk records, specs, factory)."""
+
+import pytest
+
+from repro.chunking.chunker import (
+    Chunk,
+    ChunkingSpec,
+    chunk_stream,
+    iter_raw_chunks,
+    make_chunker,
+)
+from repro.chunking.fixed import FixedChunker
+from repro.chunking.rabin import RabinChunker
+from repro.crypto.hashing import fingerprint
+from repro.util.errors import ConfigurationError
+from repro.workloads.synthetic import unique_data
+
+
+class TestSpec:
+    def test_defaults_match_paper(self):
+        spec = ChunkingSpec()
+        assert spec.method == "rabin"
+        assert spec.avg_size == 8 * 1024
+        assert spec.min_size == 2 * 1024
+        assert spec.max_size == 16 * 1024
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigurationError):
+            ChunkingSpec(method="magic")
+
+    def test_factory_types(self):
+        assert isinstance(make_chunker(ChunkingSpec(method="fixed")), FixedChunker)
+        assert isinstance(make_chunker(ChunkingSpec(method="rabin")), RabinChunker)
+
+
+class TestChunkStream:
+    def test_records_are_consistent(self):
+        data = unique_data(100_000, seed=11)
+        spec = ChunkingSpec(method="fixed", avg_size=4096)
+        chunks = list(chunk_stream(data, spec))
+        assert b"".join(c.data for c in chunks) == data
+        offset = 0
+        for index, chunk in enumerate(chunks):
+            assert chunk.index == index
+            assert chunk.offset == offset
+            assert chunk.fingerprint == fingerprint(chunk.data)
+            assert chunk.size == len(chunk.data)
+            offset += chunk.size
+
+    def test_rabin_records_reassemble(self):
+        data = unique_data(120_000, seed=12)
+        spec = ChunkingSpec(method="rabin", avg_size=4096)
+        chunks = list(chunk_stream(data, spec))
+        assert b"".join(c.data for c in chunks) == data
+        assert all(c.size <= spec.max_size for c in chunks)
+
+    def test_identical_data_identical_fingerprints(self):
+        data = unique_data(40_000, seed=13)
+        spec = ChunkingSpec(method="fixed", avg_size=8192)
+        a = [c.fingerprint for c in chunk_stream(data, spec)]
+        b = [c.fingerprint for c in chunk_stream(data, spec)]
+        assert a == b
+
+    def test_iter_raw_matches_stream(self):
+        data = unique_data(30_000, seed=14)
+        spec = ChunkingSpec(method="fixed", avg_size=1000)
+        raw = list(iter_raw_chunks(data, spec))
+        rec = [c.data for c in chunk_stream(data, spec)]
+        assert raw == rec

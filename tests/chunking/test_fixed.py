@@ -1,0 +1,44 @@
+"""Tests for fixed-size chunking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chunking.fixed import FixedChunker, fixed_chunks
+from repro.util.errors import ConfigurationError
+
+
+class TestFixedChunks:
+    @given(st.binary(max_size=4096), st.integers(1, 512))
+    def test_reassembly(self, data, size):
+        chunks = list(fixed_chunks(data, size))
+        assert b"".join(chunks) == data
+
+    @given(st.binary(min_size=1, max_size=4096), st.integers(1, 512))
+    def test_sizes(self, data, size):
+        chunks = list(fixed_chunks(data, size))
+        assert all(len(c) == size for c in chunks[:-1])
+        assert 1 <= len(chunks[-1]) <= size
+
+    def test_exact_multiple(self):
+        chunks = list(fixed_chunks(b"abcd" * 4, 4))
+        assert len(chunks) == 4
+        assert all(len(c) == 4 for c in chunks)
+
+    def test_empty(self):
+        assert list(fixed_chunks(b"", 8)) == []
+
+    def test_streaming_matches_oneshot(self):
+        data = bytes(range(256)) * 10
+        blocks = [data[i : i + 100] for i in range(0, len(data), 100)]
+        assert list(fixed_chunks(blocks, 64)) == list(fixed_chunks(data, 64))
+
+    def test_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            FixedChunker(0)
+
+    def test_finalize_resets(self):
+        chunker = FixedChunker(100)
+        list(chunker.update(b"x" * 50))
+        assert chunker.finalize() == b"x" * 50
+        assert chunker.finalize() is None

@@ -1,0 +1,101 @@
+"""Tests for Rabin-fingerprint content-defined chunking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chunking.rabin import (
+    DEFAULT_AVG_SIZE,
+    DEFAULT_MAX_SIZE,
+    DEFAULT_MIN_SIZE,
+    WINDOW_SIZE,
+    RabinChunker,
+    rabin_chunks,
+)
+from repro.util.errors import ConfigurationError
+from repro.workloads.synthetic import unique_data
+
+SMALL = dict(min_size=64, max_size=512, avg_size=128)
+
+
+class TestReassembly:
+    @given(st.binary(max_size=8192))
+    def test_chunks_reassemble(self, data):
+        chunks = list(rabin_chunks(data, **SMALL))
+        assert b"".join(chunks) == data
+
+    def test_empty_input(self):
+        assert list(rabin_chunks(b"", **SMALL)) == []
+
+    def test_streamed_blocks_equal_one_shot(self):
+        data = unique_data(20_000, seed=1)
+        one_shot = list(rabin_chunks(data, **SMALL))
+        blocks = [data[i : i + 997] for i in range(0, len(data), 997)]
+        streamed = list(rabin_chunks(blocks, **SMALL))
+        assert streamed == one_shot
+
+
+class TestBounds:
+    def test_size_bounds(self):
+        data = unique_data(50_000, seed=2)
+        chunks = list(rabin_chunks(data, **SMALL))
+        for chunk in chunks[:-1]:
+            assert SMALL["min_size"] <= len(chunk) <= SMALL["max_size"]
+        assert len(chunks[-1]) <= SMALL["max_size"]
+
+    def test_average_in_plausible_range(self):
+        data = unique_data(300_000, seed=3)
+        chunks = list(rabin_chunks(data, **SMALL))
+        avg = len(data) / len(chunks)
+        # Geometric-ish distribution clamped at [min, max]; the realized
+        # mean should land within a factor of ~2 of the target.
+        assert SMALL["avg_size"] / 2 <= avg <= SMALL["avg_size"] * 3
+
+    def test_paper_defaults(self):
+        assert DEFAULT_MIN_SIZE == 2 * 1024
+        assert DEFAULT_MAX_SIZE == 16 * 1024
+        assert DEFAULT_AVG_SIZE == 8 * 1024
+
+
+class TestContentDefined:
+    def test_deterministic(self):
+        data = unique_data(30_000, seed=4)
+        assert list(rabin_chunks(data, **SMALL)) == list(rabin_chunks(data, **SMALL))
+
+    def test_boundary_stability_under_prefix_insertion(self):
+        """Inserting bytes at the front must leave most downstream chunk
+        boundaries intact — the property that protects dedup from edits."""
+        data = unique_data(60_000, seed=5)
+        original = set(rabin_chunks(data, **SMALL))
+        shifted = set(rabin_chunks(b"INSERTED-PREFIX-BYTES" + data, **SMALL))
+        common = original & shifted
+        # The vast majority of chunks should be shared.
+        assert len(common) >= 0.7 * len(original)
+
+    def test_identical_regions_chunk_identically(self):
+        shared = unique_data(40_000, seed=6)
+        a = list(rabin_chunks(unique_data(5_000, seed=7) + shared, **SMALL))
+        b = list(rabin_chunks(unique_data(5_000, seed=8) + shared, **SMALL))
+        assert set(a) & set(b), "shared region produced no common chunks"
+
+
+class TestValidation:
+    def test_avg_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            RabinChunker(min_size=64, max_size=512, avg_size=100)
+
+    def test_ordering_constraints(self):
+        with pytest.raises(ConfigurationError):
+            RabinChunker(min_size=512, max_size=128, avg_size=256)
+
+    def test_min_must_exceed_window(self):
+        with pytest.raises(ConfigurationError):
+            RabinChunker(min_size=WINDOW_SIZE, max_size=1024, avg_size=256)
+
+    def test_finalize_resets(self):
+        chunker = RabinChunker(**SMALL)
+        data = unique_data(100, seed=9)
+        emitted = list(chunker.update(data))
+        tail = chunker.finalize()
+        assert b"".join(emitted) + (tail or b"") == data
+        assert chunker.finalize() is None

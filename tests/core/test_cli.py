@@ -1,0 +1,232 @@
+"""Tests for the ``reed`` command-line tool against a real TCP cluster."""
+
+import os
+
+import pytest
+
+from repro.cli import OrgState, build_parser, main, start_service
+from repro.workloads.synthetic import unique_data
+
+
+@pytest.fixture(scope="module")
+def org_dir(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("org"))
+    assert main(["org", "init", "--org", path, "--key-bits", "512"]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def cluster(org_dir):
+    """Two storage servers, a key store, and a key manager over TCP."""
+    org = OrgState(org_dir)
+    servers = {
+        "s1": start_service("storage", org),
+        "s2": start_service("storage", org),
+        "keystore": start_service("keystore", org),
+        "km": start_service("km", org),
+    }
+    yield servers
+    for server in servers.values():
+        server.stop()
+
+
+def client_args(org_dir, cluster, user):
+    def ep(name):
+        host, port = cluster[name].address
+        return f"{host}:{port}"
+
+    return [
+        "--org", org_dir,
+        "--user", user,
+        "--storage", f"{ep('s1')},{ep('s2')}",
+        "--keystore", ep("keystore"),
+        "--km", ep("km"),
+        "--key-bits", "512",
+    ]
+
+
+class TestOrg:
+    def test_init_creates_trust_root(self, org_dir):
+        assert os.path.isfile(os.path.join(org_dir, "authority.master"))
+        assert os.path.isfile(os.path.join(org_dir, "keymanager.rsa"))
+
+    def test_double_init_rejected(self, org_dir):
+        assert main(["org", "init", "--org", org_dir]) == 2
+
+    def test_missing_org_reported(self, tmp_path, cluster, org_dir):
+        code = main(
+            ["ls", *client_args(str(tmp_path / "nowhere"), cluster, "alice")]
+        )
+        assert code == 2
+
+    def test_derivation_keys_persist(self, org_dir):
+        org = OrgState(org_dir)
+        first = org.derivation_key("carol", 512)
+        second = org.derivation_key("carol", 512)
+        assert first.n == second.n
+
+
+class TestFileLifecycle:
+    def test_upload_download_roundtrip(self, org_dir, cluster, tmp_path):
+        source = tmp_path / "input.bin"
+        data = unique_data(120_000, seed=77)
+        source.write_bytes(data)
+        out = tmp_path / "output.bin"
+        assert main([
+            "upload", *client_args(org_dir, cluster, "alice"),
+            "--id", "cli-file", "--file", str(source),
+            "--policy", "alice or bob",
+        ]) == 0
+        assert main([
+            "download", *client_args(org_dir, cluster, "bob"),
+            "--id", "cli-file", "--out", str(out),
+        ]) == 0
+        assert out.read_bytes() == data
+
+    def test_ls(self, org_dir, cluster, tmp_path, capsys):
+        source = tmp_path / "ls-input.bin"
+        source.write_bytes(unique_data(30_000, seed=78))
+        main([
+            "upload", *client_args(org_dir, cluster, "alice"),
+            "--id", "ls-file", "--file", str(source),
+        ])
+        capsys.readouterr()
+        assert main(["ls", *client_args(org_dir, cluster, "alice")]) == 0
+        assert "ls-file" in capsys.readouterr().out
+
+    def test_revoke(self, org_dir, cluster, tmp_path):
+        source = tmp_path / "rv-input.bin"
+        data = unique_data(60_000, seed=79)
+        source.write_bytes(data)
+        out = tmp_path / "rv-out.bin"
+        main([
+            "upload", *client_args(org_dir, cluster, "alice"),
+            "--id", "rv-file", "--file", str(source),
+            "--policy", "alice or bob",
+        ])
+        assert main([
+            "revoke", *client_args(org_dir, cluster, "alice"),
+            "--id", "rv-file", "--users", "bob", "--mode", "active",
+        ]) == 0
+        # Bob is now denied (error exit), Alice still succeeds.
+        assert main([
+            "download", *client_args(org_dir, cluster, "bob"),
+            "--id", "rv-file", "--out", str(out),
+        ]) == 2
+        assert main([
+            "download", *client_args(org_dir, cluster, "alice"),
+            "--id", "rv-file", "--out", str(out),
+        ]) == 0
+        assert out.read_bytes() == data
+
+    def test_missing_file_download_fails_cleanly(self, org_dir, cluster, tmp_path):
+        assert main([
+            "download", *client_args(org_dir, cluster, "alice"),
+            "--id", "ghost", "--out", str(tmp_path / "x"),
+        ]) == 2
+
+
+class TestParser:
+    def test_demo_runs(self):
+        assert main(["demo"]) == 0
+
+    def test_endpoint_validation(self, org_dir, cluster):
+        args = client_args(org_dir, cluster, "alice")
+        args[args.index("--km") + 1] = "not-an-endpoint"
+        assert main(["ls", *args]) == 2
+
+    def test_parser_builds(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])  # command required
+
+    def test_serve_once(self, org_dir, capsys):
+        assert main([
+            "serve", "keystore", "--org", org_dir, "--once",
+        ]) == 0
+        assert "keystore serving" in capsys.readouterr().out
+
+
+class TestDurableStorage:
+    def test_serve_storage_with_data_dir(self, org_dir, tmp_path):
+        """`reed serve storage --data DIR` persists containers on disk."""
+        org = OrgState(org_dir)
+        data_dir = tmp_path / "srv"
+        server = start_service("storage", org, data=str(data_dir))
+        try:
+            keystore = start_service("keystore", org)
+            km = start_service("km", org)
+            try:
+                def ep(s):
+                    host, port = s.address
+                    return f"{host}:{port}"
+
+                source = tmp_path / "durable.bin"
+                payload = unique_data(50_000, seed=80)
+                source.write_bytes(payload)
+                args = [
+                    "--org", org_dir, "--user", "alice",
+                    "--storage", ep(server),
+                    "--keystore", ep(keystore),
+                    "--km", ep(km),
+                    "--key-bits", "512",
+                ]
+                assert main([
+                    "upload", *args, "--id", "durable", "--file", str(source),
+                ]) == 0
+                assert (data_dir / "container").exists()
+            finally:
+                keystore.stop()
+                km.stop()
+        finally:
+            server.stop()
+
+
+class TestGroupCommands:
+    def test_group_lifecycle_via_cli(self, org_dir, cluster, tmp_path):
+        args = client_args(org_dir, cluster, "pi")
+        assert main([
+            "group", "create", *args,
+            "--group", "lab", "--policy", "pi or postdoc or student",
+        ]) == 0
+
+        source = tmp_path / "grp-input.bin"
+        data = unique_data(40_000, seed=81)
+        source.write_bytes(data)
+        assert main([
+            "group", "upload", *args,
+            "--group", "lab", "--id", "grp-file", "--file", str(source),
+        ]) == 0
+
+        out = tmp_path / "grp-out.bin"
+        assert main([
+            "download", *client_args(org_dir, cluster, "student"),
+            "--id", "grp-file", "--out", str(out),
+        ]) == 0
+        assert out.read_bytes() == data
+
+        assert main([
+            "group", "revoke", *args,
+            "--group", "lab", "--users", "student", "--mode", "active",
+        ]) == 0
+        assert main([
+            "download", *client_args(org_dir, cluster, "student"),
+            "--id", "grp-file", "--out", str(out),
+        ]) == 2
+        assert main([
+            "download", *client_args(org_dir, cluster, "postdoc"),
+            "--id", "grp-file", "--out", str(out),
+        ]) == 0
+
+    def test_group_members_listing(self, org_dir, cluster, tmp_path, capsys):
+        args = client_args(org_dir, cluster, "owner2")
+        main(["group", "create", *args, "--group", "g2", "--policy", "owner2"])
+        source = tmp_path / "m.bin"
+        source.write_bytes(unique_data(20_000, seed=82))
+        main([
+            "group", "upload", *args,
+            "--group", "g2", "--id", "member-file", "--file", str(source),
+        ])
+        capsys.readouterr()
+        assert main(["group", "members", *args, "--group", "g2"]) == 0
+        assert "member-file" in capsys.readouterr().out

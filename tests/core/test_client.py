@@ -1,0 +1,249 @@
+"""Tests for the REED client (upload/download/rekey/delete mechanics)."""
+
+import pytest
+
+from repro.chunking.chunker import ChunkingSpec
+from repro.core.policy import FilePolicy
+from repro.core.rekey import RevocationMode
+from repro.crypto.drbg import HmacDrbg
+from repro.storage.recipes import FileRecipe
+from repro.util.errors import (
+    AccessDeniedError,
+    ConfigurationError,
+    CorruptionError,
+    IntegrityError,
+    NotFoundError,
+)
+from repro.workloads.synthetic import unique_data
+
+
+@pytest.fixture()
+def alice(system):
+    return system.new_client("alice", cache_bytes=1 << 20)
+
+
+@pytest.fixture()
+def data():
+    return unique_data(200_000, seed=42)
+
+
+class TestUpload:
+    def test_result_fields(self, alice, data):
+        result = alice.upload("f1", data)
+        assert result.size == len(data)
+        assert result.chunk_count > 0
+        assert result.new_chunks == result.chunk_count
+        assert result.trimmed_bytes == len(data)
+        assert result.key_version == 0
+        assert result.stub_file_bytes > result.chunk_count * 64
+
+    def test_streaming_upload_matches_oneshot(self, system, data):
+        a = system.new_client("a1")
+        b = system.new_client("a2")
+        blocks = [data[i : i + 7919] for i in range(0, len(data), 7919)]
+        ra = a.upload("stream", blocks)
+        rb = b.upload("oneshot", data)
+        assert ra.chunk_count == rb.chunk_count
+        # Server deduped everything from the second upload.
+        assert rb.new_chunks == 0
+
+    def test_non_owner_cannot_upload(self, system, data):
+        reader = system.new_client("reader", owner=False)
+        with pytest.raises(ConfigurationError):
+            reader.upload("f", data)
+
+    def test_default_policy_is_owner_only(self, system, alice, data):
+        alice.upload("private", data)
+        bob = system.new_client("bob")
+        with pytest.raises(AccessDeniedError):
+            bob.download("private")
+
+    def test_fixed_chunking(self, system, data):
+        client = system.new_client(
+            "fixed-user",
+        )
+        client.chunking = ChunkingSpec(method="fixed", avg_size=4096)
+        result = client.upload("fixed", data)
+        assert result.chunk_count == (len(data) + 4095) // 4096
+        assert client.download("fixed").data == data
+
+
+class TestDownload:
+    def test_roundtrip(self, alice, data):
+        alice.upload("f1", data)
+        result = alice.download("f1")
+        assert result.data == data
+        assert result.chunk_count > 0
+
+    def test_missing_file(self, alice):
+        with pytest.raises(NotFoundError):
+            alice.download("ghost")
+
+    def test_cross_user_shared_download(self, system, alice, data):
+        policy = FilePolicy.for_users(["alice", "bob"])
+        alice.upload("shared", data, policy=policy)
+        bob = system.new_client("bob", owner=False)
+        assert bob.download("shared").data == data
+
+    def test_corrupted_stub_file_aborts(self, system, alice, data):
+        alice.upload("f1", data)
+        blob = bytearray(system.storage.stub_get("f1"))
+        blob[len(blob) // 2] ^= 0x01
+        system.storage.stub_put("f1", bytes(blob))
+        with pytest.raises(IntegrityError):
+            alice.download("f1")
+
+    def test_recipe_size_mismatch_detected(self, system, alice, data):
+        alice.upload("f1", data)
+        recipe = FileRecipe.decode(system.storage.recipe_get("f1"))
+        truncated = FileRecipe(
+            file_id=recipe.file_id,
+            pathname=recipe.pathname,
+            size=recipe.size - recipe.chunks[-1].length,
+            scheme=recipe.scheme,
+            key_version=recipe.key_version,
+            chunks=recipe.chunks[:-1],
+        )
+        system.storage.recipe_put("f1", truncated.encode())
+        with pytest.raises(IntegrityError):
+            alice.download("f1")
+
+    def test_small_fetch_batches(self, alice, data):
+        alice.upload("f1", data)
+        assert alice.download("f1", fetch_batch_chunks=3).data == data
+
+
+class TestRekey:
+    def test_lazy_rekey_bumps_version(self, alice, data):
+        alice.upload("f1", data, policy=FilePolicy.for_users(["alice", "bob"]))
+        result = alice.rekey("f1", FilePolicy.for_users(["alice"]))
+        assert result.old_key_version == 0
+        assert result.new_key_version == 1
+        assert result.stub_bytes_reencrypted == 0
+        # Owner still reads the file via key regression unwinding.
+        assert alice.download("f1").data == data
+
+    def test_active_rekey_reencrypts_stub(self, system, alice, data):
+        alice.upload("f1", data, policy=FilePolicy.for_users(["alice", "bob"]))
+        before = system.storage.stub_get("f1")
+        result = alice.rekey(
+            "f1", FilePolicy.for_users(["alice"]), RevocationMode.ACTIVE
+        )
+        after = system.storage.stub_get("f1")
+        assert result.stub_bytes_reencrypted == len(before) + len(after)
+        assert before != after
+        assert alice.download("f1").data == data
+
+    def test_repeated_rekeys(self, alice, data):
+        alice.upload("f1", data)
+        for expected_version in range(1, 5):
+            mode = (
+                RevocationMode.ACTIVE
+                if expected_version % 2
+                else RevocationMode.LAZY
+            )
+            result = alice.rekey("f1", FilePolicy.for_users(["alice"]), mode)
+            assert result.new_key_version == expected_version
+        assert alice.download("f1").data == data
+
+    def test_rekey_preserves_dedup(self, system, alice, data):
+        """Rekeying must not change trimmed packages: a later upload of
+        the same content still dedups fully (the paper's core claim)."""
+        alice.upload("f1", data)
+        alice.rekey("f1", FilePolicy.for_users(["alice"]), RevocationMode.ACTIVE)
+        carol = system.new_client("carol")
+        result = carol.upload("f2", data)
+        assert result.new_chunks == 0
+
+    def test_revoke_users_helper(self, system, alice, data):
+        alice.upload("f1", data, policy=FilePolicy.for_users(["alice", "bob"]))
+        result = alice.revoke_users("f1", {"bob"}, RevocationMode.ACTIVE)
+        assert "bob" not in result.new_policy_text
+        bob = system.new_client("bob", owner=False)
+        with pytest.raises(AccessDeniedError):
+            bob.download("f1")
+
+    def test_non_owner_cannot_rekey(self, system, alice, data):
+        alice.upload("f1", data, policy=FilePolicy.for_users(["alice", "bob"]))
+        bob = system.new_client("bob", owner=False)
+        with pytest.raises(ConfigurationError):
+            bob.rekey("f1", FilePolicy.for_users(["bob"]))
+
+    def test_unauthorized_owner_cannot_rekey(self, system, alice, data):
+        """Even a user with a derivation keypair cannot rekey a file whose
+        policy excludes them (they cannot open the key state)."""
+        alice.upload("f1", data)
+        mallory = system.new_client("mallory")
+        with pytest.raises(AccessDeniedError):
+            mallory.rekey("f1", FilePolicy.for_users(["mallory"]))
+
+
+class TestDelete:
+    def test_delete_removes_everything(self, system, alice, data):
+        alice.upload("f1", data)
+        alice.delete("f1")
+        with pytest.raises(NotFoundError):
+            alice.download("f1")
+        assert system.storage_stats.physical_bytes == 0
+
+    def test_delete_respects_shared_chunks(self, system, alice, data):
+        alice.upload("f1", data)
+        alice.upload("f2", data)
+        alice.delete("f1")
+        assert alice.download("f2").data == data
+
+
+class TestPathnameObfuscation:
+    def test_salted_client_hides_pathnames(self, system, data):
+        from repro.storage.recipes import FileRecipe, obfuscate_pathname
+
+        client = system.new_client("salty")
+        client.pathname_salt = b"org-wide-salt"
+        client.upload("f1", data, pathname="/home/salty/secret-project/plan.doc")
+        recipe = FileRecipe.decode(system.storage.recipe_get("f1"))
+        assert "secret-project" not in recipe.pathname
+        assert recipe.pathname == obfuscate_pathname(
+            "/home/salty/secret-project/plan.doc", b"org-wide-salt"
+        )
+        # Obfuscation changes only metadata, never content.
+        assert client.download("f1").data == data
+
+    def test_unsalted_client_stores_pathname_verbatim(self, system, data):
+        from repro.storage.recipes import FileRecipe
+
+        client = system.new_client("plain")
+        client.upload("f1", data, pathname="/tmp/visible")
+        recipe = FileRecipe.decode(system.storage.recipe_get("f1"))
+        assert recipe.pathname == "/tmp/visible"
+
+    def test_same_pathname_same_obfuscation_across_snapshots(self, system, data):
+        from repro.storage.recipes import FileRecipe
+
+        client = system.new_client("stable")
+        client.pathname_salt = b"salt"
+        client.upload("day1", data, pathname="/home/x")
+        client.upload("day2", data, pathname="/home/x")
+        r1 = FileRecipe.decode(system.storage.recipe_get("day1"))
+        r2 = FileRecipe.decode(system.storage.recipe_get("day2"))
+        assert r1.pathname == r2.pathname
+
+
+class TestPathHelpers:
+    def test_upload_and_download_by_path(self, system, alice, data, tmp_path):
+        source = tmp_path / "in.bin"
+        source.write_bytes(data)
+        result = alice.upload_path("by-path", str(source), read_block=7000)
+        assert result.size == len(data)
+        out = tmp_path / "out.bin"
+        alice.download_path("by-path", str(out))
+        assert out.read_bytes() == data
+
+    def test_streamed_path_upload_matches_bytes_upload(
+        self, system, alice, data, tmp_path
+    ):
+        source = tmp_path / "stream.bin"
+        source.write_bytes(data)
+        alice.upload_path("streamed", str(source), read_block=4096)
+        other = system.new_client("other")
+        result = other.upload("in-memory", data)
+        assert result.new_chunks == 0  # identical chunking either way

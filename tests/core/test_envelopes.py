@@ -1,0 +1,81 @@
+"""Tests for key-state envelopes."""
+
+import pytest
+
+from repro.abe import access_tree as at
+from repro.abe.cpabe import AttributeAuthority, abe_encrypt
+from repro.core import envelopes
+from repro.crypto.drbg import HmacDrbg
+from repro.util.errors import CorruptionError, IntegrityError
+
+GROUP_KEY = b"\x71" * 32
+
+
+class TestAbeEnvelope:
+    def test_roundtrip(self):
+        authority = AttributeAuthority(master_secret=b"\x11" * 32)
+        tree = at.parse_policy("alice")
+        ciphertext = abe_encrypt(
+            authority.wrap_keys_for(tree), tree, b"state", rng=HmacDrbg(b"e")
+        )
+        tag, payload = envelopes.decode_envelope(envelopes.seal_abe(ciphertext))
+        assert tag == envelopes.TAG_ABE
+        assert payload.encode() == ciphertext.encode()
+
+
+class TestGroupEnvelope:
+    def seal(self, state=b"file key state", version=3):
+        return envelopes.seal_group(
+            "genomics", version, GROUP_KEY, state, rng=HmacDrbg(b"n")
+        )
+
+    def test_roundtrip(self):
+        tag, payload = envelopes.decode_envelope(self.seal())
+        assert tag == envelopes.TAG_GROUP
+        assert payload.group_id == "genomics"
+        assert payload.group_version == 3
+        assert envelopes.open_group(payload, GROUP_KEY) == b"file key state"
+
+    def test_wrong_key_rejected(self):
+        _tag, payload = envelopes.decode_envelope(self.seal())
+        with pytest.raises(IntegrityError):
+            envelopes.open_group(payload, b"\x72" * 32)
+
+    def test_version_is_authenticated(self):
+        """An attacker cannot roll an envelope back to an older group
+        version (whose key a revoked user might still hold)."""
+        _tag, payload = envelopes.decode_envelope(self.seal(version=3))
+        rolled = envelopes.GroupEnvelope(
+            group_id=payload.group_id,
+            group_version=1,
+            nonce=payload.nonce,
+            body=payload.body,
+            mac=payload.mac,
+        )
+        with pytest.raises(IntegrityError):
+            envelopes.open_group(rolled, GROUP_KEY)
+
+    def test_group_id_is_authenticated(self):
+        _tag, payload = envelopes.decode_envelope(self.seal())
+        moved = envelopes.GroupEnvelope(
+            group_id="other-group",
+            group_version=payload.group_version,
+            nonce=payload.nonce,
+            body=payload.body,
+            mac=payload.mac,
+        )
+        with pytest.raises(IntegrityError):
+            envelopes.open_group(moved, GROUP_KEY)
+
+
+class TestDecoding:
+    def test_unknown_tag_rejected(self):
+        from repro.util.codec import Encoder
+
+        with pytest.raises(CorruptionError):
+            envelopes.decode_envelope(Encoder().uint(9).blob(b"x").done())
+
+    def test_trailing_bytes_rejected(self):
+        data = envelopes.seal_group("g", 0, GROUP_KEY, b"s", rng=HmacDrbg(b"n"))
+        with pytest.raises(CorruptionError):
+            envelopes.decode_envelope(data + b"!")

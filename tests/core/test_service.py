@@ -1,0 +1,107 @@
+"""Tests for the RPC service bindings (remote stubs == local objects)."""
+
+import pytest
+
+from repro.core.server import REEDServer
+from repro.core.service import (
+    RemoteKeyManagerChannel,
+    RemoteKeyStore,
+    RemoteStorageService,
+    register_key_manager,
+    register_keystate_service,
+    register_storage_service,
+)
+from repro.crypto import blindrsa
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.hashing import fingerprint
+from repro.mle.keymanager import KeyManager
+from repro.mle.server_aided import ServerAidedKeyClient
+from repro.net.rpc import LoopbackTransport, ServiceRegistry
+from repro.storage.keystore import KeyStateRecord, KeyStore
+from repro.util.errors import NotFoundError, RateLimitExceeded
+
+
+@pytest.fixture()
+def wired(rsa_512):
+    """One registry exposing all three services over loopback RPC."""
+    registry = ServiceRegistry()
+    server = REEDServer()
+    keystore = KeyStore()
+    # A near-zero refill rate keeps the rate-limit test deterministic
+    # regardless of how long the 50-signature burst takes in real time.
+    manager = KeyManager(private_key=rsa_512, rate_limit=0.001, burst=50)
+    register_storage_service(registry, server)
+    register_keystate_service(registry, keystore)
+    register_key_manager(registry, manager)
+    client = LoopbackTransport(registry).client()
+    return server, keystore, manager, client
+
+
+class TestRemoteStorage:
+    def test_chunk_roundtrip(self, wired):
+        _server, _ks, _km, rpc = wired
+        remote = RemoteStorageService(rpc)
+        fp = fingerprint(b"chunk")
+        assert remote.chunk_put_batch([(fp, b"chunk")]) == 1
+        assert remote.chunk_put_batch([(fp, b"chunk")]) == 0
+        assert remote.chunk_exists_batch([fp, b"\x00" * 32]) == [True, False]
+        assert remote.chunk_get_batch([fp]) == [b"chunk"]
+        remote.chunk_release_batch([fp])
+        remote.chunk_release_batch([fp])
+        assert remote.chunk_exists_batch([fp]) == [False]
+
+    def test_recipes_and_stubs(self, wired):
+        _server, _ks, _km, rpc = wired
+        remote = RemoteStorageService(rpc)
+        remote.recipe_put("f", b"r")
+        assert remote.recipe_get("f") == b"r"
+        assert remote.recipe_list() == ["f"]
+        remote.stub_put("f", b"s")
+        assert remote.stub_get("f") == b"s"
+        remote.stub_delete("f")
+        remote.recipe_delete("f")
+        assert remote.recipe_list() == []
+        remote.flush()
+
+    def test_errors_propagate(self, wired):
+        _server, _ks, _km, rpc = wired
+        remote = RemoteStorageService(rpc)
+        with pytest.raises(NotFoundError):
+            remote.recipe_get("missing")
+
+
+class TestRemoteKeyStore:
+    def test_roundtrip(self, wired):
+        _server, _ks, _km, rpc = wired
+        remote = RemoteKeyStore(rpc)
+        record = KeyStateRecord(
+            file_id="f",
+            policy_text="(a or b)",
+            key_version=2,
+            encrypted_state=b"\x01",
+            owner_public_key=b"\x02",
+        )
+        remote.put(record)
+        assert remote.get("f") == record
+        assert remote.exists("f")
+        assert remote.list_files() == ["f"]
+        remote.delete("f")
+        assert not remote.exists("f")
+
+
+class TestRemoteKeyManager:
+    def test_oprf_over_rpc(self, wired, rsa_512):
+        _server, _ks, manager, rpc = wired
+        channel = RemoteKeyManagerChannel(rpc)
+        assert channel.public_key().n == manager.public_key.n
+        client = ServerAidedKeyClient(channel, "alice", rng=HmacDrbg(b"c"))
+        fp = b"\x0a" * 32
+        assert client.get_key(fp) == blindrsa.derive_mle_key_directly(rsa_512, fp)
+
+    def test_rate_limit_crosses_rpc(self, wired):
+        _server, _ks, _manager, rpc = wired
+        channel = RemoteKeyManagerChannel(rpc)
+        channel.sign_batch("alice", [5] * 50)
+        with pytest.raises(RateLimitExceeded):
+            channel.sign_batch("alice", [5])
+        assert channel.backoff_hint("alice", 10) > 0

@@ -1,0 +1,87 @@
+"""Tests for stub files (pack, encrypt, re-encrypt)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.stubs import (
+    decrypt_stub_file,
+    encrypt_stub_file,
+    pack_stubs,
+    reencrypt_stub_file,
+    unpack_stubs,
+)
+from repro.crypto.drbg import HmacDrbg
+from repro.util.errors import ConfigurationError, IntegrityError
+
+FILE_KEY = b"\x21" * 32
+NEW_KEY = b"\x22" * 32
+
+stub_lists = st.lists(st.binary(min_size=64, max_size=64), max_size=20)
+
+
+class TestPacking:
+    @given(stub_lists)
+    def test_pack_unpack(self, stubs):
+        assert unpack_stubs(pack_stubs(stubs)) == stubs
+
+    def test_wrong_stub_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pack_stubs([b"\x00" * 63])
+
+    def test_custom_stub_size(self):
+        stubs = [b"\x01" * 16, b"\x02" * 16]
+        assert unpack_stubs(pack_stubs(stubs, stub_size=16)) == stubs
+
+
+class TestEncryption:
+    @given(stub_lists)
+    def test_roundtrip(self, stubs):
+        blob = encrypt_stub_file(FILE_KEY, stubs, rng=HmacDrbg(b"n"))
+        assert decrypt_stub_file(FILE_KEY, blob) == stubs
+
+    def test_wrong_key_rejected(self):
+        """A revoked user holding the old file key cannot decrypt a stub
+        file re-encrypted under the new key."""
+        blob = encrypt_stub_file(FILE_KEY, [b"\x01" * 64], rng=HmacDrbg(b"n"))
+        with pytest.raises(IntegrityError):
+            decrypt_stub_file(NEW_KEY, blob)
+
+    def test_tamper_detected(self):
+        blob = encrypt_stub_file(FILE_KEY, [b"\x01" * 64], rng=HmacDrbg(b"n"))
+        for position in (0, len(blob) // 2, len(blob) - 1):
+            damaged = bytearray(blob)
+            damaged[position] ^= 0x01
+            with pytest.raises(IntegrityError):
+                decrypt_stub_file(FILE_KEY, bytes(damaged))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(IntegrityError):
+            decrypt_stub_file(FILE_KEY, b"short")
+
+    def test_randomized_encryptions_differ(self):
+        a = encrypt_stub_file(FILE_KEY, [b"\x01" * 64], rng=HmacDrbg(b"a"))
+        b = encrypt_stub_file(FILE_KEY, [b"\x01" * 64], rng=HmacDrbg(b"b"))
+        assert a != b  # stub files must never deduplicate
+
+
+class TestRekeying:
+    def test_reencrypt_switches_key(self):
+        stubs = [bytes([i]) * 64 for i in range(5)]
+        old = encrypt_stub_file(FILE_KEY, stubs, rng=HmacDrbg(b"n"))
+        new = reencrypt_stub_file(FILE_KEY, NEW_KEY, old, rng=HmacDrbg(b"m"))
+        assert decrypt_stub_file(NEW_KEY, new) == stubs
+        with pytest.raises(IntegrityError):
+            decrypt_stub_file(FILE_KEY, new)
+
+    def test_reencrypt_requires_old_key(self):
+        old = encrypt_stub_file(FILE_KEY, [b"\x01" * 64], rng=HmacDrbg(b"n"))
+        with pytest.raises(IntegrityError):
+            reencrypt_stub_file(NEW_KEY, FILE_KEY, old)
+
+    def test_size_overhead_is_constant(self):
+        """Stub-file size = 64 B/chunk + small constant — the quantity
+        that makes active revocation lightweight."""
+        small = encrypt_stub_file(FILE_KEY, [b"\x00" * 64] * 10, rng=HmacDrbg(b"x"))
+        large = encrypt_stub_file(FILE_KEY, [b"\x00" * 64] * 100, rng=HmacDrbg(b"x"))
+        assert len(large) - len(small) == 90 * 64

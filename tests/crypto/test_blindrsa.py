@@ -1,0 +1,71 @@
+"""Tests for the blind-RSA OPRF used between clients and the key manager."""
+
+import pytest
+
+from repro.crypto import blindrsa
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.hashing import hash_to_int
+from repro.util.errors import KeyManagerError
+
+
+class TestProtocol:
+    def test_oprf_correctness(self, rsa_512, rng):
+        """The blinded protocol computes the same function as the direct
+        evaluation only the key manager could do."""
+        fp = b"\xaa" * 32
+        blinded, state = blindrsa.blind(rsa_512.public, fp, rng)
+        signature = blindrsa.sign_blinded(rsa_512, blinded)
+        unblinded = blindrsa.unblind(rsa_512.public, state, signature)
+        key = blindrsa.signature_to_key(unblinded, rsa_512.public.byte_size)
+        assert key == blindrsa.derive_mle_key_directly(rsa_512, fp)
+
+    def test_determinism_across_blindings(self, rsa_512):
+        """Different blinding factors for the same fingerprint yield the
+        same MLE key — the property deduplication depends on."""
+        fp = b"\x42" * 32
+        keys = set()
+        for seed in (b"r1", b"r2", b"r3"):
+            rng = HmacDrbg(seed)
+            blinded, state = blindrsa.blind(rsa_512.public, fp, rng)
+            signature = blindrsa.sign_blinded(rsa_512, blinded)
+            unblinded = blindrsa.unblind(rsa_512.public, state, signature)
+            keys.add(blindrsa.signature_to_key(unblinded, rsa_512.public.byte_size))
+        assert len(keys) == 1
+
+class TestDistinctness:
+    def test_distinct_fingerprints_distinct_keys(self, rsa_512, rng):
+        keys = {
+            blindrsa.derive_mle_key_directly(rsa_512, bytes([i]) * 32)
+            for i in range(20)
+        }
+        assert len(keys) == 20
+
+    def test_key_size(self, rsa_512):
+        key = blindrsa.derive_mle_key_directly(rsa_512, b"fp")
+        assert len(key) == blindrsa.MLE_KEY_SIZE == 32
+
+
+class TestBlindness:
+    def test_blinded_value_hides_fingerprint(self, rsa_512):
+        """The blinded value must not equal the raw hash — and two
+        blindings of the same fingerprint must differ (the key manager
+        cannot even link repeated queries)."""
+        fp = b"\x11" * 32
+        raw = hash_to_int(fp, rsa_512.n)
+        b1, _ = blindrsa.blind(rsa_512.public, fp, HmacDrbg(b"a"))
+        b2, _ = blindrsa.blind(rsa_512.public, fp, HmacDrbg(b"b"))
+        assert b1 != raw
+        assert b1 != b2
+
+
+class TestRobustness:
+    def test_malicious_response_detected(self, rsa_512, rng):
+        fp = b"\x33" * 32
+        blinded, state = blindrsa.blind(rsa_512.public, fp, rng)
+        bogus = (blindrsa.sign_blinded(rsa_512, blinded) + 1) % rsa_512.n
+        with pytest.raises(KeyManagerError):
+            blindrsa.unblind(rsa_512.public, state, bogus)
+
+    def test_out_of_domain_request_rejected(self, rsa_512):
+        with pytest.raises(KeyManagerError):
+            blindrsa.sign_blinded(rsa_512, rsa_512.n + 1)

@@ -1,0 +1,127 @@
+"""Tests for hashing, fingerprints, KDF, and the full-domain hash."""
+
+import hashlib
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import (
+    DIGEST_SIZE,
+    FSL_FINGERPRINT_SIZE,
+    fingerprint,
+    hash_to_int,
+    hmac_sha256,
+    kdf,
+    sha256,
+    truncated_fingerprint,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestSha256:
+    def test_matches_hashlib(self):
+        assert sha256(b"abc") == hashlib.sha256(b"abc").digest()
+
+    def test_empty_vector(self):
+        assert (
+            sha256(b"").hex()
+            == "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_digest_size(self):
+        assert len(sha256(b"x")) == DIGEST_SIZE == 32
+
+
+class TestFingerprints:
+    @given(st.binary(max_size=200))
+    def test_fingerprint_is_sha256(self, data):
+        assert fingerprint(data) == sha256(data)
+
+    def test_truncated_default_48_bits(self):
+        fp = truncated_fingerprint(b"chunk")
+        assert len(fp) == FSL_FINGERPRINT_SIZE == 6
+        assert fp == sha256(b"chunk")[:6]
+
+    def test_truncated_bounds(self):
+        with pytest.raises(ConfigurationError):
+            truncated_fingerprint(b"x", 0)
+        with pytest.raises(ConfigurationError):
+            truncated_fingerprint(b"x", 33)
+
+
+class TestKdf:
+    def test_deterministic(self):
+        assert kdf(b"key", "label") == kdf(b"key", "label")
+
+    def test_label_separates(self):
+        assert kdf(b"key", "stub-enc") != kdf(b"key", "stub-mac")
+
+    def test_key_separates(self):
+        assert kdf(b"key1", "label") != kdf(b"key2", "label")
+
+    @given(st.integers(1, 200))
+    def test_length(self, n):
+        assert len(kdf(b"key", "label", n)) == n
+
+    def test_prefix_consistency(self):
+        # Longer outputs extend shorter ones (HKDF-expand behaviour).
+        assert kdf(b"key", "label", 64)[:32] == kdf(b"key", "label", 32)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            kdf(b"key", "label", 0)
+
+
+class TestHmac:
+    def test_matches_stdlib(self):
+        import hmac as stdlib_hmac
+
+        assert hmac_sha256(b"k", b"m") == stdlib_hmac.new(
+            b"k", b"m", hashlib.sha256
+        ).digest()
+
+
+class TestHashToInt:
+    @given(st.binary(max_size=100))
+    def test_in_range(self, data):
+        modulus = 2**127 - 1
+        value = hash_to_int(data, modulus)
+        assert 0 <= value < modulus
+
+    def test_deterministic(self):
+        assert hash_to_int(b"fp", 10**30) == hash_to_int(b"fp", 10**30)
+
+    def test_distinct_inputs_spread(self):
+        modulus = 2**256
+        values = {hash_to_int(bytes([i]), modulus) for i in range(50)}
+        assert len(values) == 50
+
+    def test_bad_modulus(self):
+        with pytest.raises(ConfigurationError):
+            hash_to_int(b"x", 1)
+
+
+class TestHmacRfc4231Vectors:
+    """RFC 4231 test vectors for HMAC-SHA-256."""
+
+    def test_case_1(self):
+        key = b"\x0b" * 20
+        out = hmac_sha256(key, b"Hi There")
+        assert out.hex() == (
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        )
+
+    def test_case_2(self):
+        out = hmac_sha256(b"Jefe", b"what do ya want for nothing?")
+        assert out.hex() == (
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        )
+
+    def test_case_6_long_key(self):
+        key = b"\xaa" * 131
+        msg = b"Test Using Larger Than Block-Size Key - Hash Key First"
+        out = hmac_sha256(key, msg)
+        assert out.hex() == (
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        )

@@ -1,0 +1,118 @@
+"""Tests for RSA key generation, raw operations, and FDH signatures."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import (
+    RSAPrivateKey,
+    RSAPublicKey,
+    fdh_sign,
+    fdh_verify,
+    generate_keypair,
+    generate_prime,
+    is_probable_prime,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 104729):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 9, 100, 104730):
+            assert not is_probable_prime(c)
+
+    def test_carmichael_numbers_rejected(self):
+        # Fermat pseudoprimes that Miller-Rabin must still reject.
+        for c in (561, 1105, 1729, 41041, 825265):
+            assert not is_probable_prime(c)
+
+    def test_large_known_prime(self):
+        assert is_probable_prime(2**127 - 1)  # Mersenne prime
+
+    def test_large_known_composite(self):
+        assert not is_probable_prime(2**128 - 1)
+
+
+class TestPrimeGeneration:
+    def test_exact_bit_length(self):
+        rng = HmacDrbg(b"prime-test")
+        for bits in (32, 64, 128):
+            p = generate_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_prime(4)
+
+
+class TestKeypair:
+    def test_structure(self, rsa_512):
+        key = rsa_512
+        assert key.n == key.p * key.q
+        assert key.n.bit_length() == 512
+        assert key.e == 65537
+        phi = (key.p - 1) * (key.q - 1)
+        assert (key.e * key.d) % phi == 1
+
+    def test_roundtrip_private_public(self, rsa_512):
+        x = 123456789
+        assert rsa_512.public.apply(rsa_512.apply(x)) == x
+        assert rsa_512.apply(rsa_512.public.apply(x)) == x
+
+    def test_crt_matches_plain_pow(self, rsa_512):
+        x = 987654321
+        assert rsa_512.apply(x) == pow(x, rsa_512.d, rsa_512.n)
+
+    def test_out_of_range_rejected(self, rsa_512):
+        with pytest.raises(ConfigurationError):
+            rsa_512.apply(rsa_512.n)
+        with pytest.raises(ConfigurationError):
+            rsa_512.public.apply(-1)
+
+    def test_deterministic_generation(self):
+        a = generate_keypair(512, rng=HmacDrbg(b"same-seed"))
+        b = generate_keypair(512, rng=HmacDrbg(b"same-seed"))
+        assert a.n == b.n
+
+    def test_min_bits(self):
+        with pytest.raises(ConfigurationError):
+            generate_keypair(32)
+
+
+class TestEncoding:
+    def test_public_roundtrip(self, rsa_512):
+        pub = rsa_512.public
+        assert RSAPublicKey.decode(pub.encode()) == pub
+
+    def test_private_roundtrip(self, rsa_512):
+        assert RSAPrivateKey.decode(rsa_512.encode()) == rsa_512
+
+    def test_fingerprint_stable(self, rsa_512):
+        assert rsa_512.public.fingerprint() == rsa_512.public.fingerprint()
+
+    def test_byte_size(self, rsa_512):
+        assert rsa_512.public.byte_size == 64
+
+
+class TestFdhSignatures:
+    def test_sign_verify(self, rsa_512):
+        sig = fdh_sign(rsa_512, b"message")
+        assert fdh_verify(rsa_512.public, b"message", sig)
+
+    def test_wrong_message_fails(self, rsa_512):
+        sig = fdh_sign(rsa_512, b"message")
+        assert not fdh_verify(rsa_512.public, b"other", sig)
+
+    def test_tampered_signature_fails(self, rsa_512):
+        sig = fdh_sign(rsa_512, b"message")
+        assert not fdh_verify(rsa_512.public, b"message", sig + 1)
+
+    def test_out_of_range_signature_fails(self, rsa_512):
+        assert not fdh_verify(rsa_512.public, b"message", rsa_512.n + 5)
+
+    def test_signatures_deterministic(self, rsa_512):
+        assert fdh_sign(rsa_512, b"m") == fdh_sign(rsa_512, b"m")

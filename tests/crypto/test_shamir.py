@@ -1,0 +1,89 @@
+"""Tests for Shamir secret sharing over GF(p)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import shamir
+from repro.crypto.drbg import HmacDrbg
+from repro.util.errors import ConfigurationError
+
+SECRETS = st.integers(0, 2**256 - 1)
+
+
+class TestSplitRecover:
+    @given(SECRETS, st.integers(1, 6), st.integers(0, 4))
+    def test_threshold_reconstruction(self, secret, threshold, extra):
+        num = threshold + extra
+        shares = shamir.split_secret(secret, threshold, num, rng=HmacDrbg(b"s"))
+        assert shamir.recover_secret(shares[:threshold]) == secret
+
+    @given(SECRETS)
+    def test_any_subset_works(self, secret):
+        shares = shamir.split_secret(secret, 3, 5, rng=HmacDrbg(b"s"))
+        assert shamir.recover_secret([shares[4], shares[0], shares[2]]) == secret
+
+    def test_below_threshold_gives_garbage(self):
+        secret = 42
+        shares = shamir.split_secret(secret, 3, 5, rng=HmacDrbg(b"s"))
+        # Two shares interpolate to some value, but not the secret
+        # (probability of coincidence ~2^-256).
+        assert shamir.recover_secret(shares[:2]) != secret
+
+    def test_one_of_one(self):
+        shares = shamir.split_secret(7, 1, 1, rng=HmacDrbg(b"s"))
+        assert shares[0].y == 7  # degree-0 polynomial is the secret
+        assert shamir.recover_secret(shares) == 7
+
+    def test_custom_points(self):
+        shares = shamir.split_secret(99, 2, 3, rng=HmacDrbg(b"s"), xs=[5, 9, 12])
+        assert {s.x for s in shares} == {5, 9, 12}
+        assert shamir.recover_secret(shares[:2]) == 99
+
+
+class TestValidation:
+    def test_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            shamir.split_secret(1, 0, 3)
+        with pytest.raises(ConfigurationError):
+            shamir.split_secret(1, 4, 3)
+
+    def test_secret_out_of_field(self):
+        with pytest.raises(ConfigurationError):
+            shamir.split_secret(shamir.PRIME, 1, 1)
+
+    def test_zero_point_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shamir.split_secret(1, 1, 1, xs=[0])
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shamir.split_secret(1, 2, 2, xs=[3, 3])
+
+    def test_recover_empty(self):
+        with pytest.raises(ConfigurationError):
+            shamir.recover_secret([])
+
+    def test_recover_duplicate_points(self):
+        share = shamir.Share(x=1, y=5)
+        with pytest.raises(ConfigurationError):
+            shamir.recover_secret([share, share])
+
+
+class TestEncoding:
+    @given(st.integers(1, 2**32 - 1), st.integers(0, shamir.PRIME - 1))
+    def test_share_roundtrip(self, x, y):
+        share = shamir.Share(x=x, y=y)
+        assert shamir.Share.decode(share.encode()) == share
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shamir.Share.decode(b"short")
+
+    @given(st.integers(0, 2**256 - 1))
+    def test_secret_bytes_roundtrip(self, secret):
+        assert shamir.bytes_to_secret(shamir.secret_to_bytes(secret)) == secret
+
+    def test_secret_too_large(self):
+        with pytest.raises(ConfigurationError):
+            shamir.secret_to_bytes(2**256)

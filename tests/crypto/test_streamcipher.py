@@ -1,0 +1,61 @@
+"""Tests for the HashCTR stream cipher."""
+
+import hashlib
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import streamcipher
+from repro.util.errors import ConfigurationError
+
+KEY = bytes(range(32))
+
+
+class TestKeystream:
+    def test_construction_pinned(self):
+        # Block i is SHA-256(key || nonce || counter_be64): pin block 0.
+        expected = hashlib.sha256(KEY + (0).to_bytes(8, "big")).digest()
+        assert streamcipher.keystream(KEY, 32) == expected
+
+    def test_length_exact(self):
+        for n in (0, 1, 31, 32, 33, 100):
+            assert len(streamcipher.keystream(KEY, n)) == n
+
+    def test_prefix_property(self):
+        assert streamcipher.keystream(KEY, 100)[:50] == streamcipher.keystream(KEY, 50)
+
+    def test_nonce_separates(self):
+        assert streamcipher.keystream(KEY, 64, b"a") != streamcipher.keystream(
+            KEY, 64, b"b"
+        )
+
+    def test_key_size_enforced(self):
+        with pytest.raises(ConfigurationError):
+            streamcipher.keystream(b"short", 16)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            streamcipher.keystream(KEY, -1)
+
+
+class TestEncryption:
+    @given(st.binary(max_size=2000))
+    def test_roundtrip(self, data):
+        nonce = b"\x07" * 16
+        assert streamcipher.decrypt(
+            KEY, nonce, streamcipher.encrypt(KEY, nonce, data)
+        ) == data
+
+    @given(st.binary(max_size=500))
+    def test_deterministic_roundtrip(self, data):
+        ct = streamcipher.deterministic_encrypt(KEY, data)
+        assert streamcipher.deterministic_encrypt(KEY, data) == ct
+        assert streamcipher.deterministic_decrypt(KEY, ct) == data
+
+    def test_distinct_keys_distinct_streams(self):
+        other = bytes(reversed(KEY))
+        data = b"\x00" * 64
+        assert streamcipher.deterministic_encrypt(
+            KEY, data
+        ) != streamcipher.deterministic_encrypt(other, data)

@@ -1,0 +1,100 @@
+"""Tests for the key manager: signing, rate limiting, accounting."""
+
+import pytest
+
+from repro.crypto import blindrsa
+from repro.crypto.drbg import HmacDrbg
+from repro.mle.keymanager import KeyManager
+from repro.sim.clock import SimClock
+from repro.util.errors import ConfigurationError, RateLimitExceeded
+
+
+@pytest.fixture()
+def manager(rsa_512):
+    return KeyManager(private_key=rsa_512, rate_limit=100, burst=100)
+
+
+class TestSigning:
+    def test_sign_batch_matches_direct(self, manager, rsa_512, rng):
+        fps = [bytes([i]) * 32 for i in range(5)]
+        blinded = []
+        states = []
+        for fp in fps:
+            b, s = blindrsa.blind(manager.public_key, fp, rng)
+            blinded.append(b)
+            states.append(s)
+        signatures = manager.sign_batch("alice", blinded)
+        for fp, state, sig in zip(fps, states, signatures):
+            unblinded = blindrsa.unblind(manager.public_key, state, sig)
+            key = blindrsa.signature_to_key(unblinded, manager.public_key.byte_size)
+            assert key == blindrsa.derive_mle_key_directly(rsa_512, fp)
+
+    def test_empty_batch(self, manager):
+        assert manager.sign_batch("alice", []) == []
+
+    def test_oversized_batch_rejected(self, manager):
+        with pytest.raises(ConfigurationError):
+            manager.sign_batch("alice", [1] * 101)
+
+    def test_generates_key_if_none_given(self):
+        manager = KeyManager(key_bits=512, rng=HmacDrbg(b"km"))
+        assert manager.public_key.bits == 512
+
+
+class TestRateLimiting:
+    def test_burst_then_reject(self, rsa_512):
+        clock = SimClock()
+        manager = KeyManager(
+            private_key=rsa_512, rate_limit=10, burst=20, clock=clock
+        )
+        manager.sign_batch("alice", [123] * 20)
+        with pytest.raises(RateLimitExceeded):
+            manager.sign_batch("alice", [123])
+
+    def test_refill_allows_more(self, rsa_512):
+        clock = SimClock()
+        manager = KeyManager(private_key=rsa_512, rate_limit=10, burst=20, clock=clock)
+        manager.sign_batch("alice", [123] * 20)
+        clock.advance(1.0)  # 10 tokens back
+        assert len(manager.sign_batch("alice", [123] * 10)) == 10
+
+    def test_limits_are_per_client(self, rsa_512):
+        clock = SimClock()
+        manager = KeyManager(private_key=rsa_512, rate_limit=10, burst=10, clock=clock)
+        manager.sign_batch("alice", [1] * 10)
+        # Bob has his own bucket.
+        assert len(manager.sign_batch("bob", [1] * 10)) == 10
+
+    def test_backoff_hint(self, rsa_512):
+        clock = SimClock()
+        manager = KeyManager(private_key=rsa_512, rate_limit=10, burst=10, clock=clock)
+        manager.sign_batch("alice", [1] * 10)
+        assert manager.seconds_until_allowed("alice", 5) == pytest.approx(0.5)
+
+    def test_rejected_batch_is_all_or_nothing(self, rsa_512):
+        clock = SimClock()
+        manager = KeyManager(private_key=rsa_512, rate_limit=10, burst=10, clock=clock)
+        manager.sign_batch("alice", [1] * 8)
+        with pytest.raises(RateLimitExceeded):
+            manager.sign_batch("alice", [1] * 5)
+        # The failed batch consumed nothing: 2 tokens remain usable.
+        assert len(manager.sign_batch("alice", [1] * 2)) == 2
+
+
+class TestAccounting:
+    def test_stats(self, manager):
+        manager.sign_batch("alice", [1, 2, 3])
+        manager.sign_batch("bob", [4])
+        assert manager.stats.signatures == 4
+        assert manager.stats.batches == 2
+        assert manager.stats.clients == 2
+        assert manager.client_stats("alice")["requests"] == 3
+
+    def test_rejections_counted(self, rsa_512):
+        clock = SimClock()
+        manager = KeyManager(private_key=rsa_512, rate_limit=1, burst=2, clock=clock)
+        manager.sign_batch("alice", [1, 2])
+        with pytest.raises(RateLimitExceeded):
+            manager.sign_batch("alice", [1])
+        assert manager.stats.rejected == 1
+        assert manager.client_stats("alice")["rejected"] == 1

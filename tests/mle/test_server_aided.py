@@ -1,0 +1,156 @@
+"""Tests for the server-aided MLE key client (batching, caching, retry)."""
+
+import pytest
+
+from repro.crypto import blindrsa
+from repro.crypto.drbg import HmacDrbg
+from repro.mle.cache import MLEKeyCache
+from repro.mle.keymanager import KeyManager
+from repro.mle.server_aided import (
+    LocalKeyManagerChannel,
+    ServerAidedKeyClient,
+)
+from repro.sim.clock import SimClock
+from repro.util.errors import ConfigurationError, KeyManagerError, RateLimitExceeded
+
+
+@pytest.fixture()
+def manager(rsa_512):
+    return KeyManager(private_key=rsa_512, rate_limit=10_000, burst=16_384)
+
+
+def make_client(manager, **kwargs):
+    kwargs.setdefault("rng", HmacDrbg(b"client"))
+    return ServerAidedKeyClient(
+        LocalKeyManagerChannel(manager), client_id="alice", **kwargs
+    )
+
+
+class TestCorrectness:
+    def test_keys_match_direct_oprf(self, manager, rsa_512):
+        client = make_client(manager)
+        fps = [bytes([i]) * 32 for i in range(10)]
+        keys = client.get_keys(fps)
+        for fp, key in zip(fps, keys):
+            assert key == blindrsa.derive_mle_key_directly(rsa_512, fp)
+
+    def test_order_preserved(self, manager):
+        client = make_client(manager)
+        fps = [bytes([i]) * 32 for i in range(7)]
+        keys = client.get_keys(list(reversed(fps)))
+        assert keys == list(reversed(client.get_keys(fps)))
+
+    def test_single_key(self, manager, rsa_512):
+        client = make_client(manager)
+        fp = b"\x09" * 32
+        assert client.get_key(fp) == blindrsa.derive_mle_key_directly(rsa_512, fp)
+
+    def test_empty_request(self, manager):
+        assert make_client(manager).get_keys([]) == []
+
+
+class TestBatching:
+    def test_requests_split_into_batches(self, manager):
+        client = make_client(manager, batch_size=4)
+        client.get_keys([bytes([i]) * 32 for i in range(10)])
+        assert manager.stats.batches == 3  # 4 + 4 + 2
+        assert manager.stats.signatures == 10
+
+    def test_duplicates_within_call_deduplicated(self, manager):
+        client = make_client(manager)
+        fp = b"\x01" * 32
+        keys = client.get_keys([fp, fp, fp])
+        assert keys[0] == keys[1] == keys[2]
+        assert manager.stats.signatures == 1
+
+    def test_bad_batch_size(self, manager):
+        with pytest.raises(ConfigurationError):
+            make_client(manager, batch_size=0)
+
+
+class TestCaching:
+    def test_cache_hit_skips_key_manager(self, manager):
+        client = make_client(manager, cache=MLEKeyCache(1 << 20))
+        fps = [bytes([i]) * 32 for i in range(5)]
+        client.get_keys(fps)
+        before = manager.stats.signatures
+        client.get_keys(fps)
+        assert manager.stats.signatures == before
+        assert client.cache_hits == 5
+
+    def test_clear_cache_forces_regeneration(self, manager):
+        client = make_client(manager, cache=MLEKeyCache(1 << 20))
+        fps = [bytes([i]) * 32 for i in range(3)]
+        client.get_keys(fps)
+        client.clear_cache()
+        client.get_keys(fps)
+        assert manager.stats.signatures == 6
+
+    def test_no_cache_configured(self, manager):
+        client = make_client(manager, cache=None)
+        fp = b"\x02" * 32
+        client.get_key(fp)
+        client.get_key(fp)
+        assert manager.stats.signatures == 2
+
+
+class TestRateLimitBackoff:
+    def test_retry_after_backoff(self, rsa_512):
+        clock = SimClock()
+        manager = KeyManager(private_key=rsa_512, rate_limit=10, burst=10, clock=clock)
+        client = ServerAidedKeyClient(
+            LocalKeyManagerChannel(manager),
+            client_id="alice",
+            rng=HmacDrbg(b"c"),
+            sleep=clock.sleep,
+            batch_size=10,
+        )
+        client.get_keys([bytes([i]) * 32 for i in range(10)])  # drains bucket
+        # The next batch must back off (via the injected sleeping clock)
+        # and then succeed.
+        keys = client.get_keys([bytes([i + 50]) * 32 for i in range(10)])
+        assert len(keys) == 10
+
+    def test_retries_bounded(self, rsa_512):
+        clock = SimClock()
+        manager = KeyManager(private_key=rsa_512, rate_limit=10, burst=10, clock=clock)
+
+        def frozen_sleep(_seconds: float) -> None:
+            pass  # clock never advances -> bucket never refills
+
+        client = ServerAidedKeyClient(
+            LocalKeyManagerChannel(manager),
+            client_id="alice",
+            rng=HmacDrbg(b"c"),
+            sleep=frozen_sleep,
+            batch_size=10,
+            max_retries=2,
+        )
+        client.get_keys([bytes([i]) * 32 for i in range(10)])
+        with pytest.raises(RateLimitExceeded):
+            client.get_keys([b"\xff" * 32])
+
+
+class TestRobustness:
+    def test_short_response_detected(self, manager):
+        client = make_client(manager)
+
+        class TruncatingChannel(LocalKeyManagerChannel):
+            def sign_batch(self, client_id, blinded_values):
+                return super().sign_batch(client_id, blinded_values)[:-1]
+
+        client._channel = TruncatingChannel(manager)
+        with pytest.raises(KeyManagerError):
+            client.get_keys([b"\x01" * 32, b"\x02" * 32])
+
+    def test_corrupted_signature_detected(self, manager):
+        class CorruptingChannel(LocalKeyManagerChannel):
+            def sign_batch(self, client_id, blinded_values):
+                out = super().sign_batch(client_id, blinded_values)
+                return [value ^ 1 for value in out]
+
+        client = ServerAidedKeyClient(
+            CorruptingChannel(manager), client_id="alice", rng=HmacDrbg(b"c")
+        )
+        with pytest.raises(KeyManagerError):
+            client.get_key(b"\x01" * 32)

@@ -1,0 +1,55 @@
+"""Tests for RPC message framing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.message import MAX_MESSAGE_BYTES, Message, frame, read_frame
+from repro.util.errors import CorruptionError, ProtocolError
+
+
+class TestMessage:
+    @given(
+        st.integers(0, 2**32),
+        st.text(max_size=50),
+        st.booleans(),
+        st.binary(max_size=512),
+    )
+    def test_roundtrip(self, mid, method, is_error, payload):
+        msg = Message(message_id=mid, method=method, is_error=is_error, payload=payload)
+        assert Message.decode(msg.encode()) == msg
+
+    def test_trailing_garbage_rejected(self):
+        data = Message(1, "m", False, b"").encode() + b"x"
+        with pytest.raises(CorruptionError):
+            Message.decode(data)
+
+
+class TestFraming:
+    def test_frame_roundtrip(self):
+        body = b"hello framing"
+        framed = frame(body)
+        buffer = bytearray(framed)
+
+        def recv_exact(n):
+            out = bytes(buffer[:n])
+            del buffer[:n]
+            return out
+
+        assert read_frame(recv_exact) == body
+
+    def test_oversized_frame_rejected_on_send(self):
+        with pytest.raises(ProtocolError):
+            frame(b"\x00" * (MAX_MESSAGE_BYTES + 1))
+
+    def test_corrupt_length_rejected_on_receive(self):
+        bogus = (MAX_MESSAGE_BYTES + 1).to_bytes(4, "big")
+        buffer = bytearray(bogus)
+
+        def recv_exact(n):
+            out = bytes(buffer[:n])
+            del buffer[:n]
+            return out
+
+        with pytest.raises(CorruptionError):
+            read_frame(recv_exact)

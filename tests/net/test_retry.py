@@ -1,0 +1,137 @@
+"""Tests for the RPC retry layer, with injected transport faults."""
+
+import pytest
+
+from repro.net.retry import RetryingRpcClient, RetryPolicy
+from repro.net.rpc import LoopbackTransport, ServiceRegistry
+from repro.util.errors import (
+    ConfigurationError,
+    NotFoundError,
+    ProtocolError,
+)
+
+
+class FlakyTransport:
+    """Wraps a loopback client; fails the first ``failures`` calls."""
+
+    def __init__(self, failures: int):
+        registry = ServiceRegistry()
+        registry.register("echo", lambda p: p)
+
+        def missing(_p):
+            raise NotFoundError("semantically gone")
+
+        registry.register("missing", missing)
+        self._inner = LoopbackTransport(registry).client()
+        self.remaining_failures = failures
+        self.calls = 0
+        self.reconnects = 0
+
+    def call(self, method, payload=b""):
+        self.calls += 1
+        if self.remaining_failures > 0:
+            self.remaining_failures -= 1
+            raise ProtocolError("injected transport fault")
+        return self._inner.call(method, payload)
+
+
+def no_sleep(_seconds):
+    pass
+
+
+class TestRetryPolicy:
+    def test_succeeds_after_transient_failures(self):
+        flaky = FlakyTransport(failures=2)
+        client = RetryingRpcClient(
+            flaky, RetryPolicy(attempts=4, sleep=no_sleep)
+        )
+        assert client.call("echo", b"hello") == b"hello"
+        assert flaky.calls == 3
+
+    def test_gives_up_after_budget(self):
+        flaky = FlakyTransport(failures=10)
+        client = RetryingRpcClient(
+            flaky, RetryPolicy(attempts=3, sleep=no_sleep)
+        )
+        with pytest.raises(ProtocolError, match="after 3 attempts"):
+            client.call("echo", b"x")
+        assert flaky.calls == 3
+
+    def test_semantic_errors_not_retried(self):
+        flaky = FlakyTransport(failures=0)
+        client = RetryingRpcClient(
+            flaky, RetryPolicy(attempts=5, sleep=no_sleep)
+        )
+        with pytest.raises(NotFoundError):
+            client.call("missing")
+        assert flaky.calls == 1
+
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(attempts=5, base_delay=0.1, cap=0.5, sleep=no_sleep)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.5)  # capped
+
+    def test_sleeps_between_attempts(self):
+        slept = []
+        flaky = FlakyTransport(failures=2)
+        client = RetryingRpcClient(
+            flaky, RetryPolicy(attempts=3, base_delay=0.01, sleep=slept.append)
+        )
+        client.call("echo", b"x")
+        assert len(slept) == 2
+
+    def test_reconnect_hook(self):
+        flaky = FlakyTransport(failures=1)
+        fresh = FlakyTransport(failures=0)
+        reconnects = []
+
+        def reconnect():
+            reconnects.append(1)
+            return fresh
+
+        client = RetryingRpcClient(
+            flaky, RetryPolicy(attempts=3, sleep=no_sleep), reconnect=reconnect
+        )
+        assert client.call("echo", b"y") == b"y"
+        assert reconnects == [1]
+        assert fresh.calls == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay=-1)
+
+
+class TestEndToEndWithStorage:
+    def test_remote_storage_over_flaky_transport(self):
+        """A storage stub behind a flaky transport completes an upload's
+        worth of calls once wrapped with retries."""
+        from repro.core.server import REEDServer
+        from repro.core.service import RemoteStorageService, register_storage_service
+        from repro.crypto.hashing import fingerprint
+
+        registry = ServiceRegistry()
+        register_storage_service(registry, REEDServer())
+        inner = LoopbackTransport(registry).client()
+
+        class EveryOtherCallFails:
+            def __init__(self):
+                self.count = 0
+
+            def call(self, method, payload=b""):
+                self.count += 1
+                if self.count % 2:
+                    raise ProtocolError("flaky network")
+                return inner.call(method, payload)
+
+        client = RetryingRpcClient(
+            EveryOtherCallFails(), RetryPolicy(attempts=3, sleep=no_sleep)
+        )
+        storage = RemoteStorageService(client)
+        data = b"chunk bytes"
+        assert storage.chunk_put_batch([(fingerprint(data), data)]) == 1
+        assert storage.chunk_get_batch([fingerprint(data)]) == [data]
+        storage.recipe_put("f", b"r")
+        assert storage.recipe_list() == ["f"]

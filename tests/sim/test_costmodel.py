@@ -1,0 +1,197 @@
+"""Tests pinning the calibrated cost model to the paper's quoted numbers.
+
+These are the "model honesty" checks: if a refactor drifts the model away
+from the component values the paper reports, these tests fail.  Tolerances
+are ±10 % (the paper itself reports averages over 10 runs).
+"""
+
+import pytest
+
+from repro.sim.costmodel import PAPER_TESTBED, TestbedModel
+from repro.util.errors import ConfigurationError
+from repro.util.units import GiB, KiB, MiB
+
+
+def MBps(value):
+    return value / MiB
+
+
+class TestKeygenModel:
+    def test_fig5a_16kb(self):
+        # Paper: 17.64 MB/s at 16 KB, batch 256.
+        assert MBps(PAPER_TESTBED.keygen_rate(16 * KiB, 256)) == pytest.approx(
+            17.64, rel=0.10
+        )
+
+    def test_fig5b_plateau(self):
+        # Paper: ~12.5 MB/s at 8 KB for batch >= 256.
+        for batch in (256, 1024, 4096):
+            assert MBps(PAPER_TESTBED.keygen_rate(8 * KiB, batch)) == pytest.approx(
+                12.5, rel=0.10
+            )
+
+    def test_speed_increases_with_chunk_size(self):
+        rates = [PAPER_TESTBED.keygen_rate(s, 256) for s in (2048, 4096, 8192, 16384)]
+        assert rates == sorted(rates)
+
+    def test_speed_increases_with_batch_size(self):
+        rates = [PAPER_TESTBED.keygen_rate(8 * KiB, b) for b in (1, 16, 256)]
+        assert rates == sorted(rates)
+
+    def test_small_batches_hurt(self):
+        # Round-trip dominated: batch 1 should be far below the plateau.
+        assert PAPER_TESTBED.keygen_rate(8 * KiB, 1) < 0.5 * PAPER_TESTBED.keygen_rate(
+            8 * KiB, 256
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_TESTBED.keygen_time(100, 0, 256)
+
+
+class TestEncryptionModel:
+    def test_fig6_8kb(self):
+        # Paper: basic 203 MB/s, enhanced 155 MB/s at 8 KB; basic ~24% faster.
+        basic = MBps(PAPER_TESTBED.encrypt_rate(8 * KiB, "basic"))
+        enhanced = MBps(PAPER_TESTBED.encrypt_rate(8 * KiB, "enhanced"))
+        assert basic == pytest.approx(203, rel=0.05)
+        assert enhanced == pytest.approx(155, rel=0.05)
+        assert basic / enhanced == pytest.approx(1.24, rel=0.10)
+
+    def test_speed_increases_with_chunk_size(self):
+        for scheme in ("basic", "enhanced"):
+            rates = [
+                PAPER_TESTBED.encrypt_rate(s, scheme) for s in (2048, 8192, 16384)
+            ]
+            assert rates == sorted(rates)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_TESTBED.encrypt_rate(8192, "rot13")
+
+
+class TestUploadDownloadModel:
+    def test_first_upload_keygen_bound(self):
+        # Paper: first uploads range ~4 MB/s (2 KB) to ~17 MB/s (16 KB).
+        low = MBps(PAPER_TESTBED.upload_rate(2 * KiB, "enhanced", keys_cached=False))
+        high = MBps(PAPER_TESTBED.upload_rate(16 * KiB, "enhanced", keys_cached=False))
+        assert low == pytest.approx(4.5, rel=0.25)
+        assert high == pytest.approx(17, rel=0.10)
+
+    def test_second_upload_network_bound(self):
+        # Paper: 108.1 / 107.2 MB/s at 16 KB with cached keys.
+        for scheme in ("basic", "enhanced"):
+            rate = MBps(PAPER_TESTBED.upload_rate(16 * KiB, scheme, keys_cached=True))
+            assert rate == pytest.approx(107.5, rel=0.07)
+
+    def test_schemes_converge_when_cached(self):
+        # "both encryption schemes have only minor performance differences"
+        basic = PAPER_TESTBED.upload_rate(16 * KiB, "basic", keys_cached=True)
+        enhanced = PAPER_TESTBED.upload_rate(16 * KiB, "enhanced", keys_cached=True)
+        assert abs(basic - enhanced) / basic < 0.05
+
+    def test_download_approaches_network(self):
+        # Paper: ~108.0 / 106.6 MB/s beyond 8 KB.
+        for scheme in ("basic", "enhanced"):
+            rate = MBps(PAPER_TESTBED.download_rate(8 * KiB, scheme))
+            assert rate == pytest.approx(107, rel=0.10)
+
+    def test_upload_never_exceeds_network(self):
+        for size in (2048, 4096, 8192, 16384):
+            assert (
+                PAPER_TESTBED.upload_rate(size, "basic", keys_cached=True)
+                <= PAPER_TESTBED.network_rate
+            )
+
+
+class TestAggregateModel:
+    def test_fig7c_plateau(self):
+        # Paper: 374.9 MB/s with eight clients (second upload).
+        rate = MBps(
+            PAPER_TESTBED.aggregate_upload_rate(8, 8 * KiB, "enhanced", keys_cached=True)
+        )
+        assert rate == pytest.approx(374.9, rel=0.05)
+
+    def test_cached_scales_then_saturates(self):
+        rates = [
+            PAPER_TESTBED.aggregate_upload_rate(n, 8 * KiB, "enhanced", True)
+            for n in range(1, 9)
+        ]
+        assert rates == sorted(rates)
+        assert rates[1] == pytest.approx(2 * rates[0], rel=0.05)  # linear early
+        assert rates[7] < 8 * rates[0]  # saturated late
+
+    def test_first_upload_bounded_by_key_manager(self):
+        one = PAPER_TESTBED.aggregate_upload_rate(1, 8 * KiB, "enhanced", False)
+        eight = PAPER_TESTBED.aggregate_upload_rate(8, 8 * KiB, "enhanced", False)
+        assert eight < 8 * one  # key manager saturates
+        assert eight <= PAPER_TESTBED.keygen_rate(8 * KiB, 256) * 4 + 1
+
+    def test_invalid_clients(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_TESTBED.aggregate_upload_rate(0, 8192, "basic", True)
+
+
+class TestRekeyModel:
+    def test_fig8c_quotes(self):
+        # Paper: lazy flat at ~2.25 s; active 3.4 s at 8 GB.
+        lazy = PAPER_TESTBED.rekey_time(500, 0.20, 2 * GiB, active=False)
+        active_8g = PAPER_TESTBED.rekey_time(500, 0.20, 8 * GiB, active=True)
+        assert lazy == pytest.approx(2.25, rel=0.08)
+        assert active_8g == pytest.approx(3.4, rel=0.08)
+
+    def test_fig8b_quotes(self):
+        # Paper: at 50% revocation of 500 users: 1.44 s lazy, 2 s active.
+        lazy = PAPER_TESTBED.rekey_time(500, 0.50, 2 * GiB, active=False)
+        active = PAPER_TESTBED.rekey_time(500, 0.50, 2 * GiB, active=True)
+        assert lazy == pytest.approx(1.44, rel=0.10)
+        assert active == pytest.approx(2.0, rel=0.10)
+
+    def test_lazy_independent_of_file_size(self):
+        a = PAPER_TESTBED.rekey_time(500, 0.2, 1 * GiB, active=False)
+        b = PAPER_TESTBED.rekey_time(500, 0.2, 8 * GiB, active=False)
+        assert a == b
+
+    def test_active_grows_with_file_size(self):
+        sizes = [1 * GiB, 2 * GiB, 4 * GiB, 8 * GiB]
+        delays = [PAPER_TESTBED.rekey_time(500, 0.2, s, active=True) for s in sizes]
+        assert delays == sorted(delays)
+
+    def test_delay_grows_with_users(self):
+        delays = [
+            PAPER_TESTBED.rekey_time(u, 0.2, 2 * GiB, active=False)
+            for u in (100, 300, 500)
+        ]
+        assert delays == sorted(delays)
+        assert delays[-1] < 3.0  # paper: within three seconds
+
+    def test_delay_shrinks_with_revocation_ratio(self):
+        delays = [
+            PAPER_TESTBED.rekey_time(500, r, 2 * GiB, active=False)
+            for r in (0.05, 0.25, 0.50)
+        ]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_rekey_beats_full_reupload(self):
+        # Paper: active rekey of 8 GB is 3.4 s vs >= 64 s to re-push the file.
+        rekey = PAPER_TESTBED.rekey_time(500, 0.2, 8 * GiB, active=True)
+        reupload = PAPER_TESTBED.full_reupload_time(8 * GiB)
+        assert reupload > 64
+        assert rekey < reupload / 15
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_TESTBED.rekey_time(10, 1.0, GiB, active=False)
+
+
+class TestModelCustomization:
+    def test_frozen_dataclass_supports_replace(self):
+        import dataclasses
+
+        slower = dataclasses.replace(PAPER_TESTBED, network_rate=10 * MiB)
+        assert slower.upload_rate(8 * KiB, "basic", keys_cached=True) < (
+            PAPER_TESTBED.upload_rate(8 * KiB, "basic", keys_cached=True)
+        )
+
+    def test_default_instance(self):
+        assert isinstance(PAPER_TESTBED, TestbedModel)

@@ -1,0 +1,50 @@
+"""Tests for the one-command reproduction report."""
+
+import pytest
+
+from repro.sim.experiments import (
+    Comparison,
+    format_report,
+    main,
+    model_comparisons,
+    trace_comparisons,
+)
+
+
+class TestComparisons:
+    def test_all_model_points_within_tolerance(self):
+        for comparison in model_comparisons():
+            assert comparison.within, (
+                f"fig {comparison.figure} {comparison.what}: paper "
+                f"{comparison.paper} vs {comparison.reproduced}"
+            )
+
+    def test_trace_points_within_tolerance(self):
+        for comparison in trace_comparisons(scale=2e-6):
+            assert comparison.within
+
+    def test_every_evaluation_figure_covered(self):
+        figures = {c.figure for c in model_comparisons()} | {
+            c.figure for c in trace_comparisons(scale=2e-6)
+        }
+        # At least one quoted point per evaluation figure family.
+        for family in ("5", "6", "7", "8", "9"):
+            assert any(f.startswith(family) for f in figures), family
+
+    def test_within_logic(self):
+        good = Comparison("x", "y", 100.0, 105.0, 0.10)
+        bad = Comparison("x", "y", 100.0, 120.0, 0.10)
+        assert good.within and not bad.within
+
+
+class TestReport:
+    def test_format_includes_summary(self):
+        report = format_report(model_comparisons())
+        assert "within tolerance" in report
+        assert "NO" not in report
+
+    def test_main_exit_code(self, capsys):
+        assert main() == 0
+        out = capsys.readouterr().out
+        assert "reproduction report" in out
+        assert "Figure 8c" in out

@@ -1,0 +1,113 @@
+"""Tests for the figure harnesses: shape assertions per paper figure."""
+
+import pytest
+
+from repro.sim import figures
+from repro.sim.figures import PAPER_QUOTED, Series, all_model_figures
+
+
+def series_by_label(series_list, label):
+    for series in series_list:
+        if series.label == label:
+            return series
+    raise AssertionError(f"no series labeled {label!r}")
+
+
+class TestFigureShapes:
+    def test_fig5a_monotonic(self):
+        points = figures.fig5a()[0].points
+        ys = [y for _, y in points]
+        assert ys == sorted(ys)
+        assert points[-1][1] == pytest.approx(PAPER_QUOTED["fig5a.keygen@16KB"], rel=0.1)
+
+    def test_fig5b_saturates(self):
+        points = figures.fig5b()[0].points
+        ys = dict(points)
+        assert ys[256] == pytest.approx(ys[4096], rel=0.05)  # plateau
+        assert ys[1] < ys[256] / 2
+
+    def test_fig6_basic_beats_enhanced_everywhere(self):
+        series = figures.fig6()
+        basic = dict(series_by_label(series, "basic").points)
+        enhanced = dict(series_by_label(series, "enhanced").points)
+        for x in basic:
+            assert basic[x] > enhanced[x]
+
+    def test_fig7a_second_upload_dominates_first(self):
+        series = figures.fig7a()
+        first = dict(series_by_label(series, "enhanced (1st)").points)
+        second = dict(series_by_label(series, "enhanced (2nd)").points)
+        for x in first:
+            assert second[x] > 4 * first[x]
+
+    def test_fig7a_first_upload_tracks_keygen(self):
+        """The paper: first-upload speed is bounded by MLE key generation."""
+        first = dict(series_by_label(figures.fig7a(), "basic (1st)").points)
+        keygen = dict(figures.fig5a()[0].points)
+        for x in first:
+            assert first[x] <= keygen[x]
+            assert first[x] > 0.8 * keygen[x]
+
+    def test_fig7b_download_near_network(self):
+        series = figures.fig7b()
+        for s in series:
+            ys = dict(s.points)
+            assert ys[8] > 95  # MB/s, "approximate the effective network speed"
+            assert ys[16] > 100
+
+    def test_fig7c_crossover_structure(self):
+        """First uploads saturate early (key manager); second uploads scale
+        almost linearly to the cluster limit."""
+        series = figures.fig7c()
+        first = dict(series_by_label(series, "Upload (1st)").points)
+        second = dict(series_by_label(series, "Upload (2nd)").points)
+        assert second[8] == pytest.approx(374.9, rel=0.05)
+        assert first[8] < second[8] / 4
+        # First upload stops scaling once the KM's cores saturate.
+        assert first[8] == pytest.approx(first[5], rel=0.10)
+
+    def test_fig8a_ordering_and_gap(self):
+        series = figures.fig8a()
+        lazy = dict(series_by_label(series, "lazy").points)
+        active = dict(series_by_label(series, "active").points)
+        for users in lazy:
+            assert active[users] > lazy[users]
+            assert active[users] < 3.0  # "within three seconds"
+        # Paper: lazy faster by ~0.6 s (2 GB file).
+        assert active[500] - lazy[500] == pytest.approx(0.6, abs=0.25)
+
+    def test_fig8b_decreasing_in_ratio(self):
+        for s in figures.fig8b():
+            ys = [y for _, y in s.points]
+            assert ys == sorted(ys, reverse=True)
+
+    def test_fig8c_lazy_flat_active_growing(self):
+        series = figures.fig8c()
+        lazy = [y for _, y in series_by_label(series, "lazy").points]
+        active = [y for _, y in series_by_label(series, "active").points]
+        assert max(lazy) - min(lazy) < 1e-9
+        assert active == sorted(active)
+        assert active[-1] == pytest.approx(PAPER_QUOTED["fig8c.active@8GB"], rel=0.1)
+
+
+class TestHarness:
+    def test_all_model_figures_complete(self):
+        figs = all_model_figures()
+        assert sorted(figs) == ["5a", "5b", "6", "7a", "7b", "7c", "8a", "8b", "8c"]
+        for series_list in figs.values():
+            assert series_list
+            for series in series_list:
+                assert series.points
+
+    def test_series_y_at(self):
+        series = Series(
+            figure="t", label="l", x_label="x", y_label="y", points=((1, 10.0),)
+        )
+        assert series.y_at(1) == 10.0
+        with pytest.raises(KeyError):
+            series.y_at(2)
+
+    def test_format_series_table(self):
+        text = figures.format_series_table(figures.fig5a())
+        assert "Figure 5a" in text
+        assert "MB/s" in text

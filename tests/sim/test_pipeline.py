@@ -1,0 +1,120 @@
+"""Tests for the discrete-event pipeline simulator."""
+
+import pytest
+
+from repro.sim.costmodel import PAPER_TESTBED
+from repro.sim.pipeline import (
+    Stage,
+    reed_upload_pipeline,
+    simulate_pipeline,
+)
+from repro.util.errors import ConfigurationError
+from repro.util.units import GiB, KiB, MiB
+
+
+class TestMechanics:
+    def test_single_stage_time(self):
+        result = simulate_pipeline([Stage("only", rate=100.0)], 1000, 100)
+        # 10 batches of 100 bytes at 100 B/s, no latency: 10 s.
+        assert result.total_seconds == pytest.approx(10.0)
+        assert result.throughput == pytest.approx(100.0)
+
+    def test_latency_counts_per_batch(self):
+        result = simulate_pipeline(
+            [Stage("rpc", rate=1e9, latency=0.5)], 1000, 100
+        )
+        assert result.total_seconds == pytest.approx(5.0, rel=0.01)
+
+    def test_two_stage_overlap(self):
+        """Pipelining: total ≈ slower stage's time + one batch of the
+        faster stage, not the sum of both stage times."""
+        fast = Stage("fast", rate=1000.0)
+        slow = Stage("slow", rate=100.0)
+        result = simulate_pipeline([fast, slow], 10_000, 1000)
+        serial = 10_000 / 1000 + 10_000 / 100
+        # Pipelined: the fast stage's work hides behind the slow stage's,
+        # except for the very first batch.
+        assert result.total_seconds < serial
+        assert result.total_seconds == pytest.approx(
+            10_000 / 100 + 1000 / 1000, rel=0.01
+        )
+
+    def test_balanced_stages_overlap_fully(self):
+        a = Stage("a", rate=100.0)
+        b = Stage("b", rate=100.0)
+        result = simulate_pipeline([a, b], 10_000, 1000)
+        serial = 2 * (10_000 / 100)
+        # Two equal stages pipeline to ~half the serial time.
+        assert result.total_seconds == pytest.approx(
+            10_000 / 100 + 1000 / 100, rel=0.01
+        )
+        assert result.total_seconds < 0.6 * serial
+
+    def test_bottleneck_identified(self):
+        stages = [Stage("a", rate=500.0), Stage("b", rate=50.0), Stage("c", rate=200.0)]
+        result = simulate_pipeline(stages, 50_000, 1000)
+        assert result.bottleneck() == "b"
+
+    def test_concurrency_multiplies_throughput(self):
+        serial = simulate_pipeline([Stage("s", rate=100.0)], 10_000, 100)
+        parallel = simulate_pipeline(
+            [Stage("s", rate=100.0, concurrency=4)], 10_000, 100
+        )
+        assert parallel.total_seconds < serial.total_seconds / 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_pipeline([], 100, 10)
+        with pytest.raises(ConfigurationError):
+            simulate_pipeline([Stage("s", rate=1.0)], 0, 10)
+        with pytest.raises(ConfigurationError):
+            Stage("s", rate=0.0)
+        with pytest.raises(ConfigurationError):
+            Stage("s", rate=1.0, latency=-1)
+        with pytest.raises(ConfigurationError):
+            Stage("s", rate=1.0, concurrency=0)
+
+
+class TestAgainstAnalyticalModel:
+    """The simulator and the closed-form model must agree in steady
+    state — two independent computations of the same physics."""
+
+    @pytest.mark.parametrize("chunk_kib", [2, 8, 16])
+    @pytest.mark.parametrize("cached", [False, True])
+    def test_upload_rates_agree(self, chunk_kib, cached):
+        chunk = chunk_kib * KiB
+        stages = reed_upload_pipeline(
+            PAPER_TESTBED, chunk, "enhanced", keys_cached=cached
+        )
+        result = simulate_pipeline(stages, 1 * GiB, 4 * MiB)
+        analytical = PAPER_TESTBED.upload_rate(chunk, "enhanced", keys_cached=cached)
+        # The analytical model folds pipeline imperfection into a single
+        # efficiency factor; the simulator derives it.  Within 15%.
+        assert result.throughput == pytest.approx(analytical, rel=0.15)
+
+    def test_first_upload_bottleneck_is_keygen(self):
+        stages = reed_upload_pipeline(
+            PAPER_TESTBED, 8 * KiB, "enhanced", keys_cached=False
+        )
+        result = simulate_pipeline(stages, 256 * MiB, 4 * MiB)
+        assert result.bottleneck() == "keygen"
+
+    def test_second_upload_bottleneck_is_network(self):
+        stages = reed_upload_pipeline(
+            PAPER_TESTBED, 8 * KiB, "enhanced", keys_cached=True
+        )
+        result = simulate_pipeline(stages, 256 * MiB, 4 * MiB)
+        assert result.bottleneck() == "network"
+
+    def test_cache_flip_reproduces_fig7a(self):
+        first = simulate_pipeline(
+            reed_upload_pipeline(PAPER_TESTBED, 8 * KiB, "basic", keys_cached=False),
+            256 * MiB,
+            4 * MiB,
+        )
+        second = simulate_pipeline(
+            reed_upload_pipeline(PAPER_TESTBED, 8 * KiB, "basic", keys_cached=True),
+            256 * MiB,
+            4 * MiB,
+        )
+        assert second.throughput > 7 * first.throughput

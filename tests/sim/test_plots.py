@@ -1,0 +1,58 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.sim import figures
+from repro.sim.figures import Series
+from repro.sim.plots import render_chart, render_figure
+from repro.util.errors import ConfigurationError
+
+
+def make_series(points, label="s"):
+    return Series(
+        figure="t", label=label, x_label="x", y_label="y", points=tuple(points)
+    )
+
+
+class TestRenderChart:
+    def test_contains_marks_and_axes(self):
+        chart = render_chart([make_series([(1, 1.0), (2, 2.0), (4, 4.0)])])
+        assert "*" in chart
+        assert "|" in chart and "+" in chart
+        assert "x: x   y: y" in chart
+
+    def test_monotone_series_renders_monotone(self):
+        chart = render_chart(
+            [make_series([(1, 1.0), (2, 2.0), (3, 3.0)])], width=30, height=10
+        )
+        rows = [line[12:] for line in chart.splitlines()[:10]]
+        columns = {}
+        for row_index, row in enumerate(rows):
+            for col_index, char in enumerate(row):
+                if char == "*":
+                    columns[col_index] = row_index
+        ordered = [columns[c] for c in sorted(columns)]
+        # Higher y = smaller row index: strictly decreasing rows.
+        assert ordered == sorted(ordered, reverse=True)
+
+    def test_multiple_series_distinct_marks(self):
+        a = make_series([(1, 1.0), (2, 2.0)], label="a")
+        b = make_series([(1, 2.0), (2, 1.0)], label="b")
+        chart = render_chart([a, b])
+        assert "* a" in chart and "o b" in chart
+
+    def test_single_point(self):
+        chart = render_chart([make_series([(5, 10.0)])])
+        assert "*" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            render_chart([])
+        with pytest.raises(ConfigurationError):
+            render_chart([make_series([(1, 1.0)])], width=5)
+
+    def test_all_paper_figures_render(self):
+        for figure_id, series_list in figures.all_model_figures().items():
+            out = render_figure(figure_id, series_list)
+            assert f"Figure {figure_id}" in out
+            assert len(out.splitlines()) > 10

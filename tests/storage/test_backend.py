@@ -1,0 +1,83 @@
+"""Tests for blob backends (memory and directory)."""
+
+import pytest
+
+from repro.storage.backend import DirectoryBackend, MemoryBackend
+from repro.util.errors import ConfigurationError, NotFoundError
+
+
+@pytest.fixture(params=["memory", "directory"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        return MemoryBackend()
+    return DirectoryBackend(str(tmp_path / "blobs"))
+
+
+class TestBlobOps:
+    def test_put_get(self, backend):
+        backend.put("a/b", b"data")
+        assert backend.get("a/b") == b"data"
+
+    def test_overwrite(self, backend):
+        backend.put("x", b"one")
+        backend.put("x", b"two")
+        assert backend.get("x") == b"two"
+
+    def test_missing_get(self, backend):
+        with pytest.raises(NotFoundError):
+            backend.get("nope")
+
+    def test_delete(self, backend):
+        backend.put("x", b"d")
+        backend.delete("x")
+        assert not backend.exists("x")
+        with pytest.raises(NotFoundError):
+            backend.delete("x")
+
+    def test_exists(self, backend):
+        assert not backend.exists("x")
+        backend.put("x", b"")
+        assert backend.exists("x")
+
+    def test_size(self, backend):
+        backend.put("x", b"12345")
+        assert backend.size("x") == 5
+        with pytest.raises(NotFoundError):
+            backend.size("missing")
+
+    def test_list_prefix_sorted(self, backend):
+        for name in ("b/2", "a/1", "b/1", "c"):
+            backend.put(name, b"x")
+        assert list(backend.list("b/")) == ["b/1", "b/2"]
+        assert list(backend.list()) == ["a/1", "b/1", "b/2", "c"]
+
+    def test_total_bytes(self, backend):
+        backend.put("p/a", b"12")
+        backend.put("p/b", b"345")
+        backend.put("q/c", b"6789")
+        assert backend.total_bytes("p/") == 5
+        assert backend.total_bytes() == 9
+
+    def test_empty_blob(self, backend):
+        backend.put("empty", b"")
+        assert backend.get("empty") == b""
+
+
+class TestDirectoryBackendSpecifics:
+    def test_persistence_across_instances(self, tmp_path):
+        root = str(tmp_path / "store")
+        DirectoryBackend(root).put("k/v", b"persisted")
+        assert DirectoryBackend(root).get("k/v") == b"persisted"
+
+    def test_path_traversal_rejected(self, tmp_path):
+        backend = DirectoryBackend(str(tmp_path / "store"))
+        for bad in ("../escape", "a/../../b", "/absolute", ""):
+            with pytest.raises(ConfigurationError):
+                backend.put(bad, b"x")
+
+    def test_tmp_files_not_listed(self, tmp_path):
+        root = tmp_path / "store"
+        backend = DirectoryBackend(str(root))
+        backend.put("real", b"x")
+        (root / "fake.tmp").write_bytes(b"partial")
+        assert list(backend.list()) == ["real"]

@@ -1,0 +1,109 @@
+"""Tests for container batching."""
+
+import pytest
+
+from repro.storage.backend import MemoryBackend
+from repro.storage.container import ContainerStore
+from repro.util.errors import ConfigurationError, NotFoundError
+
+
+@pytest.fixture()
+def backend():
+    return MemoryBackend()
+
+
+class TestAppendRead:
+    def test_read_from_open_container(self, backend):
+        store = ContainerStore(backend, container_bytes=1024)
+        loc = store.append(b"chunk-one")
+        assert store.read(loc) == b"chunk-one"
+        assert store.sealed_containers == 0  # still buffered
+
+    def test_read_after_seal(self, backend):
+        store = ContainerStore(backend, container_bytes=1024)
+        loc = store.append(b"chunk-one")
+        store.flush()
+        assert store.sealed_containers == 1
+        assert store.read(loc) == b"chunk-one"
+
+    def test_locations_within_container(self, backend):
+        store = ContainerStore(backend, container_bytes=1024)
+        a = store.append(b"aaa")
+        b = store.append(b"bbbb")
+        assert a.container_id == b.container_id
+        assert b.offset == 3
+        store.flush()
+        assert store.read(a) == b"aaa"
+        assert store.read(b) == b"bbbb"
+
+    def test_seal_on_capacity(self, backend):
+        store = ContainerStore(backend, container_bytes=100)
+        first = store.append(b"x" * 60)
+        second = store.append(b"y" * 60)  # would exceed 100 -> new container
+        assert second.container_id == first.container_id + 1
+        assert store.sealed_containers == 1
+        assert store.read(first) == b"x" * 60
+        assert store.read(second) == b"y" * 60
+
+    def test_chunk_larger_than_capacity_gets_own_container(self, backend):
+        store = ContainerStore(backend, container_bytes=100)
+        loc = store.append(b"z" * 250)
+        store.flush()
+        assert store.read(loc) == b"z" * 250
+
+    def test_empty_chunk_rejected(self, backend):
+        with pytest.raises(ConfigurationError):
+            ContainerStore(backend).append(b"")
+
+    def test_flush_idempotent(self, backend):
+        store = ContainerStore(backend, container_bytes=100)
+        store.append(b"data")
+        store.flush()
+        store.flush()
+        assert store.sealed_containers == 1
+
+
+class TestReadCache:
+    def test_cache_avoids_refetch(self, backend):
+        store = ContainerStore(backend, container_bytes=64)
+        locs = [store.append(bytes([i]) * 32) for i in range(4)]
+        store.flush()
+        for loc in locs:
+            store.read(loc)
+        fetches = store.container_fetches
+        for loc in locs:
+            store.read(loc)
+        assert store.container_fetches == fetches  # served from cache
+
+    def test_out_of_range_read(self, backend):
+        from repro.storage.index import ChunkLocation
+
+        store = ContainerStore(backend, container_bytes=64)
+        store.append(b"small")
+        store.flush()
+        with pytest.raises(NotFoundError):
+            store.read(ChunkLocation(container_id=0, offset=0, length=999))
+
+
+class TestLifecycle:
+    def test_delete_container(self, backend):
+        store = ContainerStore(backend, container_bytes=32)
+        loc = store.append(b"a" * 32)
+        store.flush()
+        store.delete_container(loc.container_id)
+        with pytest.raises(NotFoundError):
+            store.read(loc)
+
+    def test_numbering_resumes_after_restart(self, backend):
+        store = ContainerStore(backend, container_bytes=32)
+        store.append(b"a" * 32)
+        store.flush()
+        restarted = ContainerStore(backend, container_bytes=32)
+        loc = restarted.append(b"b" * 32)
+        assert loc.container_id == 1
+
+    def test_stored_bytes(self, backend):
+        store = ContainerStore(backend, container_bytes=64)
+        store.append(b"a" * 40)
+        store.append(b"b" * 40)  # seals first
+        assert store.stored_bytes() == 80

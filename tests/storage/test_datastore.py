@@ -1,0 +1,106 @@
+"""Tests for the data store (dedup accounting, recipes, stubs, GC)."""
+
+import pytest
+
+from repro.crypto.hashing import fingerprint
+from repro.storage.datastore import DataStore
+from repro.util.errors import NotFoundError
+
+
+def put(store, data):
+    return store.put_chunk(fingerprint(data), data)
+
+
+class TestDeduplication:
+    def test_first_put_stores(self):
+        store = DataStore()
+        assert put(store, b"chunk") is True
+        assert store.get_chunk(fingerprint(b"chunk")) == b"chunk"
+
+    def test_duplicate_put_dedups(self):
+        store = DataStore()
+        assert put(store, b"chunk") is True
+        assert put(store, b"chunk") is False
+        stats = store.stats
+        assert stats.chunks_received == 2
+        assert stats.chunks_stored == 1
+        assert stats.logical_bytes == 10
+        assert stats.physical_bytes == 5
+
+    def test_savings_accounting(self):
+        store = DataStore()
+        for _ in range(4):
+            put(store, b"x" * 100)
+        assert store.stats.dedup_saving == pytest.approx(0.75)
+
+    def test_distinct_chunks_both_stored(self):
+        store = DataStore()
+        put(store, b"aaa")
+        put(store, b"bbb")
+        assert store.stats.chunks_stored == 2
+
+    def test_missing_chunk(self):
+        with pytest.raises(NotFoundError):
+            DataStore().get_chunk(b"\x00" * 32)
+
+
+class TestGarbageCollection:
+    def test_release_reclaims_container(self):
+        store = DataStore(container_bytes=64)
+        data = b"a" * 64  # fills one container exactly
+        put(store, data)
+        store.flush()
+        store.release_chunk(fingerprint(data))
+        assert store.stats.physical_bytes == 0
+        with pytest.raises(NotFoundError):
+            store.get_chunk(fingerprint(data))
+        # Container blob itself is gone.
+        assert store.backend.total_bytes("container/") == 0
+
+    def test_release_respects_refcounts(self):
+        store = DataStore()
+        put(store, b"shared")
+        put(store, b"shared")  # refcount 2
+        store.release_chunk(fingerprint(b"shared"))
+        assert store.get_chunk(fingerprint(b"shared")) == b"shared"
+
+    def test_container_survives_while_any_chunk_live(self):
+        store = DataStore(container_bytes=1024)
+        put(store, b"one")
+        put(store, b"two")
+        store.flush()
+        store.release_chunk(fingerprint(b"one"))
+        assert store.get_chunk(fingerprint(b"two")) == b"two"
+        store.release_chunk(fingerprint(b"two"))
+        assert store.backend.total_bytes("container/") == 0
+
+
+class TestRecipesAndStubs:
+    def test_recipe_lifecycle(self):
+        store = DataStore()
+        store.put_recipe("file1", b"recipe-bytes")
+        assert store.has_recipe("file1")
+        assert store.get_recipe("file1") == b"recipe-bytes"
+        assert store.list_recipes() == ["file1"]
+        store.delete_recipe("file1")
+        assert not store.has_recipe("file1")
+
+    def test_stub_lifecycle_and_accounting(self):
+        store = DataStore()
+        store.put_stub_file("file1", b"s" * 100)
+        assert store.stats.stub_bytes == 100
+        store.put_stub_file("file1", b"s" * 40)  # rekey replaces it
+        assert store.stats.stub_bytes == 40
+        assert store.get_stub_file("file1") == b"s" * 40
+        store.delete_stub_file("file1")
+        assert store.stats.stub_bytes == 0
+        with pytest.raises(NotFoundError):
+            store.delete_stub_file("file1")
+
+    def test_total_saving_counts_stub_overhead(self):
+        store = DataStore()
+        for _ in range(10):
+            put(store, b"y" * 1000)
+        store.put_stub_file("f", b"z" * 100)
+        # logical 10000, physical 1000, stub 100 -> saving 0.89
+        assert store.stats.total_saving == pytest.approx(0.89)

@@ -1,0 +1,101 @@
+"""Stateful property test: the data store under arbitrary op sequences.
+
+A hypothesis RuleBasedStateMachine drives put/dedup-put/release/read
+sequences against a model of expected refcounts, checking after every
+step that
+
+* readable chunks return exactly their stored bytes,
+* refcounts reach zero exactly when they should,
+* the physical-bytes accounting matches the live-chunk model, and
+* logical bytes only ever grow.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.crypto.hashing import fingerprint
+from repro.storage.datastore import DataStore
+from repro.util.errors import NotFoundError
+
+CHUNK_PAYLOADS = st.binary(min_size=1, max_size=64)
+
+
+class DataStoreMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.store = DataStore(container_bytes=128)
+        #: model: fingerprint -> (payload, refcount)
+        self.model: dict[bytes, tuple[bytes, int]] = {}
+
+    chunks = Bundle("chunks")
+
+    @rule(target=chunks, payload=CHUNK_PAYLOADS)
+    def put(self, payload):
+        fp = fingerprint(payload)
+        # A chunk is "new" to the store if it is not currently live —
+        # a previously stored chunk whose last reference was released
+        # was garbage-collected and must be stored again.
+        was_live = self.model.get(fp, (payload, 0))[1] > 0
+        stored_new = self.store.put_chunk(fp, payload)
+        assert stored_new == (not was_live)
+        old = self.model.get(fp, (payload, 0))
+        self.model[fp] = (payload, old[1] + 1)
+        return fp
+
+    @rule(fp=chunks)
+    def release(self, fp):
+        entry = self.model.get(fp)
+        if entry is None or entry[1] == 0:
+            try:
+                self.store.release_chunk(fp)
+                raise AssertionError("release of dead chunk must fail")
+            except NotFoundError:
+                return
+        self.store.release_chunk(fp)
+        payload, refs = entry
+        if refs == 1:
+            self.model[fp] = (payload, 0)
+        else:
+            self.model[fp] = (payload, refs - 1)
+
+    @rule(fp=chunks)
+    def read(self, fp):
+        entry = self.model.get(fp)
+        if entry is None or entry[1] == 0:
+            try:
+                self.store.get_chunk(fp)
+                raise AssertionError("read of dead chunk must fail")
+            except NotFoundError:
+                return
+        assert self.store.get_chunk(fp) == entry[0]
+
+    @rule()
+    def flush(self):
+        self.store.flush()
+
+    @invariant()
+    def physical_bytes_match_model(self):
+        live = sum(len(p) for p, refs in self.model.values() if refs > 0)
+        assert self.store.stats.physical_bytes == live
+
+    @invariant()
+    def stored_chunk_count_matches(self):
+        live = sum(1 for _p, refs in self.model.values() if refs > 0)
+        assert self.store.stats.chunks_stored == live
+
+    @invariant()
+    def refcounts_match(self):
+        for fp, (_payload, refs) in self.model.items():
+            assert self.store.index.refcount(fp) == refs
+
+
+DataStoreMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+TestDataStoreStateful = DataStoreMachine.TestCase

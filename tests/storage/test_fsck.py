@@ -1,0 +1,113 @@
+"""Tests for index persistence and fsck."""
+
+import pytest
+
+from repro.crypto.hashing import fingerprint
+from repro.storage.backend import DirectoryBackend, MemoryBackend
+from repro.storage.datastore import DataStore
+from repro.storage.fsck import drop_orphans, fsck, load_index, save_index
+
+
+def fill(store, n=10, tag=0):
+    for i in range(n):
+        data = bytes([tag, i]) * 50
+        store.put_chunk(fingerprint(data), data)
+    store.flush()
+
+
+class TestIndexPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        backend = DirectoryBackend(str(tmp_path))
+        store = DataStore(backend, container_bytes=256)
+        fill(store)
+        save_index(store)
+
+        reopened = DataStore(DirectoryBackend(str(tmp_path)), container_bytes=256)
+        assert load_index(reopened) is True
+        assert len(reopened.index) == 10
+        # Data readable through the restored index.
+        data = bytes([0, 3]) * 50
+        assert reopened.get_chunk(fingerprint(data)) == data
+        # Accounting rebuilt.
+        assert reopened.stats.physical_bytes == store.stats.physical_bytes
+        assert reopened.stats.chunks_stored == 10
+
+    def test_load_without_snapshot(self):
+        assert load_index(DataStore()) is False
+
+    def test_dedup_works_after_restore(self, tmp_path):
+        backend = DirectoryBackend(str(tmp_path))
+        store = DataStore(backend, container_bytes=256)
+        fill(store)
+        save_index(store)
+        reopened = DataStore(DirectoryBackend(str(tmp_path)), container_bytes=256)
+        load_index(reopened)
+        data = bytes([0, 0]) * 50  # already stored pre-restart
+        assert reopened.put_chunk(fingerprint(data), data) is False
+
+    def test_gc_works_after_restore(self, tmp_path):
+        backend = DirectoryBackend(str(tmp_path))
+        store = DataStore(backend, container_bytes=100)
+        data = b"x" * 100  # exactly one container
+        store.put_chunk(fingerprint(data), data)
+        store.flush()
+        save_index(store)
+        reopened = DataStore(DirectoryBackend(str(tmp_path)), container_bytes=100)
+        load_index(reopened)
+        reopened.release_chunk(fingerprint(data))
+        assert reopened.stats.physical_bytes == 0
+        assert reopened.backend.total_bytes("container/") == 0
+
+
+class TestFsck:
+    def test_clean_store(self):
+        store = DataStore(container_bytes=256)
+        fill(store)
+        report = fsck(store)
+        assert report.clean
+        assert report.checked_chunks == 10
+
+    def test_detects_bit_rot(self):
+        backend = MemoryBackend()
+        store = DataStore(backend, container_bytes=256)
+        fill(store)
+        # Rot one byte in a sealed container.
+        name = next(iter(backend.list("container/")))
+        blob = bytearray(backend.get(name))
+        blob[10] ^= 0x01
+        backend.put(name, bytes(blob))
+        report = fsck(store)
+        assert not report.clean
+        assert report.corrupt
+
+    def test_detects_missing_container(self):
+        backend = MemoryBackend()
+        store = DataStore(backend, container_bytes=256)
+        fill(store)
+        name = next(iter(backend.list("container/")))
+        backend.delete(name)
+        report = fsck(store)
+        assert report.missing_containers
+
+    def test_detects_and_drops_orphans(self, tmp_path):
+        backend = DirectoryBackend(str(tmp_path))
+        store = DataStore(backend, container_bytes=256)
+        fill(store)
+        save_index(store)
+        # Crash scenario: containers written after the last index
+        # snapshot are orphaned on restart.
+        fill(store, n=5, tag=9)
+        store.flush()
+        reopened = DataStore(DirectoryBackend(str(tmp_path)), container_bytes=256)
+        load_index(reopened)
+        report = fsck(reopened)
+        assert report.orphaned_containers
+        freed = drop_orphans(reopened, report)
+        assert freed > 0
+        assert fsck(reopened).clean
+
+    def test_hash_verification_optional(self):
+        store = DataStore(container_bytes=256)
+        fill(store)
+        report = fsck(store, verify_hashes=False)
+        assert report.clean

@@ -1,0 +1,73 @@
+"""Tests for the fingerprint index."""
+
+import pytest
+
+from repro.storage.index import ChunkLocation, FingerprintIndex
+from repro.util.errors import NotFoundError, StorageError
+
+FP1 = b"\x01" * 32
+FP2 = b"\x02" * 32
+LOC = ChunkLocation(container_id=0, offset=0, length=100)
+
+
+class TestIndex:
+    def test_add_lookup(self):
+        index = FingerprintIndex()
+        index.add(FP1, LOC)
+        assert index.lookup(FP1) == LOC
+        assert index.contains(FP1)
+        assert len(index) == 1
+
+    def test_missing_lookup(self):
+        with pytest.raises(NotFoundError):
+            FingerprintIndex().lookup(FP1)
+
+    def test_duplicate_add_rejected(self):
+        index = FingerprintIndex()
+        index.add(FP1, LOC)
+        with pytest.raises(StorageError):
+            index.add(FP1, LOC)
+
+    def test_refcounting(self):
+        index = FingerprintIndex()
+        index.add(FP1, LOC)
+        index.addref(FP1)
+        index.addref(FP1)
+        assert index.refcount(FP1) == 3
+        assert index.release(FP1) is False
+        assert index.release(FP1) is False
+        assert index.release(FP1) is True  # became garbage
+        assert not index.contains(FP1)
+
+    def test_refcount_of_missing_is_zero(self):
+        assert FingerprintIndex().refcount(FP1) == 0
+
+    def test_addref_missing(self):
+        with pytest.raises(NotFoundError):
+            FingerprintIndex().addref(FP1)
+
+    def test_release_missing(self):
+        with pytest.raises(NotFoundError):
+            FingerprintIndex().release(FP1)
+
+    def test_fingerprints_listing(self):
+        index = FingerprintIndex()
+        index.add(FP1, LOC)
+        index.add(FP2, ChunkLocation(1, 50, 10))
+        assert set(index.fingerprints()) == {FP1, FP2}
+
+
+class TestPersistence:
+    def test_encode_decode(self):
+        index = FingerprintIndex()
+        index.add(FP1, ChunkLocation(3, 128, 8192))
+        index.add(FP2, ChunkLocation(4, 0, 100))
+        index.addref(FP2)
+        restored = FingerprintIndex.decode(index.encode())
+        assert restored.lookup(FP1) == ChunkLocation(3, 128, 8192)
+        assert restored.refcount(FP2) == 2
+        assert len(restored) == 2
+
+    def test_empty_roundtrip(self):
+        restored = FingerprintIndex.decode(FingerprintIndex().encode())
+        assert len(restored) == 0

@@ -1,0 +1,56 @@
+"""Tests for the key store."""
+
+import pytest
+
+from repro.storage.keystore import KeyStateRecord, KeyStore
+from repro.util.errors import NotFoundError
+
+
+def record(file_id="f1", version=0):
+    return KeyStateRecord(
+        file_id=file_id,
+        policy_text="(alice or bob)",
+        key_version=version,
+        encrypted_state=b"\x01\x02\x03",
+        owner_public_key=b"\x04\x05",
+    )
+
+
+class TestRecord:
+    def test_roundtrip(self):
+        rec = record(version=5)
+        assert KeyStateRecord.decode(rec.encode()) == rec
+
+
+class TestKeyStore:
+    def test_put_get(self):
+        store = KeyStore()
+        store.put(record())
+        assert store.get("f1") == record()
+
+    def test_replace_on_rekey(self):
+        store = KeyStore()
+        store.put(record(version=0))
+        store.put(record(version=1))
+        assert store.get("f1").key_version == 1
+
+    def test_missing(self):
+        with pytest.raises(NotFoundError):
+            KeyStore().get("nope")
+
+    def test_delete(self):
+        store = KeyStore()
+        store.put(record())
+        store.delete("f1")
+        assert not store.exists("f1")
+
+    def test_list(self):
+        store = KeyStore()
+        store.put(record("b"))
+        store.put(record("a"))
+        assert store.list_files() == ["a", "b"]
+
+    def test_stored_bytes(self):
+        store = KeyStore()
+        store.put(record())
+        assert store.stored_bytes() == len(record().encode())

@@ -1,0 +1,75 @@
+"""Tests for file recipes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.recipes import ChunkRef, FileRecipe, obfuscate_pathname
+from repro.util.errors import CorruptionError
+
+chunk_refs = st.lists(
+    st.tuples(st.binary(min_size=32, max_size=32), st.integers(1, 16384)),
+    max_size=20,
+)
+
+
+class TestRecipe:
+    @given(chunk_refs)
+    def test_roundtrip(self, refs):
+        chunks = tuple(ChunkRef(fingerprint=fp, length=ln) for fp, ln in refs)
+        recipe = FileRecipe(
+            file_id="f1",
+            pathname="/home/u/file",
+            size=sum(ln for _, ln in refs),
+            scheme="enhanced",
+            key_version=3,
+            chunks=chunks,
+        )
+        assert FileRecipe.decode(recipe.encode()) == recipe
+
+    def test_chunk_count(self):
+        recipe = FileRecipe(
+            file_id="f",
+            pathname="",
+            size=10,
+            scheme="basic",
+            key_version=0,
+            chunks=(ChunkRef(b"\x01" * 32, 10),),
+        )
+        assert recipe.chunk_count == 1
+
+    def test_size_mismatch_detected(self):
+        recipe = FileRecipe(
+            file_id="f",
+            pathname="",
+            size=999,  # disagrees with the chunk total
+            scheme="basic",
+            key_version=0,
+            chunks=(ChunkRef(b"\x01" * 32, 10),),
+        )
+        with pytest.raises(CorruptionError):
+            FileRecipe.decode(recipe.encode())
+
+    def test_unsupported_format_rejected(self):
+        recipe = FileRecipe(
+            file_id="f", pathname="", size=0, scheme="basic", key_version=0
+        )
+        data = bytearray(recipe.encode())
+        data[0] = 99  # format version byte
+        with pytest.raises(CorruptionError):
+            FileRecipe.decode(bytes(data))
+
+
+class TestPathObfuscation:
+    def test_deterministic_per_salt(self):
+        assert obfuscate_pathname("/a/b", b"salt") == obfuscate_pathname(
+            "/a/b", b"salt"
+        )
+
+    def test_salt_separates(self):
+        assert obfuscate_pathname("/a/b", b"s1") != obfuscate_pathname("/a/b", b"s2")
+
+    def test_does_not_reveal_pathname(self):
+        out = obfuscate_pathname("/home/alice/secret-project", b"salt")
+        assert "alice" not in out
+        assert len(out) == 64  # hex sha256

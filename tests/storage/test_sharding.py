@@ -1,0 +1,76 @@
+"""Tests for sharded data stores."""
+
+import pytest
+
+from repro.crypto.hashing import fingerprint
+from repro.storage.datastore import DataStore
+from repro.storage.sharding import ShardedDataStore
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture()
+def sharded():
+    return ShardedDataStore([DataStore() for _ in range(4)])
+
+
+class TestChunkRouting:
+    def test_placement_deterministic(self, sharded):
+        fp = fingerprint(b"data")
+        assert sharded.shard_for_chunk(fp) is sharded.shard_for_chunk(fp)
+
+    def test_dedup_across_uploaders(self, sharded):
+        fp = fingerprint(b"data")
+        assert sharded.put_chunk(fp, b"data") is True
+        assert sharded.put_chunk(fp, b"data") is False  # dedup hit
+        assert sharded.get_chunk(fp) == b"data"
+
+    def test_chunks_spread_over_shards(self, sharded):
+        for i in range(64):
+            data = bytes([i]) * 10
+            sharded.put_chunk(fingerprint(data), data)
+        populated = sum(1 for s in sharded.shards if s.stats.chunks_stored > 0)
+        assert populated == 4  # 64 chunks land on all 4 shards w.h.p.
+
+    def test_release_routes_correctly(self, sharded):
+        fp = fingerprint(b"x")
+        sharded.put_chunk(fp, b"x")
+        sharded.release_chunk(fp)
+        assert not sharded.has_chunk(fp)
+
+    def test_aggregate_stats(self, sharded):
+        for i in range(8):
+            data = bytes([i]) * 100
+            sharded.put_chunk(fingerprint(data), data)
+            sharded.put_chunk(fingerprint(data), data)
+        stats = sharded.stats
+        assert stats.chunks_received == 16
+        assert stats.chunks_stored == 8
+        assert stats.logical_bytes == 1600
+        assert stats.physical_bytes == 800
+
+
+class TestFileRouting:
+    def test_recipes(self, sharded):
+        sharded.put_recipe("file-a", b"ra")
+        sharded.put_recipe("file-b", b"rb")
+        assert sharded.get_recipe("file-a") == b"ra"
+        assert sharded.list_recipes() == ["file-a", "file-b"]
+        sharded.delete_recipe("file-a")
+        assert not sharded.has_recipe("file-a")
+
+    def test_stub_files(self, sharded):
+        sharded.put_stub_file("file-a", b"stubby")
+        assert sharded.get_stub_file("file-a") == b"stubby"
+        sharded.delete_stub_file("file-a")
+        assert sharded.stats.stub_bytes == 0
+
+    def test_flush_all(self, sharded):
+        for i in range(8):
+            data = bytes([i]) * 10
+            sharded.put_chunk(fingerprint(data), data)
+        sharded.flush()  # must not raise; all shards sealed
+
+
+def test_empty_shards_rejected():
+    with pytest.raises(ConfigurationError):
+        ShardedDataStore([])

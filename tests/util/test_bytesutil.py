@@ -1,0 +1,107 @@
+"""Tests for byte-string helpers (XOR, folding, splitting)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bytesutil import ct_equal, split_at, split_pieces, xor_bytes, xor_fold
+from repro.util.errors import ConfigurationError
+
+
+class TestXorBytes:
+    def test_basic(self):
+        assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+
+    def test_empty(self):
+        assert xor_bytes(b"", b"") == b""
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            xor_bytes(b"ab", b"abc")
+
+    @given(st.binary(max_size=4096))
+    def test_self_inverse(self, data):
+        mask = bytes((b ^ 0x5A) for b in data)
+        assert xor_bytes(xor_bytes(data, mask), mask) == data
+
+    @given(st.binary(max_size=1024))
+    def test_xor_with_zeros_is_identity(self, data):
+        assert xor_bytes(data, b"\x00" * len(data)) == data
+
+    def test_leading_zero_bytes_preserved(self):
+        # Regression guard: the int round trip must keep leading zeros.
+        a = b"\x00\x00\x01"
+        b = b"\x00\x00\x00"
+        assert xor_bytes(a, b) == a
+
+
+class TestXorFold:
+    def test_single_piece(self):
+        assert xor_fold(b"\x01\x02", 2) == b"\x01\x02"
+
+    def test_two_pieces(self):
+        assert xor_fold(b"\x01\x02\x03\x04", 2) == b"\x02\x06"
+
+    def test_final_piece_zero_padded(self):
+        # 0x0102 XOR 0x0300 (03 padded with 00)
+        assert xor_fold(b"\x01\x02\x03", 2) == b"\x02\x02"
+
+    def test_empty_input(self):
+        assert xor_fold(b"", 4) == b"\x00\x00\x00\x00"
+
+    def test_bad_piece_size(self):
+        with pytest.raises(ConfigurationError):
+            xor_fold(b"abc", 0)
+
+    @given(st.binary(min_size=1, max_size=2048), st.integers(1, 64))
+    def test_output_size_and_determinism(self, data, piece):
+        out = xor_fold(data, piece)
+        assert len(out) == piece
+        assert out == xor_fold(data, piece)
+
+    @given(st.binary(min_size=64, max_size=256))
+    def test_single_bit_flip_changes_fold(self, data):
+        flipped = bytearray(data)
+        flipped[0] ^= 0x01
+        assert xor_fold(data, 32) != xor_fold(bytes(flipped), 32)
+
+    def test_even_number_of_identical_flips_cancels(self):
+        # The weakness the paper acknowledges: flipping the same bit in
+        # an even number of pieces preserves the fold (Section IV-E).
+        data = bytearray(b"\x00" * 64)
+        data[0] ^= 0x80
+        data[32] ^= 0x80
+        assert xor_fold(bytes(data), 32) == xor_fold(b"\x00" * 64, 32)
+
+
+class TestSplitters:
+    def test_split_at(self):
+        assert split_at(b"abcdef", 2) == (b"ab", b"cdef")
+
+    def test_split_at_bounds(self):
+        assert split_at(b"ab", 0) == (b"", b"ab")
+        assert split_at(b"ab", 2) == (b"ab", b"")
+        with pytest.raises(ConfigurationError):
+            split_at(b"ab", 3)
+        with pytest.raises(ConfigurationError):
+            split_at(b"ab", -1)
+
+    @given(st.binary(max_size=1024), st.integers(1, 100))
+    def test_split_pieces_roundtrip(self, data, piece):
+        pieces = split_pieces(data, piece)
+        assert b"".join(pieces) == data
+        if pieces:
+            assert all(len(p) == piece for p in pieces[:-1])
+            assert 1 <= len(pieces[-1]) <= piece
+
+    def test_split_pieces_empty(self):
+        assert split_pieces(b"", 8) == []
+
+
+class TestCtEqual:
+    def test_equal(self):
+        assert ct_equal(b"same", b"same")
+
+    def test_unequal(self):
+        assert not ct_equal(b"same", b"diff")
+        assert not ct_equal(b"short", b"longer")

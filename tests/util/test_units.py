@@ -1,0 +1,24 @@
+"""Tests for unit formatting helpers."""
+
+from repro.util.units import GiB, KiB, MiB, TiB, format_bytes, format_rate
+
+
+def test_constants():
+    assert KiB == 1024
+    assert MiB == 1024**2
+    assert GiB == 1024**3
+    assert TiB == 1024**4
+
+
+def test_format_bytes():
+    assert format_bytes(0) == "0B"
+    assert format_bytes(512) == "512B"
+    assert format_bytes(8 * KiB) == "8.0KB"
+    assert format_bytes(4 * MiB) == "4.0MB"
+    assert format_bytes(2 * GiB) == "2.0GB"
+    assert format_bytes(int(56.2 * TiB)) == "56.2TB"
+
+
+def test_format_rate():
+    assert format_rate(116 * MiB) == "116.0MB/s"
+    assert format_rate(12.5 * MiB) == "12.5MB/s"

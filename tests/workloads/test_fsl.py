@@ -1,0 +1,202 @@
+"""Tests for the FSL-style trace generator and trace format."""
+
+import pytest
+
+from repro.util.errors import ConfigurationError
+from repro.workloads.fsl import (
+    FINGERPRINT_SIZE,
+    FslhomesGenerator,
+    FslParameters,
+    Snapshot,
+    TraceChunk,
+    chunk_bytes_from_fingerprint,
+    read_trace,
+    write_trace,
+)
+
+SMALL = FslParameters(scale=1e-5, days=10, users=3)
+
+
+class TestChunkReconstruction:
+    def test_fingerprint_repeated_to_size(self):
+        fp = b"\x01\x02\x03\x04\x05\x06"
+        data = chunk_bytes_from_fingerprint(fp, 15)
+        assert data == (fp * 3)[:15]
+        assert len(data) == 15
+
+    def test_same_fingerprint_same_bytes(self):
+        fp = b"\xaa" * 6
+        assert chunk_bytes_from_fingerprint(fp, 8192) == chunk_bytes_from_fingerprint(
+            fp, 8192
+        )
+
+    def test_distinct_fingerprints_distinct_bytes(self):
+        a = chunk_bytes_from_fingerprint(b"\x01" * 6, 100)
+        b = chunk_bytes_from_fingerprint(b"\x02" * 6, 100)
+        assert a != b
+
+    def test_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            chunk_bytes_from_fingerprint(b"\x01" * 6, 0)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = FslhomesGenerator(SMALL)
+        b = FslhomesGenerator(SMALL)
+        for day_a, day_b in zip(a.days(), b.days()):
+            assert day_a == day_b
+
+    def test_day_structure(self):
+        gen = FslhomesGenerator(SMALL)
+        snaps = gen.day(0)
+        assert len(snaps) == 3
+        assert {s.user for s in snaps} == set(gen.users())
+        assert all(s.day == 0 for s in snaps)
+
+    def test_chunk_sizes_bounded(self):
+        gen = FslhomesGenerator(SMALL)
+        for snaps in gen.days():
+            for snap in snaps:
+                for chunk in snap.chunks:
+                    assert SMALL.min_chunk_size <= chunk.size <= SMALL.max_chunk_size
+                    assert len(chunk.fingerprint) == FINGERPRINT_SIZE
+
+    def test_day_over_day_dedup(self):
+        """Consecutive snapshots of the same user must share the vast
+        majority of their chunks (backup workload shape)."""
+        gen = FslhomesGenerator(SMALL)
+        day0 = {c.fingerprint for c in gen.day(0)[0].chunks}
+        day1 = {c.fingerprint for c in gen.day(1)[0].chunks}
+        assert len(day0 & day1) / len(day0) > 0.9
+
+    def test_cross_user_sharing(self):
+        gen = FslhomesGenerator(SMALL)
+        snaps = gen.day(0)
+        a = {c.fingerprint for c in snaps[0].chunks}
+        b = {c.fingerprint for c in snaps[1].chunks}
+        assert a & b, "users share no chunks: shared pool broken"
+
+    def test_daily_volume_ramps(self):
+        params = FslParameters(scale=1e-5, days=50, users=3)
+        gen = FslhomesGenerator(params)
+        first = sum(s.logical_bytes for s in gen.day(0))
+        for day in range(1, 50):
+            snaps = gen.day(day)
+        last = sum(s.logical_bytes for s in snaps)
+        assert last > first
+
+    def test_calibration_targets(self):
+        """Scaled-down replay must land near the paper's aggregates:
+        98.6 % total saving, physical:stub ratio ~1.14 (Experiment B.1)."""
+        gen = FslhomesGenerator(FslParameters(scale=1e-5))
+        seen = set()
+        logical = physical = stub = 0
+        for snaps in gen.days():
+            for snap in snaps:
+                for chunk in snap.chunks:
+                    logical += chunk.size
+                    stub += 64
+                    if chunk.fingerprint not in seen:
+                        seen.add(chunk.fingerprint)
+                        physical += chunk.size
+        saving = 1 - (physical + stub) / logical
+        assert 0.975 <= saving <= 0.995
+        assert 0.8 <= physical / stub <= 1.6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            FslhomesGenerator(FslParameters(shared_fraction=1.5))
+        with pytest.raises(ConfigurationError):
+            FslhomesGenerator(FslParameters(intra_dup_factor=0.5))
+
+
+class TestTraceFormat:
+    def test_snapshot_roundtrip(self):
+        snap = Snapshot(
+            user="user1",
+            day=3,
+            chunks=(TraceChunk(b"\x01" * 6, 8192), TraceChunk(b"\x02" * 6, 4096)),
+        )
+        assert Snapshot.decode(snap.encode()) == snap
+        assert snap.logical_bytes == 12288
+
+    def test_trace_file_roundtrip(self, tmp_path):
+        gen = FslhomesGenerator(SMALL)
+        snapshots = gen.day(0)
+        path = str(tmp_path / "day0.trace")
+        write_trace(path, snapshots)
+        assert read_trace(path) == snapshots
+
+
+class TestTextFormat:
+    def test_text_roundtrip(self, tmp_path):
+        from repro.workloads.fsl import read_text_snapshot, write_text_snapshot
+
+        gen = FslhomesGenerator(SMALL)
+        snapshot = gen.day(0)[0]
+        path = str(tmp_path / "snap.txt")
+        write_text_snapshot(path, snapshot)
+        assert read_text_snapshot(path) == snapshot
+
+    def test_bad_lines_rejected(self, tmp_path):
+        from repro.workloads.fsl import read_text_snapshot
+
+        cases = [
+            "zz not-hex 100",
+            "aabbccddeeff notanint",
+            "aabbcc 100",        # short fingerprint
+            "aabbccddeeff 0",    # non-positive size
+        ]
+        for i, bad in enumerate(cases):
+            path = tmp_path / f"bad{i}.txt"
+            path.write_text(bad + "\n")
+            with pytest.raises(ConfigurationError):
+                read_text_snapshot(str(path))
+
+    def test_blank_lines_and_header(self, tmp_path):
+        from repro.workloads.fsl import read_text_snapshot
+
+        path = tmp_path / "ok.txt"
+        path.write_text("# user007 12\n\naabbccddeeff 8192\n")
+        snapshot = read_text_snapshot(str(path))
+        assert snapshot.user == "user007"
+        assert snapshot.day == 12
+        assert snapshot.chunks[0].size == 8192
+
+
+class TestReplayAccounting:
+    def test_replay_matches_manual_computation(self):
+        from repro.workloads.replay import replay_dedup_accounting
+
+        gen = FslhomesGenerator(SMALL)
+        series = replay_dedup_accounting(gen.days())
+        assert len(series) == SMALL.days
+        # Cumulative counters are monotone.
+        for earlier, later in zip(series, series[1:]):
+            assert later.logical_bytes >= earlier.logical_bytes
+            assert later.physical_bytes >= earlier.physical_bytes
+            assert later.stub_bytes > earlier.stub_bytes
+        final = series[-1]
+        assert final.stored_bytes == final.physical_bytes + final.stub_bytes
+        assert 0 < final.total_saving < 1
+
+    def test_stub_bytes_count_every_logical_chunk(self):
+        from repro.workloads.replay import replay_dedup_accounting
+
+        gen = FslhomesGenerator(SMALL)
+        days = list(gen.days())
+        series = replay_dedup_accounting(days)
+        chunk_count = sum(len(s.chunks) for snaps in days for s in snaps)
+        assert series[-1].stub_bytes == 64 * chunk_count
+
+    def test_format_table(self):
+        from repro.workloads.replay import (
+            format_accounting_table,
+            replay_dedup_accounting,
+        )
+
+        series = replay_dedup_accounting(FslhomesGenerator(SMALL).days())
+        table = format_accounting_table(series, every=5)
+        assert "saving" in table
+        assert str(SMALL.days - 1) in table

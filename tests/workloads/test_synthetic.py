@@ -1,0 +1,72 @@
+"""Tests for synthetic workload generation."""
+
+import pytest
+
+from repro.chunking.chunker import ChunkingSpec, chunk_stream
+from repro.util.errors import ConfigurationError
+from repro.workloads.synthetic import duplicated_data, mutate, unique_data
+
+
+class TestUniqueData:
+    def test_deterministic(self):
+        assert unique_data(1000, seed=1) == unique_data(1000, seed=1)
+
+    def test_seed_separates(self):
+        assert unique_data(1000, seed=1) != unique_data(1000, seed=2)
+
+    def test_size(self):
+        for n in (0, 1, 12345):
+            assert len(unique_data(n)) == n
+
+    def test_chunks_are_globally_unique(self):
+        """The property Experiment A relies on: no duplicate chunks."""
+        data = unique_data(400_000, seed=3)
+        spec = ChunkingSpec(method="fixed", avg_size=4096)
+        fps = [c.fingerprint for c in chunk_stream(data, spec)]
+        assert len(fps) == len(set(fps))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            unique_data(-1)
+
+
+class TestDuplicatedData:
+    def test_dedup_ratio_controllable(self):
+        data = duplicated_data(400_000, duplicate_fraction=0.5, seed=4, unit=4096)
+        spec = ChunkingSpec(method="fixed", avg_size=4096)
+        fps = [c.fingerprint for c in chunk_stream(data, spec)]
+        unique_ratio = len(set(fps)) / len(fps)
+        assert 0.4 <= unique_ratio <= 0.6
+
+    def test_zero_duplication(self):
+        data = duplicated_data(100_000, duplicate_fraction=0.0, seed=5, unit=4096)
+        spec = ChunkingSpec(method="fixed", avg_size=4096)
+        fps = [c.fingerprint for c in chunk_stream(data, spec)]
+        assert len(set(fps)) == len(fps)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            duplicated_data(100, 1.5)
+
+
+class TestMutate:
+    def test_fraction_zero_is_identity(self):
+        data = unique_data(50_000, seed=6)
+        assert mutate(data, 0.0) == data
+
+    def test_size_preserved(self):
+        data = unique_data(50_000, seed=7)
+        assert len(mutate(data, 0.3, seed=8)) == len(data)
+
+    def test_most_blocks_survive_small_mutation(self):
+        data = unique_data(409_600, seed=9)
+        mutated = mutate(data, 0.05, seed=10, unit=4096)
+        spec = ChunkingSpec(method="fixed", avg_size=4096)
+        original = {c.fingerprint for c in chunk_stream(data, spec)}
+        surviving = {c.fingerprint for c in chunk_stream(mutated, spec)}
+        shared = len(original & surviving) / len(original)
+        assert 0.90 <= shared <= 0.97
+
+    def test_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            mutate(b"data", -0.1)
