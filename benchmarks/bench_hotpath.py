@@ -1,0 +1,272 @@
+"""Hot-path acceleration benchmark: reference vs. accelerated engines.
+
+Measures the four layers the acceleration pass touches —
+
+* **chunking** — Rabin content-defined chunking, per engine
+  (``reference`` / ``scan`` / ``numpy``);
+* **ctr** — AES-CTR keystream generation, per engine
+  (``reference`` / ``ttable`` / ``numpy``);
+* **caont** — the CAONT chunk transform (enhanced scheme) with the
+  reference CTR engine pinned vs. the auto-dispatched fast path;
+* **upload** — end-to-end client upload against an in-process system,
+  reference engines vs. accelerated defaults —
+
+and writes machine-readable ``BENCH_hotpath.json`` at the repo root so
+future PRs can track the perf trajectory.  Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--quick] [--out PATH]
+
+``--quick`` shrinks the inputs so the whole run takes ~a second (used by
+the tier-1 smoke test); full-size runs take a couple of minutes on the
+pure-Python reference paths.
+
+This file is executable-only: it deliberately defines no ``test_*``
+functions (``pyproject.toml`` collects ``bench_*.py``), and the pytest
+entry point lives in ``tests/integration/test_bench_hotpath.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.chunking.rabin import available_chunking_engines, rabin_chunks  # noqa: E402
+from repro.core.system import build_system  # noqa: E402
+from repro.crypto import modes  # noqa: E402
+from repro.crypto.aes import AES  # noqa: E402
+from repro.crypto.cipher import get_cipher  # noqa: E402
+from repro.crypto.drbg import HmacDrbg  # noqa: E402
+
+SCHEMA = "reed-bench-hotpath/1"
+
+
+def _mib_per_s(num_bytes: int, seconds: float) -> float:
+    if seconds <= 0:
+        return float("inf")
+    return num_bytes / (1024 * 1024) / seconds
+
+
+def _time(fn, repeats: int) -> float:
+    """Best-of-N wall time after one untimed warm-up call.
+
+    The warm-up absorbs one-time lazy costs (numpy table builds, key
+    schedule caches) so the steady-state throughput is what's reported;
+    best-of suppresses scheduler noise.
+    """
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_chunking(data: bytes, repeats: int) -> list[dict]:
+    results = []
+    for engine in available_chunking_engines():
+        def run(engine=engine):
+            for _ in rabin_chunks(data, min_size=512, max_size=4096, avg_size=1024, engine=engine):
+                pass
+
+        seconds = _time(run, repeats)
+        results.append(
+            {
+                "name": f"chunking/{engine}",
+                "bytes": len(data),
+                "seconds": seconds,
+                "mib_per_s": _mib_per_s(len(data), seconds),
+            }
+        )
+    return results
+
+
+def bench_ctr(data_len: int, repeats: int) -> list[dict]:
+    key = bytes(range(32))
+    aes = AES(key)
+    results = []
+    for engine in modes.available_ctr_engines():
+        def run(engine=engine):
+            modes.ctr_keystream(aes, modes.ZERO_NONCE, data_len, engine=engine)
+
+        seconds = _time(run, repeats)
+        results.append(
+            {
+                "name": f"ctr/{engine}",
+                "bytes": data_len,
+                "seconds": seconds,
+                "mib_per_s": _mib_per_s(data_len, seconds),
+            }
+        )
+    return results
+
+
+def bench_caont(chunk_size: int, chunk_count: int, repeats: int) -> list[dict]:
+    """CAONT transform under AES-256: reference CTR vs. fast dispatch.
+
+    The cipher's ``mask``/``deterministic_encrypt`` go through
+    ``ctr_keystream``, so pinning the dispatcher's default engine
+    exercises exactly the paths the client uses.
+    """
+    from repro.core.schemes import get_scheme
+
+    rng = HmacDrbg(b"bench-caont")
+    chunks = [rng.random_bytes(chunk_size) for _ in range(chunk_count)]
+    keys = [rng.random_bytes(32) for _ in range(chunk_count)]
+    scheme = get_scheme("enhanced", cipher=get_cipher("aes256"))
+    total = chunk_size * chunk_count
+    results = []
+    for label, engines in (("reference", ("reference",)), ("accelerated", (None,))):
+        engine = engines[0]
+
+        def run(engine=engine):
+            if engine is None:
+                for chunk, key in zip(chunks, keys):
+                    scheme.encrypt_chunk(chunk, key)
+            else:
+                original = modes.ctr_keystream
+                try:
+                    modes.ctr_keystream = (
+                        lambda aes, nonce, length, engine=None, _o=original: _o(
+                            aes, nonce, length, "reference"
+                        )
+                    )
+                    for chunk, key in zip(chunks, keys):
+                        scheme.encrypt_chunk(chunk, key)
+                finally:
+                    modes.ctr_keystream = original
+
+        seconds = _time(run, repeats)
+        results.append(
+            {
+                "name": f"caont/{label}",
+                "bytes": total,
+                "seconds": seconds,
+                "mib_per_s": _mib_per_s(total, seconds),
+            }
+        )
+    return results
+
+
+def bench_upload(file_bytes: int, repeats: int) -> list[dict]:
+    """End-to-end upload: reference engines vs. accelerated defaults."""
+    from repro.chunking.chunker import ChunkingSpec
+
+    rng = HmacDrbg(b"bench-upload")
+    data = rng.random_bytes(file_bytes)
+    results = []
+    configs = (
+        ("reference", ChunkingSpec(avg_size=1024, min_size=512, max_size=4096, engine="reference"), "reference"),
+        ("accelerated", ChunkingSpec(avg_size=1024, min_size=512, max_size=4096), None),
+    )
+    for label, spec, ctr_engine in configs:
+        counter = [0]
+
+        def run(spec=spec, ctr_engine=ctr_engine):
+            original = modes.ctr_keystream
+            try:
+                if ctr_engine is not None:
+                    modes.ctr_keystream = (
+                        lambda aes, nonce, length, engine=None, _o=original: _o(
+                            aes, nonce, length, ctr_engine
+                        )
+                    )
+                system = build_system(
+                    num_data_servers=1, cipher_name="aes256", chunking=spec
+                )
+                client = system.new_client("bench-user", cache_bytes=1 << 22)
+                counter[0] += 1
+                client.upload(f"file-{counter[0]}", data)
+                client.close()
+            finally:
+                modes.ctr_keystream = original
+
+        seconds = _time(run, repeats)
+        results.append(
+            {
+                "name": f"upload/{label}",
+                "bytes": file_bytes,
+                "seconds": seconds,
+                "mib_per_s": _mib_per_s(file_bytes, seconds),
+            }
+        )
+    return results
+
+
+def compute_speedups(results: list[dict]) -> dict[str, float]:
+    """Accelerated-over-reference ratios per benchmark family."""
+    by_name = {r["name"]: r for r in results}
+    speedups: dict[str, float] = {}
+    pairs = (
+        ("chunking", "chunking/reference", ("chunking/numpy", "chunking/scan")),
+        ("ctr", "ctr/reference", ("ctr/numpy", "ctr/ttable")),
+        ("caont", "caont/reference", ("caont/accelerated",)),
+        ("upload", "upload/reference", ("upload/accelerated",)),
+    )
+    for family, ref_name, fast_names in pairs:
+        ref = by_name.get(ref_name)
+        fast = next((by_name[n] for n in fast_names if n in by_name), None)
+        if ref and fast and fast["seconds"] > 0:
+            speedups[family] = round(ref["seconds"] / fast["seconds"], 2)
+    return speedups
+
+
+def run(quick: bool) -> dict:
+    rng = HmacDrbg(b"bench-hotpath")
+    if quick:
+        chunk_data = rng.random_bytes(96 * 1024)
+        ctr_len = 64 * 1024
+        caont = (4096, 4)
+        upload_bytes = 64 * 1024
+        repeats = 1
+    else:
+        chunk_data = rng.random_bytes(4 * 1024 * 1024)
+        ctr_len = 1024 * 1024
+        caont = (8192, 64)
+        upload_bytes = 1024 * 1024
+        repeats = 3
+
+    results: list[dict] = []
+    results.extend(bench_chunking(chunk_data, repeats))
+    results.extend(bench_ctr(ctr_len, repeats))
+    results.extend(bench_caont(*caont, repeats))
+    results.extend(bench_upload(upload_bytes, repeats))
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "results": results,
+        "speedups": compute_speedups(results),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny inputs (smoke-test scale)"
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(REPO_ROOT, "BENCH_hotpath.json"),
+        help="output JSON path (default: BENCH_hotpath.json at repo root)",
+    )
+    args = parser.parse_args(argv)
+    report = run(quick=args.quick)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    for result in report["results"]:
+        print(f"{result['name']:24s} {result['mib_per_s']:10.2f} MiB/s")
+    print("speedups:", report["speedups"])
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,12 +44,16 @@ class ChunkingSpec:
     ``method`` is ``"rabin"`` (content-defined, the paper's default) or
     ``"fixed"``.  Sizes are in bytes; for Rabin chunking ``avg_size`` must
     be a power of two and the min/max default to the paper's 2 KB / 16 KB.
+    ``engine`` pins a Rabin implementation (``"reference"``, ``"scan"``,
+    ``"numpy"``); ``None`` picks the fastest available.  All engines cut
+    identical boundaries.
     """
 
     method: str = "rabin"
     avg_size: int = DEFAULT_AVG_SIZE
     min_size: int = field(default=DEFAULT_MIN_SIZE)
     max_size: int = field(default=DEFAULT_MAX_SIZE)
+    engine: str | None = None
 
     def __post_init__(self) -> None:
         if self.method not in ("rabin", "fixed"):
@@ -61,7 +65,10 @@ def make_chunker(spec: ChunkingSpec) -> RabinChunker | FixedChunker:
     if spec.method == "fixed":
         return FixedChunker(spec.avg_size)
     return RabinChunker(
-        min_size=spec.min_size, max_size=spec.max_size, avg_size=spec.avg_size
+        min_size=spec.min_size,
+        max_size=spec.max_size,
+        avg_size=spec.avg_size,
+        engine=spec.engine,
     )
 
 
@@ -77,6 +84,7 @@ def iter_raw_chunks(
             min_size=spec.min_size,
             max_size=spec.max_size,
             avg_size=spec.avg_size,
+            engine=spec.engine,
         )
 
 

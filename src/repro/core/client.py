@@ -16,18 +16,19 @@ III-A).  It implements the four operations of Section IV-D:
 
 Performance measures from Section V-B are built in: MLE-key batching and
 caching (in :class:`~repro.mle.server_aided.ServerAidedKeyClient`),
-4 MB upload batches, and multi-threaded chunk encryption.
+4 MB upload batches, and process-parallel chunk encryption
+(:mod:`repro.core.parallel`).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.abe.cpabe import abe_decrypt, abe_encrypt, PrivateAccessKey
 from repro.chunking.chunker import Chunk, ChunkingSpec, chunk_stream
 from repro.core import envelopes
+from repro.core.parallel import ChunkTransformPool, default_worker_count
 from repro.core.policy import FilePolicy
 from repro.core.rekey import RekeyResult, RevocationMode
 from repro.core.schemes import EncryptionScheme, SplitPackage, get_scheme
@@ -51,7 +52,9 @@ from repro.util.units import MiB
 #: (Section V-B sets the in-memory buffer to 4 MB).
 DEFAULT_UPLOAD_BATCH_BYTES = 4 * MiB
 
-#: Encryption worker threads (the paper uses two; Experiment A.2).
+#: Historical default worker count (the paper uses two; Experiment A.2).
+#: Kept as a named constant for back-compat; clients now default to
+#: :func:`~repro.core.parallel.default_worker_count`.
 DEFAULT_ENCRYPTION_THREADS = 2
 
 
@@ -69,6 +72,15 @@ class UploadResult:
     #: Bytes of the encrypted stub file.
     stub_file_bytes: int
     key_version: int
+    #: MLE-key requests answered from the client-side key cache during
+    #: this upload (delta of the key client's counter).
+    key_cache_hits: int = 0
+    #: Blind-RSA OPRF evaluations this upload actually paid for.
+    key_oprf_evaluations: int = 0
+    #: Key-manager round trips (sign-batch RPCs) this upload issued —
+    #: with batching this is ~``chunk_count / batch_size``, and with a
+    #: warm cache it is zero.
+    key_round_trips: int = 0
 
 
 @dataclass(frozen=True)
@@ -103,12 +115,22 @@ class REEDClient:
         cipher: SymmetricCipher | None = None,
         chunking: ChunkingSpec | None = None,
         upload_batch_bytes: int = DEFAULT_UPLOAD_BATCH_BYTES,
-        encryption_threads: int = DEFAULT_ENCRYPTION_THREADS,
+        encryption_threads: int | None = None,
         rng: RandomSource | None = None,
         pathname_salt: bytes | None = None,
+        encryption_workers: int | None = None,
     ) -> None:
-        if encryption_threads < 1:
-            raise ConfigurationError("need at least one encryption thread")
+        # ``encryption_workers`` is the configured name; ``encryption_threads``
+        # survives as a back-compat alias.  Unset -> one worker per CPU
+        # (capped), no longer the paper's hard-coded two threads.
+        if encryption_workers is None:
+            encryption_workers = (
+                encryption_threads
+                if encryption_threads is not None
+                else default_worker_count()
+            )
+        if encryption_workers < 1:
+            raise ConfigurationError("need at least one encryption worker")
         self.user_id = user_id
         self.key_client = key_client
         self.storage = storage
@@ -123,7 +145,12 @@ class REEDClient:
         self.scheme = scheme
         self.chunking = chunking or ChunkingSpec()
         self.upload_batch_bytes = upload_batch_bytes
-        self.encryption_threads = encryption_threads
+        self.encryption_workers = encryption_workers
+        #: Back-compat alias for the worker count.
+        self.encryption_threads = encryption_workers
+        self._transform_pool = ChunkTransformPool(
+            self.scheme, workers=encryption_workers
+        )
         self.rng = rng or SYSTEM_RANDOM
         #: When set, pathnames are obfuscated with this salt before they
         #: reach the recipe (paper Section IV-D: "we can obfuscate
@@ -146,20 +173,18 @@ class REEDClient:
     def _encrypt_chunks(
         self, chunks: list[Chunk], mle_keys: list[bytes]
     ) -> list[SplitPackage]:
-        """Encrypt a batch of chunks, using worker threads when configured."""
-        if self.encryption_threads == 1 or len(chunks) < 2:
-            return [
-                self.scheme.encrypt_chunk(chunk.data, key)
-                for chunk, key in zip(chunks, mle_keys)
-            ]
-        with ThreadPoolExecutor(max_workers=self.encryption_threads) as pool:
-            return list(
-                pool.map(
-                    self.scheme.encrypt_chunk,
-                    [chunk.data for chunk in chunks],
-                    mle_keys,
-                )
-            )
+        """Encrypt a batch of chunks on the transform pool.
+
+        The pool decides serial vs. process-parallel per batch (see
+        :mod:`repro.core.parallel`); order is always preserved.
+        """
+        return self._transform_pool.encrypt(
+            [chunk.data for chunk in chunks], mle_keys
+        )
+
+    def close(self) -> None:
+        """Reap encryption worker processes (they restart lazily)."""
+        self._transform_pool.close()
 
     def _seal_key_state(
         self, file_id: str, state: KeyState, policy: FilePolicy
@@ -250,6 +275,14 @@ class REEDClient:
         state = owner.initial_state()
         file_key = state.derive_key()
 
+        # Snapshot the key client's counters so the result can report
+        # this upload's share (getattr: custom key clients may not
+        # expose them).
+        key_client = self.key_client
+        hits_before = getattr(key_client, "cache_hits", 0)
+        evals_before = getattr(key_client, "oprf_evaluations", 0)
+        trips_before = getattr(key_client, "round_trips", 0)
+
         refs: list[ChunkRef] = []
         stubs: list[bytes] = []
         total_size = 0
@@ -315,6 +348,10 @@ class REEDClient:
             trimmed_bytes=trimmed_bytes,
             stub_file_bytes=len(stub_file),
             key_version=state.version,
+            key_cache_hits=getattr(key_client, "cache_hits", 0) - hits_before,
+            key_oprf_evaluations=getattr(key_client, "oprf_evaluations", 0)
+            - evals_before,
+            key_round_trips=getattr(key_client, "round_trips", 0) - trips_before,
         )
 
     def upload_path(

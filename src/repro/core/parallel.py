@@ -1,0 +1,222 @@
+"""Parallel chunk-transform pool for the client encrypt path.
+
+The chunk transform (MLE encryption + CAONT packaging) is pure Python and
+CPU-bound, so the GIL serializes it no matter how many threads run it —
+the journal version of REED reaches its reported throughputs only with
+truly concurrent chunk encryption.  :class:`ChunkTransformPool` runs the
+transform across *processes*: chunk batches are pickled to workers, each
+worker rebuilds the encryption scheme once from its registry names, and
+results are reassembled in submission order.
+
+The pool degrades gracefully:
+
+* **serial** for small batches (the pickling round trip would dominate),
+  for a single-worker configuration, and for schemes or ciphers that are
+  not registry-reconstructible in a fresh process (custom instances);
+* **threads** when process pools are unavailable on the platform
+  (spawn failure) — still correct, occasionally useful when the cipher
+  releases the GIL.
+
+Worker processes are started lazily on first use and reused across
+uploads; call :meth:`ChunkTransformPool.close` (or
+:meth:`REEDClient.close <repro.core.client.REEDClient.close>`) to reap
+them deterministically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.core.schemes import EncryptionScheme, SplitPackage, get_scheme
+from repro.crypto.cipher import get_cipher
+from repro.util.errors import ConfigurationError
+
+#: Upper bound on the default worker count: chunk transforms saturate
+#: memory bandwidth well before this many cores help.
+DEFAULT_WORKER_CAP = 8
+
+#: Below this many bytes per batch the fork/pickle overhead exceeds the
+#: parallel win and the transform runs serially in-process.
+DEFAULT_MIN_PARALLEL_BYTES = 1 << 20
+
+
+def default_worker_count(cap: int = DEFAULT_WORKER_CAP) -> int:
+    """``os.cpu_count()`` capped — the default client worker count."""
+    return max(1, min(os.cpu_count() or 1, cap))
+
+
+# -- worker-process side -----------------------------------------------------
+
+#: Per-process scheme cache: workers rebuild the scheme once per
+#: (scheme, cipher, stub size) and reuse it for every batch.
+_WORKER_SCHEMES: dict[tuple[str, str, int], EncryptionScheme] = {}
+
+
+def _encrypt_batch(
+    scheme_name: str,
+    cipher_name: str,
+    stub_size: int,
+    pairs: list[tuple[bytes, bytes]],
+) -> list[SplitPackage]:
+    """Worker entry point: transform ``(chunk, mle_key)`` pairs.
+
+    Module-level (picklable) by design; the scheme travels as registry
+    names, never as a pickled object graph.
+    """
+    spec = (scheme_name, cipher_name, stub_size)
+    scheme = _WORKER_SCHEMES.get(spec)
+    if scheme is None:
+        scheme = get_scheme(
+            scheme_name, cipher=get_cipher(cipher_name), stub_size=stub_size
+        )
+        _WORKER_SCHEMES[spec] = scheme
+    return [scheme.encrypt_chunk(chunk, mle_key) for chunk, mle_key in pairs]
+
+
+# -- client side -------------------------------------------------------------
+
+
+def _registry_spec(scheme: EncryptionScheme) -> tuple[str, str, int] | None:
+    """Registry names that rebuild ``scheme`` in a fresh process, or None.
+
+    A subclassed scheme or a cipher instance that is not the registry
+    singleton cannot be faithfully reconstructed from names, so such
+    schemes stay on the in-process paths.
+    """
+    cipher_name = getattr(scheme.cipher, "name", None)
+    scheme_name = getattr(scheme, "name", None)
+    if not cipher_name or not scheme_name:
+        return None
+    try:
+        rebuilt = get_scheme(
+            scheme_name, cipher=get_cipher(cipher_name), stub_size=scheme.stub_size
+        )
+    except ConfigurationError:
+        return None
+    if type(rebuilt) is not type(scheme) or type(rebuilt.cipher) is not type(
+        scheme.cipher
+    ):
+        return None
+    return (scheme_name, cipher_name, scheme.stub_size)
+
+
+def _make_process_pool(workers: int) -> ProcessPoolExecutor:
+    # Prefer fork where available: workers inherit the warm module state
+    # (tables, caches) instead of re-importing everything.
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        context = multiprocessing.get_context()
+    return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+
+class ChunkTransformPool:
+    """Runs ``scheme.encrypt_chunk`` over batches, in parallel when it pays.
+
+    ``workers`` defaults to :func:`default_worker_count`.  ``use_processes``
+    may be forced off to get the legacy thread-pool behaviour.
+    """
+
+    def __init__(
+        self,
+        scheme: EncryptionScheme,
+        workers: int | None = None,
+        use_processes: bool = True,
+        min_parallel_bytes: int = DEFAULT_MIN_PARALLEL_BYTES,
+    ) -> None:
+        if workers is None:
+            workers = default_worker_count()
+        if workers < 1:
+            raise ConfigurationError("need at least one encryption worker")
+        self.scheme = scheme
+        self.workers = workers
+        self.min_parallel_bytes = min_parallel_bytes
+        self._spec = _registry_spec(scheme) if use_processes else None
+        self._executor: Executor | None = None
+        self._executor_is_process = False
+        #: Batches that actually ran on the process pool (for tests/stats).
+        self.parallel_batches = 0
+        self.serial_batches = 0
+
+    # -- executor lifecycle ------------------------------------------------
+
+    def _get_executor(self) -> Executor:
+        if self._executor is None:
+            if self._spec is not None:
+                try:
+                    self._executor = _make_process_pool(self.workers)
+                    self._executor_is_process = True
+                except (NotImplementedError, OSError, PermissionError):
+                    # Platform without working multiprocessing: threads
+                    # keep the API (not the speedup).
+                    self._spec = None
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(max_workers=self.workers)
+                self._executor_is_process = False
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down worker processes/threads; the pool restarts lazily."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ChunkTransformPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- transform ---------------------------------------------------------
+
+    def _encrypt_serial(
+        self, chunks: list[bytes], mle_keys: list[bytes]
+    ) -> list[SplitPackage]:
+        encrypt = self.scheme.encrypt_chunk
+        return [encrypt(chunk, key) for chunk, key in zip(chunks, mle_keys)]
+
+    def encrypt(
+        self, chunks: list[bytes], mle_keys: list[bytes]
+    ) -> list[SplitPackage]:
+        """Transform chunks into split packages, preserving order."""
+        if len(chunks) != len(mle_keys):
+            raise ConfigurationError(
+                f"{len(chunks)} chunks but {len(mle_keys)} MLE keys"
+            )
+        total = sum(len(chunk) for chunk in chunks)
+        if (
+            self.workers == 1
+            or len(chunks) < 2
+            or (self._spec is not None and total < self.min_parallel_bytes)
+        ):
+            self.serial_batches += 1
+            return self._encrypt_serial(chunks, mle_keys)
+        executor = self._get_executor()
+        if not self._executor_is_process:
+            self.parallel_batches += 1
+            return list(executor.map(self.scheme.encrypt_chunk, chunks, mle_keys))
+        # Slice into one contiguous span per worker; futures come back in
+        # submission order, so reassembly is a flatten.
+        spec = self._spec
+        span = max(1, -(-len(chunks) // self.workers))
+        futures = []
+        for start in range(0, len(chunks), span):
+            pairs = list(
+                zip(chunks[start : start + span], mle_keys[start : start + span])
+            )
+            futures.append(executor.submit(_encrypt_batch, *spec, pairs))
+        try:
+            results = [future.result() for future in futures]
+        except BrokenProcessPool:  # pragma: no cover - worker crash
+            # A dead worker (OOM-kill, signal) poisons the whole pool:
+            # disable it and redo this batch in-process rather than fail
+            # the upload.
+            self.close()
+            self._spec = None
+            self.serial_batches += 1
+            return self._encrypt_serial(chunks, mle_keys)
+        self.parallel_batches += 1
+        return [package for batch in results for package in batch]

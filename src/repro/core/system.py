@@ -151,13 +151,16 @@ class ReedSystem:
         owner: bool = True,
         cache_bytes: int | None = None,
         scheme: str | None = None,
-        encryption_threads: int = 2,
+        encryption_threads: int | None = None,
+        encryption_workers: int | None = None,
     ) -> REEDClient:
         """Enroll a user and build their client.
 
         ``owner=False`` creates a read-only participant (no derivation
         keypair); ``cache_bytes`` sizes the MLE key cache (None disables
         caching, mirroring the paper's cache on/off experiments).
+        ``encryption_workers`` defaults to one worker per CPU (capped);
+        ``encryption_threads`` is its back-compat alias.
         """
         if owner and user_id in self._owners:
             raise ConfigurationError(f"user {user_id!r} already enrolled as owner")
@@ -184,6 +187,7 @@ class ReedSystem:
             cipher=self.cipher,
             chunking=self.chunking,
             encryption_threads=encryption_threads,
+            encryption_workers=encryption_workers,
             rng=self.rng,
         )
 

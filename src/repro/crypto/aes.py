@@ -7,6 +7,17 @@ multiplicative inverse plus the affine transform, standard key expansion,
 and table-free round functions — and is validated against the FIPS-197
 appendix test vectors in the test suite.
 
+Two encrypt paths coexist (docs/PERFORMANCE.md):
+
+* the **reference path** (:meth:`AES.encrypt_block`) keeps the
+  specification's per-step round functions and serves as the
+  correctness oracle;
+* the **T-table path** (:meth:`AES.encrypt_block_fast`) folds
+  SubBytes + ShiftRows + MixColumns into four 256-entry 32-bit lookup
+  tables and runs on a per-key cached key schedule of packed 32-bit
+  words (:func:`encryption_schedule`).  The CTR engines in
+  :mod:`repro.crypto.modes` are built on this schedule.
+
 Pure-Python AES is three orders of magnitude slower than hardware AES; the
 library therefore defaults to :mod:`repro.crypto.streamcipher` (a SHA-256
 counter-mode keystream) for bulk masking, with AES available for
@@ -15,6 +26,9 @@ construction.  See DESIGN.md §3.
 """
 
 from __future__ import annotations
+
+import struct
+from functools import lru_cache
 
 from repro.util.errors import ConfigurationError
 
@@ -90,6 +104,65 @@ _MUL13 = bytes(_gf_mul(x, 13) for x in range(256))
 _MUL14 = bytes(_gf_mul(x, 14) for x in range(256))
 
 
+# ---------------------------------------------------------------------------
+# T-tables: SubBytes + ShiftRows + MixColumns combined into four 32-bit
+# lookup tables (the classic software-AES construction).  One encrypt
+# round becomes, per output word, four table lookups XORed with the
+# round-key word.
+# ---------------------------------------------------------------------------
+
+
+def _build_enc_tables() -> tuple[tuple[int, ...], ...]:
+    t0 = []
+    for x in range(256):
+        s = SBOX[x]
+        t0.append((_gf_mul(s, 2) << 24) | (s << 16) | (s << 8) | _gf_mul(s, 3))
+    t1 = tuple(((t >> 8) | ((t & 0xFF) << 24)) for t in t0)
+    t2 = tuple(((t >> 16) | ((t & 0xFFFF) << 16)) for t in t0)
+    t3 = tuple(((t >> 24) | ((t & 0xFFFFFF) << 8)) for t in t0)
+    return tuple(t0), t1, t2, t3
+
+
+T0, T1, T2, T3 = _build_enc_tables()
+
+
+def _sub_word(word: int) -> int:
+    return (
+        (SBOX[word >> 24] << 24)
+        | (SBOX[(word >> 16) & 0xFF] << 16)
+        | (SBOX[(word >> 8) & 0xFF] << 8)
+        | SBOX[word & 0xFF]
+    )
+
+
+@lru_cache(maxsize=512)
+def encryption_schedule(key: bytes) -> tuple[tuple[int, ...], int]:
+    """Per-key cached key schedule as big-endian packed 32-bit words.
+
+    Returns ``(words, rounds)`` with ``4 * (rounds + 1)`` words.  The
+    cache means repeated cipher construction for the same key (one
+    :func:`modes.ctr_encrypt` call per chunk piece, say) expands the key
+    once.
+    """
+    nk = len(key) // 4
+    rounds = AES._ROUNDS.get(len(key))
+    if rounds is None:
+        raise ConfigurationError(
+            f"AES key must be 16, 24, or 32 bytes, got {len(key)}"
+        )
+    words = list(struct.unpack(f">{nk}I", key))
+    for i in range(nk, 4 * (rounds + 1)):
+        temp = words[i - 1]
+        if i % nk == 0:
+            temp = ((temp << 8) | (temp >> 24)) & 0xFFFFFFFF  # RotWord
+            temp = _sub_word(temp)
+            temp ^= _RCON[i // nk - 1] << 24
+        elif nk > 6 and i % nk == 4:
+            temp = _sub_word(temp)
+        words.append(words[i - nk] ^ temp)
+    return tuple(words), rounds
+
+
 class AES:
     """Raw AES block cipher (single 16-byte block operations).
 
@@ -103,6 +176,7 @@ class AES:
             raise ConfigurationError(
                 f"AES key must be 16, 24, or 32 bytes, got {len(key)}"
             )
+        self.key = bytes(key)
         self._rounds = self._ROUNDS[len(key)]
         self._round_keys = self._expand_key(key)
 
@@ -200,6 +274,32 @@ class AES:
         state = self._shift_rows(state)
         self._add_round_key(state, self._round_keys[self._rounds])
         return bytes(state)
+
+    def encrypt_block_fast(self, block: bytes) -> bytes:
+        """T-table encryption of one block (identical output to
+        :meth:`encrypt_block`, roughly 4x faster in CPython)."""
+        if len(block) != BLOCK_SIZE:
+            raise ConfigurationError("AES block must be 16 bytes")
+        words, rounds = encryption_schedule(self.key)
+        t0, t1, t2, t3, sbox = T0, T1, T2, T3, SBOX
+        s0, s1, s2, s3 = struct.unpack(">4I", block)
+        s0 ^= words[0]
+        s1 ^= words[1]
+        s2 ^= words[2]
+        s3 ^= words[3]
+        k = 4
+        for _ in range(rounds - 1):
+            u0 = t0[s0 >> 24] ^ t1[(s1 >> 16) & 255] ^ t2[(s2 >> 8) & 255] ^ t3[s3 & 255] ^ words[k]
+            u1 = t0[s1 >> 24] ^ t1[(s2 >> 16) & 255] ^ t2[(s3 >> 8) & 255] ^ t3[s0 & 255] ^ words[k + 1]
+            u2 = t0[s2 >> 24] ^ t1[(s3 >> 16) & 255] ^ t2[(s0 >> 8) & 255] ^ t3[s1 & 255] ^ words[k + 2]
+            u3 = t0[s3 >> 24] ^ t1[(s0 >> 16) & 255] ^ t2[(s1 >> 8) & 255] ^ t3[s2 & 255] ^ words[k + 3]
+            s0, s1, s2, s3 = u0, u1, u2, u3
+            k += 4
+        r0 = ((sbox[s0 >> 24] << 24) | (sbox[(s1 >> 16) & 255] << 16) | (sbox[(s2 >> 8) & 255] << 8) | sbox[s3 & 255]) ^ words[k]
+        r1 = ((sbox[s1 >> 24] << 24) | (sbox[(s2 >> 16) & 255] << 16) | (sbox[(s3 >> 8) & 255] << 8) | sbox[s0 & 255]) ^ words[k + 1]
+        r2 = ((sbox[s2 >> 24] << 24) | (sbox[(s3 >> 16) & 255] << 16) | (sbox[(s0 >> 8) & 255] << 8) | sbox[s1 & 255]) ^ words[k + 2]
+        r3 = ((sbox[s3 >> 24] << 24) | (sbox[(s0 >> 16) & 255] << 16) | (sbox[(s1 >> 8) & 255] << 8) | sbox[s2 & 255]) ^ words[k + 3]
+        return struct.pack(">4I", r0, r1, r2, r3)
 
     def decrypt_block(self, block: bytes) -> bytes:
         if len(block) != BLOCK_SIZE:

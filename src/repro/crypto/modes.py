@@ -5,28 +5,74 @@ keystream generator (the AONT mask ``G(K) = E(K, S)``) or as a
 deterministic encryption for MLE (same key + same message must give the
 same ciphertext, so the nonce is fixed to zero — safe here because MLE
 keys are message-derived and never reused across distinct messages).
+
+Three keystream engines produce bit-identical output (enforced by
+differential tests; see docs/PERFORMANCE.md):
+
+* ``"reference"`` — the specification-shaped loop: one
+  :meth:`~repro.crypto.aes.AES.encrypt_block` per counter block.  The
+  correctness oracle.
+* ``"ttable"`` — a single-pass pure-Python loop over the T-tables of
+  :mod:`repro.crypto.aes` with the per-key cached word schedule; all
+  counter blocks are generated in one pass and packed with one
+  :func:`struct.pack` call.
+* ``"numpy"`` — the same T-table round function vectorized across all
+  counter blocks at once (each round is ~16 fancy-indexing gathers over
+  the whole batch).  Selected automatically when numpy is importable.
+
+``ctr_keystream`` dispatches to the best available engine by default;
+pass ``engine=`` to pin one.
 """
 
 from __future__ import annotations
 
-from repro.crypto.aes import AES, BLOCK_SIZE
+import struct
+
+from repro.crypto.aes import AES, BLOCK_SIZE, SBOX, T0, T1, T2, T3, encryption_schedule
 from repro.util.bytesutil import xor_bytes
 from repro.util.errors import ConfigurationError
+
+try:  # numpy is optional; every engine below has a pure-Python fallback.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    _np = None
 
 #: Nonce used for deterministic (MLE) encryption.
 ZERO_NONCE = b"\x00" * 8
 
+#: Counter blocks generated per numpy slab (bounds peak memory:
+#: 32 K blocks -> 512 KB of keystream plus working arrays).
+_NUMPY_SLAB_BLOCKS = 1 << 15
 
-def ctr_keystream(aes: AES, nonce: bytes, length: int) -> bytes:
-    """Generate ``length`` keystream bytes: ``E(K, nonce || counter)``.
+#: Below this many blocks the numpy fixed costs (array setup, dtype
+#: conversions) exceed the vector win; the ttable loop is faster.
+_NUMPY_MIN_BLOCKS = 16
 
-    The 16-byte counter block is an 8-byte nonce followed by a 64-bit
-    big-endian block counter.
-    """
+_ENGINES = ("reference", "ttable", "numpy")
+
+# numpy mirrors of the T-tables, built lazily on first use.
+_NP_TABLES = None
+
+
+def available_ctr_engines() -> list[str]:
+    """Engines usable in this process (always includes the pure ones)."""
+    return [e for e in _ENGINES if e != "numpy" or _np is not None]
+
+
+def _check_args(nonce: bytes, length: int) -> None:
     if len(nonce) != 8:
         raise ConfigurationError("CTR nonce must be 8 bytes")
     if length < 0:
         raise ConfigurationError("keystream length must be non-negative")
+
+
+def ctr_keystream_reference(aes: AES, nonce: bytes, length: int) -> bytes:
+    """Reference keystream: ``E(K, nonce || counter)`` block at a time.
+
+    The 16-byte counter block is an 8-byte nonce followed by a 64-bit
+    big-endian block counter.
+    """
+    _check_args(nonce, length)
     blocks = (length + BLOCK_SIZE - 1) // BLOCK_SIZE
     out = bytearray()
     for counter in range(blocks):
@@ -34,14 +80,133 @@ def ctr_keystream(aes: AES, nonce: bytes, length: int) -> bytes:
     return bytes(out[:length])
 
 
-def ctr_encrypt(key: bytes, nonce: bytes, plaintext: bytes) -> bytes:
+def _ctr_keystream_ttable(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Single-pass T-table keystream: every counter block in one loop,
+    one ``struct.pack`` for the whole output."""
+    words, rounds = encryption_schedule(key)
+    blocks = (length + BLOCK_SIZE - 1) // BLOCK_SIZE
+    t0, t1, t2, t3, sbox = T0, T1, T2, T3, SBOX
+    hi = int.from_bytes(nonce, "big")
+    n0 = (hi >> 32) ^ words[0]
+    n1 = (hi & 0xFFFFFFFF) ^ words[1]
+    w2, w3 = words[2], words[3]
+    inner_rounds = rounds - 1
+    k_final = 4 * rounds
+    out: list[int] = []
+    append = out.append
+    for ctr in range(blocks):
+        s0 = n0
+        s1 = n1
+        s2 = (ctr >> 32) ^ w2
+        s3 = (ctr & 0xFFFFFFFF) ^ w3
+        k = 4
+        for _ in range(inner_rounds):
+            u0 = t0[s0 >> 24] ^ t1[(s1 >> 16) & 255] ^ t2[(s2 >> 8) & 255] ^ t3[s3 & 255] ^ words[k]
+            u1 = t0[s1 >> 24] ^ t1[(s2 >> 16) & 255] ^ t2[(s3 >> 8) & 255] ^ t3[s0 & 255] ^ words[k + 1]
+            u2 = t0[s2 >> 24] ^ t1[(s3 >> 16) & 255] ^ t2[(s0 >> 8) & 255] ^ t3[s1 & 255] ^ words[k + 2]
+            u3 = t0[s3 >> 24] ^ t1[(s0 >> 16) & 255] ^ t2[(s1 >> 8) & 255] ^ t3[s2 & 255] ^ words[k + 3]
+            s0, s1, s2, s3 = u0, u1, u2, u3
+            k += 4
+        append(((sbox[s0 >> 24] << 24) | (sbox[(s1 >> 16) & 255] << 16) | (sbox[(s2 >> 8) & 255] << 8) | sbox[s3 & 255]) ^ words[k_final])
+        append(((sbox[s1 >> 24] << 24) | (sbox[(s2 >> 16) & 255] << 16) | (sbox[(s3 >> 8) & 255] << 8) | sbox[s0 & 255]) ^ words[k_final + 1])
+        append(((sbox[s2 >> 24] << 24) | (sbox[(s3 >> 16) & 255] << 16) | (sbox[(s0 >> 8) & 255] << 8) | sbox[s1 & 255]) ^ words[k_final + 2])
+        append(((sbox[s3 >> 24] << 24) | (sbox[(s0 >> 16) & 255] << 16) | (sbox[(s1 >> 8) & 255] << 8) | sbox[s2 & 255]) ^ words[k_final + 3])
+    return struct.pack(f">{len(out)}I", *out)[:length]
+
+
+def _np_tables():
+    global _NP_TABLES
+    if _NP_TABLES is None:
+        _NP_TABLES = (
+            _np.array(T0, dtype=_np.uint32),
+            _np.array(T1, dtype=_np.uint32),
+            _np.array(T2, dtype=_np.uint32),
+            _np.array(T3, dtype=_np.uint32),
+            _np.frombuffer(SBOX, dtype=_np.uint8).astype(_np.uint32),
+        )
+    return _NP_TABLES
+
+
+def _ctr_slab_numpy(words, rounds, nonce_hi: int, start: int, blocks: int):
+    np = _np
+    t0, t1, t2, t3, sb = _np_tables()
+    ctr = np.arange(start, start + blocks, dtype=np.uint64)
+    s0 = np.full(blocks, (nonce_hi >> 32) ^ words[0], dtype=np.uint32)
+    s1 = np.full(blocks, (nonce_hi & 0xFFFFFFFF) ^ words[1], dtype=np.uint32)
+    s2 = (ctr >> np.uint64(32)).astype(np.uint32) ^ np.uint32(words[2])
+    s3 = (ctr & np.uint64(0xFFFFFFFF)).astype(np.uint32) ^ np.uint32(words[3])
+    for r in range(1, rounds):
+        k = 4 * r
+        u0 = t0[s0 >> 24] ^ t1[(s1 >> 16) & 255] ^ t2[(s2 >> 8) & 255] ^ t3[s3 & 255] ^ np.uint32(words[k])
+        u1 = t0[s1 >> 24] ^ t1[(s2 >> 16) & 255] ^ t2[(s3 >> 8) & 255] ^ t3[s0 & 255] ^ np.uint32(words[k + 1])
+        u2 = t0[s2 >> 24] ^ t1[(s3 >> 16) & 255] ^ t2[(s0 >> 8) & 255] ^ t3[s1 & 255] ^ np.uint32(words[k + 2])
+        u3 = t0[s3 >> 24] ^ t1[(s0 >> 16) & 255] ^ t2[(s1 >> 8) & 255] ^ t3[s2 & 255] ^ np.uint32(words[k + 3])
+        s0, s1, s2, s3 = u0, u1, u2, u3
+    k = 4 * rounds
+    r0 = ((sb[s0 >> 24] << 24) | (sb[(s1 >> 16) & 255] << 16) | (sb[(s2 >> 8) & 255] << 8) | sb[s3 & 255]) ^ np.uint32(words[k])
+    r1 = ((sb[s1 >> 24] << 24) | (sb[(s2 >> 16) & 255] << 16) | (sb[(s3 >> 8) & 255] << 8) | sb[s0 & 255]) ^ np.uint32(words[k + 1])
+    r2 = ((sb[s2 >> 24] << 24) | (sb[(s3 >> 16) & 255] << 16) | (sb[(s0 >> 8) & 255] << 8) | sb[s1 & 255]) ^ np.uint32(words[k + 2])
+    r3 = ((sb[s3 >> 24] << 24) | (sb[(s0 >> 16) & 255] << 16) | (sb[(s1 >> 8) & 255] << 8) | sb[s2 & 255]) ^ np.uint32(words[k + 3])
+    out = np.empty((blocks, 4), dtype=">u4")
+    out[:, 0] = r0
+    out[:, 1] = r1
+    out[:, 2] = r2
+    out[:, 3] = r3
+    return out
+
+
+def _ctr_keystream_numpy(key: bytes, nonce: bytes, length: int) -> bytes:
+    """All counter blocks vectorized across the batch, slab by slab."""
+    words, rounds = encryption_schedule(key)
+    blocks = (length + BLOCK_SIZE - 1) // BLOCK_SIZE
+    hi = int.from_bytes(nonce, "big")
+    pieces = []
+    for start in range(0, blocks, _NUMPY_SLAB_BLOCKS):
+        count = min(_NUMPY_SLAB_BLOCKS, blocks - start)
+        pieces.append(_ctr_slab_numpy(words, rounds, hi, start, count).tobytes())
+    return b"".join(pieces)[:length] if pieces else b""
+
+
+def ctr_keystream(
+    aes: AES, nonce: bytes, length: int, engine: str | None = None
+) -> bytes:
+    """Generate ``length`` keystream bytes: ``E(K, nonce || counter)``.
+
+    ``engine`` picks the implementation (``"reference"``, ``"ttable"``,
+    ``"numpy"``); ``None`` selects the fastest available.  All engines
+    return identical bytes.
+    """
+    if engine is None:
+        blocks = (length + BLOCK_SIZE - 1) // BLOCK_SIZE
+        engine = (
+            "numpy" if _np is not None and blocks >= _NUMPY_MIN_BLOCKS else "ttable"
+        )
+    if engine == "reference":
+        return ctr_keystream_reference(aes, nonce, length)
+    _check_args(nonce, length)
+    if engine == "ttable":
+        return _ctr_keystream_ttable(aes.key, nonce, length)
+    if engine == "numpy":
+        if _np is None:
+            raise ConfigurationError("numpy CTR engine requested but numpy is absent")
+        return _ctr_keystream_numpy(aes.key, nonce, length)
+    raise ConfigurationError(
+        f"unknown CTR engine {engine!r}; available: {available_ctr_engines()}"
+    )
+
+
+def ctr_encrypt(
+    key: bytes, nonce: bytes, plaintext: bytes, engine: str | None = None
+) -> bytes:
     """CTR encryption; identical to decryption (XOR with keystream)."""
     aes = AES(key)
-    return xor_bytes(plaintext, ctr_keystream(aes, nonce, len(plaintext)))
+    return xor_bytes(plaintext, ctr_keystream(aes, nonce, len(plaintext), engine))
 
 
-def ctr_decrypt(key: bytes, nonce: bytes, ciphertext: bytes) -> bytes:
-    return ctr_encrypt(key, nonce, ciphertext)
+def ctr_decrypt(
+    key: bytes, nonce: bytes, ciphertext: bytes, engine: str | None = None
+) -> bytes:
+    return ctr_encrypt(key, nonce, ciphertext, engine)
 
 
 def deterministic_encrypt(key: bytes, plaintext: bytes) -> bytes:

@@ -97,6 +97,9 @@ class ServerAidedKeyClient:
         self.oprf_evaluations = 0
         #: Requests answered from the cache.
         self.cache_hits = 0
+        #: sign-batch RPCs issued to the key manager (including attempts
+        #: rejected by rate limiting — they did cross the wire).
+        self.round_trips = 0
 
     @property
     def public_key(self) -> RSAPublicKey:
@@ -108,11 +111,27 @@ class ServerAidedKeyClient:
         if self._cache is not None:
             self._cache.clear()
 
+    def stats(self) -> dict:
+        """Counters for observability: OPRF work, cache wins, RPC trips.
+
+        Includes the LRU cache's own :meth:`~repro.mle.cache.MLEKeyCache.stats`
+        under ``"cache"`` when a cache is attached.
+        """
+        data = {
+            "oprf_evaluations": self.oprf_evaluations,
+            "cache_hits": self.cache_hits,
+            "round_trips": self.round_trips,
+        }
+        if self._cache is not None:
+            data["cache"] = self._cache.stats()
+        return data
+
     # ------------------------------------------------------------------
 
     def _send_with_backoff(self, blinded: list[int]) -> list[int]:
         for attempt in range(self._max_retries + 1):
             try:
+                self.round_trips += 1
                 return self._channel.sign_batch(self._client_id, blinded)
             except RateLimitExceeded:
                 if attempt == self._max_retries:

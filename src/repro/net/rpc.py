@@ -104,6 +104,10 @@ class RpcClient:
         self._send = send
         self._next_id = 0
         self._lock = threading.Lock()
+        #: Round trips issued through this client.
+        self.calls = 0
+        #: Calls that came back as (decoded) error replies.
+        self.errors = 0
 
     def call(self, method: str, payload: bytes = b"") -> bytes:
         with self._lock:
@@ -112,14 +116,20 @@ class RpcClient:
         request = Message(
             message_id=message_id, method=method, is_error=False, payload=payload
         )
+        self.calls += 1
         response = self._send(request)
         if response.message_id != message_id:
             raise ProtocolError(
                 f"response id {response.message_id} does not match request {message_id}"
             )
         if response.is_error:
+            self.errors += 1
             raise decode_error(response.payload)
         return response.payload
+
+    def stats(self) -> dict:
+        """Round-trip counters for observability."""
+        return {"calls": self.calls, "errors": self.errors}
 
 
 class LoopbackTransport:
@@ -127,18 +137,39 @@ class LoopbackTransport:
 
     An optional ``on_message(request_bytes, response_bytes)`` hook lets
     the simulation layer account for the bytes that *would* have crossed
-    the network.
+    the network.  ``messages`` counts dispatches always; the byte
+    counters are maintained only when a hook forces encoding anyway (the
+    zero-copy fast path never serializes).
     """
 
     def __init__(self, registry: ServiceRegistry, on_message=None) -> None:
         self._registry = registry
         self._on_message = on_message
+        #: Messages dispatched through this transport (all clients).
+        self.messages = 0
+        #: Encoded request/response bytes (only counted when encoding
+        #: happens, i.e. an ``on_message`` hook is installed).
+        self.request_bytes = 0
+        self.response_bytes = 0
 
     def client(self) -> RpcClient:
         def send(request: Message) -> Message:
             response = self._registry.dispatch(request)
+            self.messages += 1
             if self._on_message is not None:
-                self._on_message(request.encode(), response.encode())
+                request_encoded = request.encode()
+                response_encoded = response.encode()
+                self.request_bytes += len(request_encoded)
+                self.response_bytes += len(response_encoded)
+                self._on_message(request_encoded, response_encoded)
             return response
 
         return RpcClient(send)
+
+    def stats(self) -> dict:
+        """Transport-level counters for observability."""
+        return {
+            "messages": self.messages,
+            "request_bytes": self.request_bytes,
+            "response_bytes": self.response_bytes,
+        }

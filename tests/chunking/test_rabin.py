@@ -10,12 +10,26 @@ from repro.chunking.rabin import (
     DEFAULT_MIN_SIZE,
     WINDOW_SIZE,
     RabinChunker,
+    available_chunking_engines,
     rabin_chunks,
+    window_fingerprint,
 )
 from repro.util.errors import ConfigurationError
 from repro.workloads.synthetic import unique_data
 
 SMALL = dict(min_size=64, max_size=512, avg_size=128)
+
+
+def _chunks_with_feed(engine, data, feed, sizes=SMALL):
+    """Drive a chunker with ``feed``-byte update calls."""
+    chunker = RabinChunker(engine=engine, **sizes)
+    out = []
+    for start in range(0, len(data), feed):
+        out.extend(chunker.update(data[start : start + feed]))
+    tail = chunker.finalize()
+    if tail is not None:
+        out.append(tail)
+    return out
 
 
 class TestReassembly:
@@ -77,6 +91,96 @@ class TestContentDefined:
         a = list(rabin_chunks(unique_data(5_000, seed=7) + shared, **SMALL))
         b = list(rabin_chunks(unique_data(5_000, seed=8) + shared, **SMALL))
         assert set(a) & set(b), "shared region produced no common chunks"
+
+
+class TestWindowProperty:
+    def test_rolling_fingerprint_is_window_local(self):
+        """After any prefix, the rolling fingerprint equals the direct
+        fingerprint of just the last WINDOW_SIZE bytes — the sliding-window
+        property that skip-ahead and edit-resilient dedup both rest on
+        (the seed implementation violated this; see the module docstring)."""
+        from repro.chunking.rabin import _ReferenceEngine
+
+        data = unique_data(1_000, seed=11)
+        engine = _ReferenceEngine(**SMALL)
+        for end in (WINDOW_SIZE, 100, 347, 1_000):
+            engine = _ReferenceEngine(**SMALL)
+            for byte in data[:end]:
+                engine._roll(byte)
+            assert engine._fingerprint == window_fingerprint(
+                data[end - WINDOW_SIZE : end]
+            ), end
+
+
+class TestEngineEquivalence:
+    """Accelerated engines must cut bit-identical boundaries to the
+    reference at every update() granularity."""
+
+    def test_available_engines(self):
+        engines = available_chunking_engines()
+        assert "reference" in engines and "scan" in engines
+
+    @pytest.mark.parametrize(
+        "feed",
+        [
+            pytest.param(1, marks=pytest.mark.slow),  # 1-byte feeds: O(n) updates
+            7,
+            100,
+            1_000,
+            50_000,
+        ],
+    )
+    def test_engines_match_reference_across_feeds(self, feed):
+        data = unique_data(50_000, seed=12)
+        expected = _chunks_with_feed("reference", data, 50_000)
+        for engine in available_chunking_engines():
+            assert _chunks_with_feed(engine, data, feed) == expected, (engine, feed)
+
+    @settings(max_examples=25)
+    @given(
+        st.binary(max_size=4_000),
+        st.sampled_from([1, 3, 64, 4_000]),
+    )
+    def test_differential_random(self, data, feed):
+        expected = _chunks_with_feed("reference", data, max(feed, 1))
+        for engine in available_chunking_engines():
+            assert _chunks_with_feed(engine, data, feed) == expected, (engine, feed)
+
+    @pytest.mark.slow
+    def test_engines_match_on_low_entropy_data(self):
+        # Repetitive data exercises the forced max_size cuts heavily.
+        data = (b"\x00" * 4_000) + (b"ab" * 2_000) + unique_data(4_000, seed=13)
+        expected = _chunks_with_feed("reference", data, len(data))
+        for engine in available_chunking_engines():
+            for feed in (1, 513, len(data)):
+                assert _chunks_with_feed(engine, data, feed) == expected
+
+    def test_explicit_engine_on_chunker(self):
+        data = unique_data(10_000, seed=14)
+        for engine in available_chunking_engines():
+            chunker = RabinChunker(engine=engine, **SMALL)
+            assert chunker.engine == engine
+            chunks = list(chunker.update(data))
+            tail = chunker.finalize()
+            assert b"".join(chunks) + (tail or b"") == data
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RabinChunker(engine="bogus", **SMALL)
+
+    def test_numpy_engine_rejects_wide_mask(self):
+        if "numpy" not in available_chunking_engines():
+            pytest.skip("numpy unavailable")
+        with pytest.raises(ConfigurationError):
+            RabinChunker(
+                min_size=1024, max_size=1 << 20, avg_size=1 << 17, engine="numpy"
+            )
+
+    def test_auto_engine_falls_back_on_wide_mask(self):
+        # avg 128 KiB exceeds the numpy engine's 16-bit mask; auto
+        # selection must quietly pick the pure-Python scanner.
+        chunker = RabinChunker(min_size=1024, max_size=1 << 20, avg_size=1 << 17)
+        assert chunker.engine == "scan"
 
 
 class TestValidation:

@@ -68,6 +68,65 @@ class TestUpload:
         assert client.download("fixed").data == data
 
 
+class TestUploadObservability:
+    def test_cold_upload_reports_oprf_work(self, alice, data):
+        result = alice.upload("f1", data)
+        assert result.key_oprf_evaluations == result.chunk_count
+        assert result.key_cache_hits == 0
+        # Batch size 256 >= chunk count here: exactly one round trip.
+        assert result.key_round_trips == 1
+
+    def test_warm_cache_upload_reports_hits_not_trips(self, alice, data):
+        alice.upload("f1", data)
+        result = alice.upload("f2", data)
+        assert result.key_cache_hits == result.chunk_count
+        assert result.key_oprf_evaluations == 0
+        assert result.key_round_trips == 0
+
+    def test_counters_are_per_upload_deltas(self, alice, data):
+        first = alice.upload("f1", data)
+        second = alice.upload("f2", data + b"tail-changes-last-chunk")
+        # Most chunks repeat; only the delta shows up on the second result.
+        assert second.key_cache_hits > 0
+        assert second.key_oprf_evaluations < first.key_oprf_evaluations
+        assert alice.key_client.stats()["oprf_evaluations"] == (
+            first.key_oprf_evaluations + second.key_oprf_evaluations
+        )
+
+
+class TestWorkerConfiguration:
+    def test_default_workers_track_cpu_count(self, system):
+        import os as _os
+
+        client = system.new_client("worker-default")
+        expected = max(1, min(_os.cpu_count() or 1, 8))
+        assert client.encryption_workers == expected
+        assert client.encryption_threads == expected  # back-compat alias
+
+    def test_explicit_workers_override(self, system):
+        client = system.new_client("worker-explicit", encryption_workers=3)
+        assert client.encryption_workers == 3
+
+    def test_legacy_threads_alias(self, system):
+        client = system.new_client("worker-legacy", encryption_threads=2)
+        assert client.encryption_workers == 2
+
+    def test_zero_workers_rejected(self, system):
+        with pytest.raises(ConfigurationError):
+            system.new_client("worker-zero", encryption_workers=0)
+
+    def test_parallel_upload_roundtrips(self, system, data):
+        client = system.new_client("worker-parallel", encryption_workers=2)
+        # Force the process pool even for this small file.
+        client._transform_pool.min_parallel_bytes = 0
+        try:
+            client.upload("fpar", data)
+            assert client.download("fpar").data == data
+            assert client._transform_pool.parallel_batches > 0
+        finally:
+            client.close()
+
+
 class TestDownload:
     def test_roundtrip(self, alice, data):
         alice.upload("f1", data)

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.crypto.aes import AES, INV_SBOX, SBOX
+from repro.crypto.aes import AES, INV_SBOX, SBOX, T0, T1, T2, T3, encryption_schedule
 from repro.util.errors import ConfigurationError
 
 PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
@@ -61,6 +61,54 @@ class TestRoundTrip:
         c1 = AES(b"\x00" * 32).encrypt_block(block)
         c2 = AES(b"\x01" + b"\x00" * 31).encrypt_block(block)
         assert c1 != c2
+
+
+class TestTtablePath:
+    """The accelerated encrypt path must be indistinguishable from the
+    reference ``encrypt_block`` (which stays as the oracle)."""
+
+    @pytest.mark.parametrize("key,expected", FIPS_VECTORS)
+    def test_fips197_encrypt_fast(self, key, expected):
+        assert AES(key).encrypt_block_fast(PLAINTEXT).hex() == expected
+
+    def test_appendix_b_vector_fast(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        pt = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        assert (
+            AES(key).encrypt_block_fast(pt).hex()
+            == "3925841d02dc09fbdc118597196a0b32"
+        )
+
+    @given(st.binary(min_size=16, max_size=16), st.sampled_from([16, 24, 32]))
+    def test_differential_vs_reference(self, block, key_size):
+        key = bytes(range(key_size))
+        aes = AES(key)
+        assert aes.encrypt_block_fast(block) == aes.encrypt_block(block)
+
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=32, max_size=32))
+    def test_differential_random_keys(self, block, key):
+        aes = AES(key)
+        assert aes.encrypt_block_fast(block) == aes.encrypt_block(block)
+
+    def test_tables_consistent_with_sbox(self):
+        # T1/T2/T3 are byte rotations of T0; T0's third byte is the raw
+        # S-box output (coefficient 1 of the MixColumns column).
+        for x in range(256):
+            t = T0[x]
+            assert (t >> 8) & 0xFF == SBOX[x]
+            assert T1[x] == ((t >> 8) | ((t & 0xFF) << 24)) & 0xFFFFFFFF
+            assert T2[x] == ((t >> 16) | ((t & 0xFFFF) << 16)) & 0xFFFFFFFF
+            assert T3[x] == ((t >> 24) | ((t & 0xFFFFFF) << 8)) & 0xFFFFFFFF
+
+    def test_schedule_cached_per_key(self):
+        a = encryption_schedule(KEY_256)
+        b = encryption_schedule(bytes(KEY_256))
+        assert a is b  # lru_cache hit for equal keys
+
+    def test_fast_path_rejects_bad_block(self):
+        aes = AES(KEY_256)
+        with pytest.raises(ConfigurationError):
+            aes.encrypt_block_fast(b"too-short")
 
 
 class TestValidation:

@@ -1,0 +1,56 @@
+"""Smoke test for the hot-path benchmark harness.
+
+Runs ``benchmarks/bench_hotpath.py --quick`` as a subprocess (exactly how
+a human runs it) on tiny inputs and validates the machine-readable
+report's schema, so benchmark bit-rot is caught by tier-1 rather than at
+the next perf investigation.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+BENCH = os.path.join(REPO_ROOT, "benchmarks", "bench_hotpath.py")
+
+EXPECTED_FAMILIES = {"chunking", "ctr", "caont", "upload"}
+
+
+@pytest.mark.slow
+def test_quick_bench_runs_and_writes_valid_report(tmp_path):
+    out = tmp_path / "BENCH_hotpath.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = subprocess.run(
+        [sys.executable, BENCH, "--quick", "--out", str(out)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+    report = json.loads(out.read_text())
+    assert report["schema"] == "reed-bench-hotpath/1"
+    assert report["quick"] is True
+    assert isinstance(report["results"], list) and report["results"]
+    for result in report["results"]:
+        assert set(result) == {"name", "bytes", "seconds", "mib_per_s"}
+        assert result["bytes"] > 0
+        assert result["seconds"] > 0
+        assert result["mib_per_s"] > 0
+    families = {r["name"].split("/")[0] for r in report["results"]}
+    assert families == EXPECTED_FAMILIES
+    # Every family must include a reference row (the oracle baseline).
+    names = {r["name"] for r in report["results"]}
+    for family in EXPECTED_FAMILIES:
+        assert f"{family}/reference" in names
+    assert isinstance(report["speedups"], dict)
+    assert set(report["speedups"]) == EXPECTED_FAMILIES

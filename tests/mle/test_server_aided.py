@@ -154,3 +154,28 @@ class TestRobustness:
         )
         with pytest.raises(KeyManagerError):
             client.get_key(b"\x01" * 32)
+
+
+class TestStats:
+    def test_round_trips_counted(self, manager):
+        client = make_client(manager, batch_size=4)
+        client.get_keys([bytes([i]) * 32 for i in range(10)])
+        assert client.round_trips == 3  # 4 + 4 + 2
+
+    def test_stats_snapshot(self, manager):
+        client = make_client(manager, cache=MLEKeyCache(1 << 20))
+        fps = [bytes([i]) * 32 for i in range(5)]
+        client.get_keys(fps)
+        client.get_keys(fps)
+        stats = client.stats()
+        assert stats["oprf_evaluations"] == 5
+        assert stats["cache_hits"] == 5
+        assert stats["round_trips"] == 1
+        assert stats["cache"]["entries"] == 5
+
+    def test_stats_without_cache(self, manager):
+        client = make_client(manager, cache=None)
+        client.get_key(b"\x07" * 32)
+        stats = client.stats()
+        assert "cache" not in stats
+        assert stats["round_trips"] == 1

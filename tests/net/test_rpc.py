@@ -96,3 +96,31 @@ class TestLoopback:
         client = LoopbackTransport(registry).client()
         client.call("echo", b"1")
         client.call("echo", b"2")  # would fail on id mismatch
+
+
+class TestCounters:
+    def test_client_counts_calls_and_errors(self, registry):
+        client = LoopbackTransport(registry).client()
+        client.call("echo", b"a")
+        client.call("upper", b"b")
+        with pytest.raises(NotFoundError):
+            client.call("fail")
+        assert client.stats() == {"calls": 3, "errors": 1}
+
+    def test_transport_counts_messages(self, registry):
+        transport = LoopbackTransport(registry)
+        first = transport.client()
+        second = transport.client()
+        first.call("echo", b"x")
+        second.call("echo", b"y")
+        stats = transport.stats()
+        assert stats["messages"] == 2
+        # Fast path never encodes, so byte counters stay zero.
+        assert stats["request_bytes"] == 0 and stats["response_bytes"] == 0
+
+    def test_transport_counts_bytes_with_hook(self, registry):
+        transport = LoopbackTransport(registry, on_message=lambda req, resp: None)
+        transport.client().call("echo", b"payload")
+        stats = transport.stats()
+        assert stats["messages"] == 1
+        assert stats["request_bytes"] > 0 and stats["response_bytes"] > 0
