@@ -20,7 +20,7 @@ from repro.crypto.cipher import get_cipher
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.hashing import sha256
 from repro.crypto.rsa import fdh_sign, generate_keypair
-from repro.util.units import KiB, MiB
+from repro.util.units import KiB
 from repro.workloads.synthetic import unique_data
 
 KEY32 = bytes(range(32))

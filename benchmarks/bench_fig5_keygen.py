@@ -20,7 +20,7 @@ from repro.crypto.drbg import HmacDrbg
 from repro.mle.keymanager import KeyManager
 from repro.mle.server_aided import LocalKeyManagerChannel, ServerAidedKeyClient
 from repro.sim.figures import PAPER_QUOTED, fig5a, fig5b
-from repro.util.units import KiB, MiB
+from repro.util.units import KiB
 
 #: Keys fetched per measured round (reduced scale).
 KEY_COUNT = 64

@@ -9,7 +9,10 @@ Measures the four layers the acceleration pass touches —
 * **caont** — the CAONT chunk transform (enhanced scheme) with the
   reference CTR engine pinned vs. the auto-dispatched fast path;
 * **upload** — end-to-end client upload against an in-process system,
-  reference engines vs. accelerated defaults —
+  reference engines vs. accelerated defaults;
+* **upload_tcp** — end-to-end upload over a real localhost TCP cluster,
+  per-chunk RPCs vs. the batched pipeline, recording round trips per
+  layer alongside throughput —
 
 and writes machine-readable ``BENCH_hotpath.json`` at the repo root so
 future PRs can track the perf trajectory.  Run it directly::
@@ -199,6 +202,58 @@ def bench_upload(file_bytes: int, repeats: int) -> list[dict]:
     return results
 
 
+def bench_upload_tcp(file_bytes: int, repeats: int) -> list[dict]:
+    """Upload over localhost TCP: per-chunk round trips vs. the batched
+    pipeline (``derive_batch`` + per-shard ``put_many`` + pipelining).
+
+    Each timed run uploads fresh (undeduplicatable) data with a cold
+    client, so the two configurations pay identical crypto and storage
+    costs and differ only in how the bytes travel.
+    """
+    from repro.chunking.chunker import ChunkingSpec
+    from repro.core.cluster import TcpCluster
+
+    rng = HmacDrbg(b"bench-upload-tcp")
+    chunking = ChunkingSpec(method="fixed", avg_size=4096)
+    configs = (
+        # Per-chunk: one fingerprint per key RPC, one chunk per store
+        # batch, no overlap — the O(chunks) round-trip reference path.
+        ("per_chunk", {"key_batch_size": 1, "upload_batch_bytes": 1, "pipeline_depth": 1}),
+        # Batched: whole-file key derivation, 4 MB store batches,
+        # store/encrypt overlap — the protocol this PR adds.
+        ("batched", {}),
+    )
+    results = []
+    with TcpCluster(num_data_servers=2, chunking=chunking, rng=rng) as cluster:
+        for label, kwargs in configs:
+            state = {"counter": 0, "last": None}
+
+            def run(label=label, kwargs=kwargs, state=state):
+                state["counter"] += 1
+                data = rng.random_bytes(file_bytes)
+                client = cluster.new_client(
+                    f"bench-{label}-{state['counter']}", encryption_workers=1, **kwargs
+                )
+                state["last"] = client.upload(f"file-{label}-{state['counter']}", data)
+                client.close()
+
+            seconds = _time(run, repeats)
+            upload = state["last"]
+            results.append(
+                {
+                    "name": f"upload_tcp/{label}",
+                    "bytes": file_bytes,
+                    "seconds": seconds,
+                    "mib_per_s": _mib_per_s(file_bytes, seconds),
+                    "chunks": upload.chunk_count,
+                    "key_round_trips": upload.key_round_trips,
+                    "store_round_trips": upload.store_round_trips,
+                    "upload_batches": upload.upload_batches,
+                }
+            )
+    return results
+
+
 def compute_speedups(results: list[dict]) -> dict[str, float]:
     """Accelerated-over-reference ratios per benchmark family."""
     by_name = {r["name"]: r for r in results}
@@ -208,6 +263,7 @@ def compute_speedups(results: list[dict]) -> dict[str, float]:
         ("ctr", "ctr/reference", ("ctr/numpy", "ctr/ttable")),
         ("caont", "caont/reference", ("caont/accelerated",)),
         ("upload", "upload/reference", ("upload/accelerated",)),
+        ("upload_tcp", "upload_tcp/per_chunk", ("upload_tcp/batched",)),
     )
     for family, ref_name, fast_names in pairs:
         ref = by_name.get(ref_name)
@@ -224,12 +280,14 @@ def run(quick: bool) -> dict:
         ctr_len = 64 * 1024
         caont = (4096, 4)
         upload_bytes = 64 * 1024
+        tcp_bytes = 64 * 1024
         repeats = 1
     else:
         chunk_data = rng.random_bytes(4 * 1024 * 1024)
         ctr_len = 1024 * 1024
         caont = (8192, 64)
         upload_bytes = 1024 * 1024
+        tcp_bytes = 512 * 1024
         repeats = 3
 
     results: list[dict] = []
@@ -237,6 +295,7 @@ def run(quick: bool) -> dict:
     results.extend(bench_ctr(ctr_len, repeats))
     results.extend(bench_caont(*caont, repeats))
     results.extend(bench_upload(upload_bytes, repeats))
+    results.extend(bench_upload_tcp(tcp_bytes, repeats))
     return {
         "schema": SCHEMA,
         "quick": quick,

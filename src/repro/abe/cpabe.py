@@ -40,7 +40,7 @@ from repro.abe import access_tree as at
 from repro.crypto import shamir
 from repro.crypto.cipher import SymmetricCipher, get_cipher
 from repro.crypto.drbg import SYSTEM_RANDOM, RandomSource
-from repro.crypto.hashing import hmac_sha256, kdf, sha256
+from repro.crypto.hashing import hmac_sha256, kdf
 from repro.util.bytesutil import ct_equal, xor_bytes
 from repro.util.codec import Decoder, Encoder
 from repro.util.errors import (

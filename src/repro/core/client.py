@@ -22,7 +22,9 @@ caching (in :class:`~repro.mle.server_aided.ServerAidedKeyClient`),
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Iterable
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.abe.cpabe import abe_decrypt, abe_encrypt, PrivateAccessKey
@@ -77,10 +79,16 @@ class UploadResult:
     key_cache_hits: int = 0
     #: Blind-RSA OPRF evaluations this upload actually paid for.
     key_oprf_evaluations: int = 0
-    #: Key-manager round trips (sign-batch RPCs) this upload issued —
+    #: Key-manager round trips (derive-batch RPCs) this upload issued —
     #: with batching this is ~``chunk_count / batch_size``, and with a
     #: warm cache it is zero.
     key_round_trips: int = 0
+    #: Storage-layer round trips (batch messages to data servers) this
+    #: upload issued — at most ``shards × upload_batches`` chunk puts
+    #: plus one stub put, one recipe put, and the flush fan-out.
+    store_round_trips: int = 0
+    #: Upload batches shipped (chunk-put pipeline stages executed).
+    upload_batches: int = 0
 
 
 @dataclass(frozen=True)
@@ -119,6 +127,7 @@ class REEDClient:
         rng: RandomSource | None = None,
         pathname_salt: bytes | None = None,
         encryption_workers: int | None = None,
+        pipeline_depth: int = 2,
     ) -> None:
         # ``encryption_workers`` is the configured name; ``encryption_threads``
         # survives as a back-compat alias.  Unset -> one worker per CPU
@@ -145,6 +154,12 @@ class REEDClient:
         self.scheme = scheme
         self.chunking = chunking or ChunkingSpec()
         self.upload_batch_bytes = upload_batch_bytes
+        if pipeline_depth < 1:
+            raise ConfigurationError("pipeline depth must be at least 1")
+        #: Upload batches allowed in flight at once: while one batch's
+        #: store RPC is on the wire, the next batch is being chunked,
+        #: keyed, and encrypted.  Depth 1 disables the overlap.
+        self.pipeline_depth = pipeline_depth
         self.encryption_workers = encryption_workers
         #: Back-compat alias for the worker count.
         self.encryption_threads = encryption_workers
@@ -282,19 +297,29 @@ class REEDClient:
         hits_before = getattr(key_client, "cache_hits", 0)
         evals_before = getattr(key_client, "oprf_evaluations", 0)
         trips_before = getattr(key_client, "round_trips", 0)
+        store_trips_before = getattr(self.storage, "round_trips", 0)
 
         refs: list[ChunkRef] = []
         stubs: list[bytes] = []
         total_size = 0
         new_chunks = 0
         trimmed_bytes = 0
+        upload_batches = 0
 
         batch: list[Chunk] = []
         batch_bytes = 0
 
-        def ship(chunks: list[Chunk]) -> int:
+        derive = getattr(key_client, "derive_keys", None) or key_client.get_keys
+        put_many = getattr(self.storage, "chunk_put_many", None)
+
+        def prepare(chunks: list[Chunk]) -> list[tuple[bytes, bytes]]:
+            """Stage 1+2: batch-derive MLE keys, then transform chunks.
+
+            Runs on the caller thread so refs/stubs accumulate in file
+            order; only the store RPC is handed to the pipeline.
+            """
             nonlocal trimmed_bytes
-            mle_keys = self.key_client.get_keys([c.fingerprint for c in chunks])
+            mle_keys = derive([c.fingerprint for c in chunks])
             packages = self._encrypt_chunks(chunks, mle_keys)
             payload = []
             for chunk, package in zip(chunks, packages):
@@ -304,18 +329,59 @@ class REEDClient:
                 stubs.append(package.stub)
                 payload.append((package.fingerprint, package.trimmed_package))
                 trimmed_bytes += len(package.trimmed_package)
+            return payload
+
+        def store(payload: list[tuple[bytes, bytes]]) -> int:
+            """Stage 3: ship one batch message (per-item status when the
+            service supports it, falling back to the count reply)."""
+            if put_many is not None:
+                new = 0
+                for status in put_many(payload):
+                    if isinstance(status, Exception):
+                        raise status
+                    new += 1 if status else 0
+                return new
             return self.storage.chunk_put_batch(payload)
 
-        for chunk in chunk_stream(data, self.chunking):
-            total_size += chunk.size
-            batch.append(chunk)
-            batch_bytes += chunk.size
-            if batch_bytes >= self.upload_batch_bytes:
-                new_chunks += ship(batch)
-                batch = []
-                batch_bytes = 0
-        if batch:
-            new_chunks += ship(batch)
+        # A one-worker executor keeps store calls strictly ordered (so
+        # container layout matches the unpipelined path byte for byte)
+        # while the next batch chunks/keys/encrypts concurrently.
+        executor = (
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix="reed-upload")
+            if self.pipeline_depth > 1
+            else None
+        )
+        in_flight: deque[Future] = deque()
+        try:
+            def dispatch(chunks: list[Chunk]) -> None:
+                nonlocal new_chunks, upload_batches
+                upload_batches += 1
+                payload = prepare(chunks)
+                if executor is None:
+                    new_chunks += store(payload)
+                    return
+                while len(in_flight) >= self.pipeline_depth:
+                    new_chunks += in_flight.popleft().result()
+                in_flight.append(executor.submit(store, payload))
+
+            for chunk in chunk_stream(data, self.chunking):
+                total_size += chunk.size
+                batch.append(chunk)
+                batch_bytes += chunk.size
+                if batch_bytes >= self.upload_batch_bytes:
+                    dispatch(batch)
+                    batch = []
+                    batch_bytes = 0
+            if batch:
+                dispatch(batch)
+            while in_flight:
+                new_chunks += in_flight.popleft().result()
+        finally:
+            # Surface the first failure but never leak futures/threads.
+            while in_flight:
+                in_flight.popleft().cancel()
+            if executor is not None:
+                executor.shutdown(wait=True)
         self.storage.flush()
 
         stub_file = encrypt_stub_file(
@@ -352,6 +418,9 @@ class REEDClient:
             key_oprf_evaluations=getattr(key_client, "oprf_evaluations", 0)
             - evals_before,
             key_round_trips=getattr(key_client, "round_trips", 0) - trips_before,
+            store_round_trips=getattr(self.storage, "round_trips", 0)
+            - store_trips_before,
+            upload_batches=upload_batches,
         )
 
     def upload_path(

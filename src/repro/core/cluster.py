@@ -1,0 +1,166 @@
+"""One-call TCP cluster assembly.
+
+``examples/multi_server_cluster.py`` and the integration tests used to
+hand-wire the paper's topology (data-store servers, a key-store server,
+and the key manager, each behind its own :class:`TcpServer`).  This
+module packages that wiring as :class:`TcpCluster`, a context manager
+that serves everything on localhost sockets and builds fully remote
+clients — used by the TCP benchmark scenario, the quickstart, and any
+test that wants a real network between client and servers.
+"""
+
+from __future__ import annotations
+
+from repro.abe.cpabe import AttributeAuthority
+from repro.chunking.chunker import ChunkingSpec
+from repro.core.client import REEDClient
+from repro.core.server import REEDServer
+from repro.core.service import (
+    RemoteKeyManagerChannel,
+    RemoteKeyStore,
+    RemoteStorageService,
+    register_key_manager,
+    register_keystate_service,
+    register_storage_service,
+)
+from repro.core.system import FAST_KEY_BITS, ShardedStorageService
+from repro.crypto.drbg import SYSTEM_RANDOM, RandomSource
+from repro.keyreg.rsa_keyreg import KeyRegressionOwner
+from repro.mle.cache import MLEKeyCache
+from repro.mle.keymanager import KeyManager
+from repro.mle.server_aided import DEFAULT_BATCH_SIZE, ServerAidedKeyClient
+from repro.net.rpc import ServiceRegistry
+from repro.net.tcp import DEFAULT_MAX_WORKERS, TcpConnection, TcpServer
+from repro.storage.keystore import KeyStore
+from repro.util.errors import ConfigurationError
+
+
+class TcpCluster:
+    """A full REED deployment on localhost TCP sockets.
+
+    Every service — each data-store server, the key store, and the key
+    manager — listens on its own port behind a concurrent
+    :class:`TcpServer`; clients built by :meth:`new_client` reach all of
+    them exclusively over the network, so round-trip counters measure
+    real socket traffic.
+
+    Use as a context manager::
+
+        with TcpCluster(num_data_servers=2) as cluster:
+            alice = cluster.new_client("alice")
+            alice.upload("file", data)
+    """
+
+    def __init__(
+        self,
+        num_data_servers: int = 2,
+        key_bits: int = FAST_KEY_BITS,
+        scheme: str = "enhanced",
+        chunking: ChunkingSpec | None = None,
+        key_batch_size: int = DEFAULT_BATCH_SIZE,
+        rng: RandomSource | None = None,
+        max_workers: int = DEFAULT_MAX_WORKERS,
+    ) -> None:
+        if num_data_servers < 1:
+            raise ConfigurationError("need at least one data server")
+        self._rng = rng or SYSTEM_RANDOM
+        self.scheme = scheme
+        self.chunking = chunking
+        self.key_batch_size = key_batch_size
+        self.key_manager = KeyManager(key_bits=key_bits, rng=self._rng)
+        self.authority = AttributeAuthority(rng=self._rng)
+        self.servers = [REEDServer() for _ in range(num_data_servers)]
+        self.keystore = KeyStore()
+        self._keyreg_bits = key_bits
+        self._owners: dict[str, KeyRegressionOwner] = {}
+        self._tcp_servers: list[TcpServer] = []
+        self._connections: list[TcpConnection] = []
+
+        def serve(register, obj) -> tuple[str, int]:
+            registry = ServiceRegistry()
+            register(registry, obj)
+            server = TcpServer(registry, max_workers=max_workers)
+            server.start()
+            self._tcp_servers.append(server)
+            return server.address
+
+        self.storage_addresses = [
+            serve(register_storage_service, server) for server in self.servers
+        ]
+        self.keystore_address = serve(register_keystate_service, self.keystore)
+        self.key_manager_address = serve(register_key_manager, self.key_manager)
+
+    # ------------------------------------------------------------------
+
+    def _connect(self, address: tuple[str, int]):
+        connection = TcpConnection(*address)
+        self._connections.append(connection)
+        return connection.client()
+
+    def new_client(
+        self,
+        user_id: str,
+        owner: bool = True,
+        cache_bytes: int | None = None,
+        key_batch_size: int | None = None,
+        upload_batch_bytes: int | None = None,
+        pipeline_depth: int = 2,
+        encryption_workers: int | None = None,
+    ) -> REEDClient:
+        """Enroll a user and build a client wired entirely over TCP."""
+        storage = ShardedStorageService(
+            [
+                RemoteStorageService(self._connect(address))
+                for address in self.storage_addresses
+            ]
+        )
+        key_client = ServerAidedKeyClient(
+            RemoteKeyManagerChannel(self._connect(self.key_manager_address)),
+            client_id=user_id,
+            cache=MLEKeyCache(cache_bytes) if cache_bytes else None,
+            batch_size=key_batch_size or self.key_batch_size,
+            rng=self._rng,
+        )
+        keyreg_owner = None
+        if owner:
+            keyreg_owner = self._owners.setdefault(
+                user_id,
+                KeyRegressionOwner(key_bits=self._keyreg_bits, rng=self._rng),
+            )
+        kwargs = {}
+        if upload_batch_bytes is not None:
+            kwargs["upload_batch_bytes"] = upload_batch_bytes
+        return REEDClient(
+            user_id=user_id,
+            key_client=key_client,
+            storage=storage,
+            keystore=RemoteKeyStore(self._connect(self.keystore_address)),
+            private_access_key=self.authority.issue_private_key(user_id),
+            wrap_keys_provider=self.authority.wrap_keys_for,
+            keyreg_owner=keyreg_owner,
+            scheme=self.scheme,
+            chunking=self.chunking,
+            pipeline_depth=pipeline_depth,
+            encryption_workers=encryption_workers,
+            rng=self._rng,
+            **kwargs,
+        )
+
+    def server_stats(self) -> list[dict]:
+        """Per-TCP-server counters (connections, requests, in-flight)."""
+        return [server.stats() for server in self._tcp_servers]
+
+    def stop(self, drain: bool = True) -> None:
+        """Close every client connection and stop every server."""
+        for connection in self._connections:
+            connection.close()
+        self._connections.clear()
+        for server in self._tcp_servers:
+            server.stop(drain=drain)
+        self._tcp_servers.clear()
+
+    def __enter__(self) -> "TcpCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -34,13 +34,13 @@ from repro.core.policy import FilePolicy
 from repro.core.rekey import RevocationMode
 from repro.core.stubs import decrypt_stub_file, encrypt_stub_file
 from repro.crypto.hashing import hmac_sha256, kdf
-from repro.keyreg.rsa_keyreg import KeyRegressionMember, KeyState
 from repro.crypto.rsa import RSAPublicKey
+from repro.keyreg.rsa_keyreg import KeyRegressionMember, KeyState
 from repro.storage.keystore import KeyStateRecord
 from repro.storage.recipes import FileRecipe
 from repro.util.bytesutil import ct_equal
 from repro.util.codec import Decoder, Encoder
-from repro.util.errors import ConfigurationError, IntegrityError, NotFoundError
+from repro.util.errors import ConfigurationError, IntegrityError
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,10 @@ class StorageService(Protocol):
 
     def chunk_put_batch(self, chunks: list[tuple[bytes, bytes]]) -> int: ...
 
+    def chunk_put_many(
+        self, chunks: list[tuple[bytes, bytes]]
+    ) -> list[bool | Exception]: ...
+
     def chunk_get_batch(self, fingerprints: list[bytes]) -> list[bytes]: ...
 
     def chunk_release_batch(self, fingerprints: list[bytes]) -> None: ...
@@ -59,6 +63,9 @@ class ServerCounters:
     get_batches: int = 0
     bytes_received: int = 0
     bytes_sent: int = 0
+    #: Batch-level service calls received — one per round trip in a
+    #: networked deployment (the in-process equivalent of an RPC count).
+    requests: int = 0
 
 
 class REEDServer:
@@ -68,10 +75,16 @@ class REEDServer:
         self.store = store if store is not None else DataStore()
         self.counters = ServerCounters()
 
+    @property
+    def round_trips(self) -> int:
+        """Batch-level calls served (== RPC round trips when remoted)."""
+        return self.counters.requests
+
     # -- chunks ---------------------------------------------------------------
 
     def chunk_exists_batch(self, fingerprints: list[bytes]) -> list[bool]:
-        return [self.store.has_chunk(fp) for fp in fingerprints]
+        self.counters.requests += 1
+        return self.store.has_many(fingerprints)
 
     def chunk_put_batch(self, chunks: list[tuple[bytes, bytes]]) -> int:
         """Store (fingerprint, trimmed package) pairs; returns #new chunks.
@@ -80,6 +93,7 @@ class REEDServer:
         a malicious or buggy client must not be able to poison another
         user's chunk under a false fingerprint.
         """
+        self.counters.requests += 1
         new = 0
         for fp, data in chunks:
             self.counters.bytes_received += len(data)
@@ -92,7 +106,34 @@ class REEDServer:
         self.counters.put_batches += 1
         return new
 
+    def chunk_put_many(
+        self, chunks: list[tuple[bytes, bytes]]
+    ) -> list[bool | Exception]:
+        """Store chunks with *per-item* status for the batch protocol.
+
+        Each item resolves independently: ``True`` (new chunk stored),
+        ``False`` (dedup hit), or the exception that rejected it (e.g.
+        :class:`IntegrityError` on a fingerprint mismatch).  One poisoned
+        chunk therefore fails alone instead of aborting its whole batch
+        — the wire layer carries the per-item errors back verbatim.
+        """
+        self.counters.requests += 1
+        results: list[bool | Exception] = []
+        for fp, data in chunks:
+            self.counters.bytes_received += len(data)
+            try:
+                if _fingerprint(data) != fp:
+                    raise IntegrityError(
+                        "uploaded chunk does not match its declared fingerprint"
+                    )
+                results.append(self.store.put_chunk(fp, data))
+            except Exception as exc:  # noqa: BLE001 - carried per item
+                results.append(exc)
+        self.counters.put_batches += 1
+        return results
+
     def chunk_get_batch(self, fingerprints: list[bytes]) -> list[bytes]:
+        self.counters.requests += 1
         out = []
         for fp in fingerprints:
             data = self.store.get_chunk(fp)
@@ -102,33 +143,42 @@ class REEDServer:
         return out
 
     def chunk_release_batch(self, fingerprints: list[bytes]) -> None:
+        self.counters.requests += 1
         for fp in fingerprints:
             self.store.release_chunk(fp)
 
     # -- recipes / stub files ------------------------------------------------------
 
     def recipe_put(self, file_id: str, data: bytes) -> None:
+        self.counters.requests += 1
         self.store.put_recipe(file_id, data)
 
     def recipe_get(self, file_id: str) -> bytes:
+        self.counters.requests += 1
         return self.store.get_recipe(file_id)
 
     def recipe_delete(self, file_id: str) -> None:
+        self.counters.requests += 1
         self.store.delete_recipe(file_id)
 
     def recipe_list(self) -> list[str]:
+        self.counters.requests += 1
         return self.store.list_recipes()
 
     def stub_put(self, file_id: str, data: bytes) -> None:
+        self.counters.requests += 1
         self.store.put_stub_file(file_id, data)
 
     def stub_get(self, file_id: str) -> bytes:
+        self.counters.requests += 1
         return self.store.get_stub_file(file_id)
 
     def stub_delete(self, file_id: str) -> None:
+        self.counters.requests += 1
         self.store.delete_stub_file(file_id)
 
     def flush(self) -> None:
+        self.counters.requests += 1
         self.store.flush()
 
     @property

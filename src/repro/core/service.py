@@ -20,9 +20,13 @@ import struct
 from repro.core.server import REEDServer
 from repro.crypto.rsa import RSAPublicKey
 from repro.mle.keymanager import KeyManager
-from repro.net.rpc import RpcClient, ServiceRegistry
+from repro.net.rpc import RpcClient, ServiceRegistry, decode_error, encode_error
 from repro.storage.keystore import KeyStateRecord, KeyStore
 from repro.util.codec import Decoder, Encoder
+
+#: Per-item status codes used by batch responses (``storage.put_many``):
+#: the item deduplicated, stored new bytes, or failed with a wire error.
+ITEM_DUP, ITEM_NEW, ITEM_ERROR = 0, 1, 2
 
 # ---------------------------------------------------------------------------
 # Storage service
@@ -45,6 +49,19 @@ def register_storage_service(
         chunks = [(dec.blob(), dec.blob()) for _ in range(count)]
         dec.expect_end()
         return Encoder().uint(server.chunk_put_batch(chunks)).done()
+
+    def put_many(payload: bytes) -> bytes:
+        dec = Decoder(payload)
+        count = dec.uint()
+        chunks = [(dec.blob(), dec.blob()) for _ in range(count)]
+        dec.expect_end()
+        enc = Encoder().uint(count)
+        for status in server.chunk_put_many(chunks):
+            if isinstance(status, Exception):
+                enc.uint(ITEM_ERROR).blob(encode_error(status))
+            else:
+                enc.uint(ITEM_NEW if status else ITEM_DUP)
+        return enc.done()
 
     def get(payload: bytes) -> bytes:
         fps = Decoder(payload).list_of()
@@ -87,7 +104,11 @@ def register_storage_service(
         return b""
 
     registry.register(prefix + "exists", exists)
+    # ``has_many`` is the batch protocol's name for the same existence
+    # check; registered separately so wire captures read unambiguously.
+    registry.register(prefix + "has_many", exists)
     registry.register(prefix + "put", put)
+    registry.register(prefix + "put_many", put_many)
     registry.register(prefix + "get", get)
     registry.register(prefix + "release", release)
     registry.register(prefix + "recipe_put", recipe_put)
@@ -110,8 +131,13 @@ class RemoteStorageService:
     def _call(self, method: str, payload: bytes = b"") -> bytes:
         return self._rpc.call(self._prefix + method, payload)
 
+    @property
+    def round_trips(self) -> int:
+        """RPC round trips issued by this stub (its client's call count)."""
+        return self._rpc.calls
+
     def chunk_exists_batch(self, fingerprints: list[bytes]) -> list[bool]:
-        flags = self._call("exists", Encoder().list_of(fingerprints).done())
+        flags = self._call("has_many", Encoder().list_of(fingerprints).done())
         return [bool(b) for b in flags]
 
     def chunk_put_batch(self, chunks: list[tuple[bytes, bytes]]) -> int:
@@ -122,6 +148,30 @@ class RemoteStorageService:
         new = dec.uint()
         dec.expect_end()
         return new
+
+    def chunk_put_many(
+        self, chunks: list[tuple[bytes, bytes]]
+    ) -> list[bool | Exception]:
+        """Batch put with per-item status decoded from the wire.
+
+        Failed items come back as the *same exception class and message*
+        the server-side handler raised (see ``_WIRE_ERRORS``); successful
+        neighbours in the batch are unaffected.
+        """
+        enc = Encoder().uint(len(chunks))
+        for fp, data in chunks:
+            enc.blob(fp).blob(data)
+        dec = Decoder(self._call("put_many", enc.done()))
+        count = dec.uint()
+        results: list[bool | Exception] = []
+        for _ in range(count):
+            status = dec.uint()
+            if status == ITEM_ERROR:
+                results.append(decode_error(dec.blob()))
+            else:
+                results.append(status == ITEM_NEW)
+        dec.expect_end()
+        return results
 
     def chunk_get_batch(self, fingerprints: list[bytes]) -> list[bytes]:
         payload = self._call("get", Encoder().list_of(fingerprints).done())
@@ -239,6 +289,19 @@ def register_key_manager(
             .done()
         )
 
+    def derive_batch(payload: bytes) -> bytes:
+        dec = Decoder(payload)
+        client_id = dec.text()
+        blinded = [int.from_bytes(blob, "big") for blob in dec.list_of()]
+        dec.expect_end()
+        signatures = manager.derive_batch(client_id, blinded)
+        byte_size = manager.public_key.byte_size
+        return (
+            Encoder()
+            .list_of([sig.to_bytes(byte_size, "big") for sig in signatures])
+            .done()
+        )
+
     def backoff_hint(payload: bytes) -> bytes:
         dec = Decoder(payload)
         client_id = dec.text()
@@ -248,6 +311,7 @@ def register_key_manager(
 
     registry.register(prefix + "public_key", public_key)
     registry.register(prefix + "sign_batch", sign_batch)
+    registry.register(prefix + "derive_batch", derive_batch)
     registry.register(prefix + "backoff_hint", backoff_hint)
 
 
@@ -360,11 +424,20 @@ class RemoteKeyManagerChannel:
         return self._cached_key
 
     def sign_batch(self, client_id: str, blinded_values: list[int]) -> list[int]:
+        return self._send_blinded("sign_batch", client_id, blinded_values)
+
+    def derive_batch(self, client_id: str, blinded_values: list[int]) -> list[int]:
+        """One whole-file key-derivation round trip (batched protocol)."""
+        return self._send_blinded("derive_batch", client_id, blinded_values)
+
+    def _send_blinded(
+        self, method: str, client_id: str, blinded_values: list[int]
+    ) -> list[int]:
         enc = Encoder().text(client_id)
         # Blinded values are uniform in Z_n; encode at the modulus width.
         byte_size = self.public_key().byte_size
         enc.list_of([value.to_bytes(byte_size, "big") for value in blinded_values])
-        payload = self._rpc.call(self._prefix + "sign_batch", enc.done())
+        payload = self._rpc.call(self._prefix + method, enc.done())
         return [int.from_bytes(blob, "big") for blob in Decoder(payload).list_of()]
 
     def backoff_hint(self, client_id: str, batch_size: int) -> float:

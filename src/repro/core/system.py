@@ -53,36 +53,68 @@ class ShardedStorageService:
         if not services:
             raise ConfigurationError("need at least one storage service")
         self._services = services
+        #: Sub-service calls issued — each is one RPC round trip when the
+        #: services are remote stubs.
+        self.round_trips = 0
+
+    def _index_for(self, fingerprint: bytes) -> int:
+        return int.from_bytes(fingerprint[:8], "big") % len(self._services)
 
     def _for_chunk(self, fingerprint: bytes) -> StorageService:
-        return self._services[
-            int.from_bytes(fingerprint[:8], "big") % len(self._services)
-        ]
+        return self._services[self._index_for(fingerprint)]
 
     def _for_file(self, file_id: str) -> StorageService:
         return self._services[sum(file_id.encode("utf-8")) % len(self._services)]
 
+    def _group_positions(self, fingerprints: list[bytes]) -> dict[int, list[int]]:
+        groups: dict[int, list[int]] = {}
+        for position, fp in enumerate(fingerprints):
+            groups.setdefault(self._index_for(fp), []).append(position)
+        return groups
+
     def chunk_exists_batch(self, fingerprints: list[bytes]) -> list[bool]:
-        return [self._for_chunk(fp).chunk_exists_batch([fp])[0] for fp in fingerprints]
+        # One batched existence check per shard touched, never one per
+        # fingerprint — the multi-chunk message of the batch protocol.
+        flags = [False] * len(fingerprints)
+        for index, positions in self._group_positions(fingerprints).items():
+            self.round_trips += 1
+            answers = self._services[index].chunk_exists_batch(
+                [fingerprints[p] for p in positions]
+            )
+            for position, flag in zip(positions, answers):
+                flags[position] = flag
+        return flags
 
     def chunk_put_batch(self, chunks: list[tuple[bytes, bytes]]) -> int:
         groups: dict[int, list[tuple[bytes, bytes]]] = {}
         for fp, data in chunks:
-            index = int.from_bytes(fp[:8], "big") % len(self._services)
-            groups.setdefault(index, []).append((fp, data))
-        return sum(
-            self._services[index].chunk_put_batch(group)
-            for index, group in groups.items()
-        )
+            groups.setdefault(self._index_for(fp), []).append((fp, data))
+        new = 0
+        for index, group in groups.items():
+            self.round_trips += 1
+            new += self._services[index].chunk_put_batch(group)
+        return new
+
+    def chunk_put_many(
+        self, chunks: list[tuple[bytes, bytes]]
+    ) -> list[bool | Exception]:
+        """Per-item-status batch put, one sub-batch per shard touched."""
+        statuses: list[bool | Exception] = [False] * len(chunks)
+        groups = self._group_positions([fp for fp, _data in chunks])
+        for index, positions in groups.items():
+            self.round_trips += 1
+            answers = self._services[index].chunk_put_many(
+                [chunks[p] for p in positions]
+            )
+            for position, status in zip(positions, answers):
+                statuses[position] = status
+        return statuses
 
     def chunk_get_batch(self, fingerprints: list[bytes]) -> list[bytes]:
         # Group by shard, fetch per shard, then restore request order.
-        groups: dict[int, list[int]] = {}
-        for position, fp in enumerate(fingerprints):
-            index = int.from_bytes(fp[:8], "big") % len(self._services)
-            groups.setdefault(index, []).append(position)
         results: list[bytes | None] = [None] * len(fingerprints)
-        for index, positions in groups.items():
+        for index, positions in self._group_positions(fingerprints).items():
+            self.round_trips += 1
             fetched = self._services[index].chunk_get_batch(
                 [fingerprints[p] for p in positions]
             )
@@ -91,36 +123,51 @@ class ShardedStorageService:
         return [data for data in results if data is not None]
 
     def chunk_release_batch(self, fingerprints: list[bytes]) -> None:
-        for fp in fingerprints:
-            self._for_chunk(fp).chunk_release_batch([fp])
+        for index, positions in self._group_positions(fingerprints).items():
+            self.round_trips += 1
+            self._services[index].chunk_release_batch(
+                [fingerprints[p] for p in positions]
+            )
 
     def recipe_put(self, file_id: str, data: bytes) -> None:
+        self.round_trips += 1
         self._for_file(file_id).recipe_put(file_id, data)
 
     def recipe_get(self, file_id: str) -> bytes:
+        self.round_trips += 1
         return self._for_file(file_id).recipe_get(file_id)
 
     def recipe_delete(self, file_id: str) -> None:
+        self.round_trips += 1
         self._for_file(file_id).recipe_delete(file_id)
 
     def recipe_list(self) -> list[str]:
         names: list[str] = []
         for service in self._services:
+            self.round_trips += 1
             names.extend(service.recipe_list())
         return sorted(names)
 
     def stub_put(self, file_id: str, data: bytes) -> None:
+        self.round_trips += 1
         self._for_file(file_id).stub_put(file_id, data)
 
     def stub_get(self, file_id: str) -> bytes:
+        self.round_trips += 1
         return self._for_file(file_id).stub_get(file_id)
 
     def stub_delete(self, file_id: str) -> None:
+        self.round_trips += 1
         self._for_file(file_id).stub_delete(file_id)
 
     def flush(self) -> None:
         for service in self._services:
+            self.round_trips += 1
             service.flush()
+
+    def stats(self) -> dict:
+        """Round-trip counter for observability."""
+        return {"round_trips": self.round_trips, "services": len(self._services)}
 
 
 @dataclass

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto import blindrsa
 from repro.crypto.drbg import RandomSource
@@ -48,6 +48,9 @@ class KeyManagerStats:
     clients: int = 0
     signatures: int = 0
     batches: int = 0
+    #: Batches that arrived through the whole-file ``derive_batch``
+    #: entry point (a subset of ``batches``).
+    derive_batches: int = 0
     rejected: int = 0
     busy_seconds: float = 0.0
 
@@ -127,6 +130,22 @@ class KeyManager:
             self.stats.signatures += len(blinded_values)
             self.stats.batches += 1
             self.stats.busy_seconds += elapsed
+        return signatures
+
+    def derive_batch(self, client_id: str, blinded_values: list[int]) -> list[int]:
+        """Whole-file key derivation: sign one file's fingerprints at once.
+
+        Wire entry point for the batched upload protocol
+        (``km.derive_batch``).  Semantics match :meth:`sign_batch` — the
+        rate limiter is charged one token per fingerprint and the batch
+        is admitted all-or-nothing — but the call is accounted
+        separately so the evaluation harness can tell amortized
+        whole-file round trips from legacy fixed-size batches.
+        """
+        signatures = self.sign_batch(client_id, blinded_values)
+        if blinded_values:
+            with self._lock:
+                self.stats.derive_batches += 1
         return signatures
 
     def seconds_until_allowed(self, client_id: str, batch_size: int) -> float:

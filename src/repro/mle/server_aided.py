@@ -66,6 +66,9 @@ class LocalKeyManagerChannel:
     def sign_batch(self, client_id: str, blinded_values: list[int]) -> list[int]:
         return self._manager.sign_batch(client_id, blinded_values)
 
+    def derive_batch(self, client_id: str, blinded_values: list[int]) -> list[int]:
+        return self._manager.derive_batch(client_id, blinded_values)
+
     def backoff_hint(self, client_id: str, batch_size: int) -> float:
         return self._manager.seconds_until_allowed(client_id, batch_size)
 
@@ -128,11 +131,13 @@ class ServerAidedKeyClient:
 
     # ------------------------------------------------------------------
 
-    def _send_with_backoff(self, blinded: list[int]) -> list[int]:
+    def _send_with_backoff(self, blinded: list[int], rpc=None) -> list[int]:
+        if rpc is None:
+            rpc = self._channel.sign_batch
         for attempt in range(self._max_retries + 1):
             try:
                 self.round_trips += 1
-                return self._channel.sign_batch(self._client_id, blinded)
+                return rpc(self._client_id, blinded)
             except RateLimitExceeded:
                 if attempt == self._max_retries:
                     raise
@@ -141,7 +146,7 @@ class ServerAidedKeyClient:
                 self._sleep(max(delay, 1e-4) * 1.05)
         raise AssertionError("unreachable")
 
-    def _fetch_batch(self, fingerprints: list[bytes]) -> list[bytes]:
+    def _fetch_batch(self, fingerprints: list[bytes], rpc=None) -> list[bytes]:
         """One OPRF round trip for up to ``batch_size`` fingerprints."""
         public_key = self.public_key
         blinded_values: list[int] = []
@@ -150,7 +155,7 @@ class ServerAidedKeyClient:
             blinded, state = blindrsa.blind(public_key, fp, self._rng)
             blinded_values.append(blinded)
             states.append(state)
-        signatures = self._send_with_backoff(blinded_values)
+        signatures = self._send_with_backoff(blinded_values, rpc)
         if len(signatures) != len(blinded_values):
             raise KeyManagerError(
                 f"key manager returned {len(signatures)} signatures for "
@@ -163,12 +168,8 @@ class ServerAidedKeyClient:
         self.oprf_evaluations += len(keys)
         return keys
 
-    def get_keys(self, fingerprints: Sequence[bytes]) -> list[bytes]:
-        """Return MLE keys for ``fingerprints`` (order-preserving).
-
-        Cache hits and duplicate fingerprints within the call are served
-        without extra OPRF evaluations.
-        """
+    def _resolve(self, fingerprints: Sequence[bytes], rpc=None) -> list[bytes]:
+        """Cache-first, deduplicated, batched key resolution."""
         results: dict[bytes, bytes] = {}
         missing: list[bytes] = []
         seen: set[bytes] = set()
@@ -184,11 +185,37 @@ class ServerAidedKeyClient:
                 missing.append(fp)
         for start in range(0, len(missing), self._batch_size):
             batch = missing[start : start + self._batch_size]
-            for fp, key in zip(batch, self._fetch_batch(batch)):
+            for fp, key in zip(batch, self._fetch_batch(batch, rpc)):
                 results[fp] = key
                 if self._cache is not None:
                     self._cache.put(fp, key)
         return [results[fp] for fp in fingerprints]
+
+    def get_keys(self, fingerprints: Sequence[bytes]) -> list[bytes]:
+        """Return MLE keys for ``fingerprints`` (order-preserving).
+
+        Cache hits and duplicate fingerprints within the call are served
+        without extra OPRF evaluations.  This is the per-batch reference
+        path over the legacy ``km.sign_batch`` RPC; uploads use
+        :meth:`derive_keys`, which produces bit-identical keys.
+        """
+        return self._resolve(fingerprints)
+
+    def derive_keys(self, fingerprints: Sequence[bytes]) -> list[bytes]:
+        """Batched whole-file key derivation (order-preserving).
+
+        Blinds, ships, and unblinds a whole file's chunk fingerprints
+        through the ``km.derive_batch`` RPC: the cache is consulted
+        before anything touches the wire, duplicate fingerprints cost
+        one evaluation, and the misses travel in at most
+        ``ceil(misses / batch_size)`` round trips (one, for any file up
+        to ``batch_size`` unique chunks).  Falls back to the legacy
+        ``sign_batch`` RPC when the channel predates ``derive_batch``.
+        Keys are bit-identical to :meth:`get_keys` — unblinding strips
+        the only randomness, so both paths hash the same RSA signature.
+        """
+        rpc = getattr(self._channel, "derive_batch", None)
+        return self._resolve(fingerprints, rpc)
 
     def get_key(self, fingerprint: bytes) -> bytes:
         return self.get_keys([fingerprint])[0]

@@ -26,15 +26,14 @@ interoperate on the same stored data.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 
-from repro.crypto import blindrsa
 from repro.crypto.drbg import SYSTEM_RANDOM, RandomSource
 from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey
 from repro.mle.keymanager import DEFAULT_BURST, DEFAULT_RATE_LIMIT
 from repro.util.errors import ConfigurationError, KeyManagerError
 from repro.util.tokenbucket import TokenBucket
-import time
 
 
 @dataclass(frozen=True)

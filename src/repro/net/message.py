@@ -58,10 +58,15 @@ def frame(data: bytes) -> bytes:
     return len(data).to_bytes(4, "big") + data
 
 
-def read_frame(recv_exact) -> bytes:
-    """Read one frame using ``recv_exact(n) -> bytes`` (raises on EOF)."""
+def read_frame(recv_exact, max_bytes: int = MAX_MESSAGE_BYTES) -> bytes:
+    """Read one frame using ``recv_exact(n) -> bytes`` (raises on EOF).
+
+    ``max_bytes`` lets a server enforce a tighter per-deployment limit
+    than the global sanity bound (e.g. a public-facing endpoint that
+    only ever expects small control messages).
+    """
     header = recv_exact(4)
     length = int.from_bytes(header, "big")
-    if length > MAX_MESSAGE_BYTES:
+    if length > max_bytes:
         raise CorruptionError(f"frame length {length} exceeds the limit")
     return recv_exact(length)

@@ -1,19 +1,29 @@
 """TCP transport for the RPC layer.
 
-A thread-per-connection server and a blocking client connection, with
-4-byte length framing from :mod:`repro.net.message`.  This is the
-deployment transport: the examples run a full REED cluster (data-store
-servers, key-store server, key manager) over localhost sockets.
+A concurrent server (bounded worker pool, one worker per live
+connection) and a blocking client connection, with 4-byte length framing
+from :mod:`repro.net.message`.  This is the deployment transport: the
+examples run a full REED cluster (data-store servers, key-store server,
+key manager) over localhost sockets, and the batched upload protocol
+relies on many clients issuing large batch calls without serializing
+behind each other.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
+from concurrent.futures import ThreadPoolExecutor
 
-from repro.net.message import Message, frame, read_frame
+from repro.net.message import MAX_MESSAGE_BYTES, Message, frame, read_frame
 from repro.net.rpc import RpcClient, ServiceRegistry
-from repro.util.errors import ProtocolError
+from repro.util.errors import ConfigurationError, CorruptionError, ProtocolError
+
+#: Default size of a server's connection-serving worker pool.  Each live
+#: connection occupies one worker while it is being served, so this is
+#: the number of clients that make progress concurrently; further
+#: connections queue until a worker frees up.
+DEFAULT_MAX_WORKERS = 16
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -27,27 +37,79 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
 
 
 class TcpServer:
-    """Serves a :class:`ServiceRegistry` on a listening socket."""
+    """Serves a :class:`ServiceRegistry` on a listening socket.
 
-    def __init__(self, registry: ServiceRegistry, host: str = "127.0.0.1", port: int = 0) -> None:
+    Connections are dispatched onto a bounded :class:`ThreadPoolExecutor`
+    (``max_workers``), so batch calls from many clients run concurrently
+    without unbounded thread growth.  Per-connection framing is
+    preserved: one worker owns a connection for its lifetime, so
+    responses on a connection always arrive in request order.
+
+    ``max_message_bytes`` caps inbound frames (never above the global
+    :data:`~repro.net.message.MAX_MESSAGE_BYTES` sanity bound); an
+    oversized frame drops the offending connection rather than
+    attempting the allocation.
+
+    ``stop(drain=True)`` performs a graceful shutdown: the listener
+    closes immediately, but in-flight requests get up to ``timeout``
+    seconds to complete before connections are torn down.
+    """
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = DEFAULT_MAX_WORKERS,
+        max_message_bytes: int = MAX_MESSAGE_BYTES,
+    ) -> None:
+        if max_workers < 1:
+            raise ConfigurationError("need at least one worker")
+        if max_message_bytes < 1 or max_message_bytes > MAX_MESSAGE_BYTES:
+            raise ConfigurationError(
+                f"max_message_bytes must be in [1, {MAX_MESSAGE_BYTES}]"
+            )
         self._registry = registry
+        self._max_workers = max_workers
+        self._max_message_bytes = max_message_bytes
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
-        self._listener.listen(64)
+        self._listener.listen(128)
         self._running = False
-        self._threads: list[threading.Thread] = []
+        self._pool: ThreadPoolExecutor | None = None
         self._accept_thread: threading.Thread | None = None
         self._connections: list[socket.socket] = []
-        self._conn_lock = threading.Lock()
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._in_flight = 0
+        #: Lifetime counters for observability.
+        self.connections_accepted = 0
+        self.requests_served = 0
+        self.oversize_drops = 0
 
     @property
     def address(self) -> tuple[str, int]:
         return self._listener.getsockname()
 
+    def stats(self) -> dict:
+        """Server-side counters for observability."""
+        with self._lock:
+            return {
+                "connections_accepted": self.connections_accepted,
+                "active_connections": len(self._connections),
+                "in_flight_requests": self._in_flight,
+                "requests_served": self.requests_served,
+                "oversize_drops": self.oversize_drops,
+                "max_workers": self._max_workers,
+            }
+
     def start(self) -> None:
         """Start accepting connections on a background thread."""
         self._running = True
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._max_workers, thread_name_prefix="reed-tcp"
+        )
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
         self._accept_thread.start()
 
@@ -66,36 +128,93 @@ class TcpServer:
                 except OSError:
                     pass
                 return
-            with self._conn_lock:
+            with self._lock:
                 self._connections.append(conn)
-            thread = threading.Thread(
-                target=self._serve_connection, args=(conn,), daemon=True
-            )
-            thread.start()
-            self._threads.append(thread)
+                self.connections_accepted += 1
+            pool = self._pool
+            try:
+                if pool is None:
+                    raise RuntimeError("server stopped")
+                pool.submit(self._serve_connection, conn)
+            except RuntimeError:  # a stop() raced the accept
+                with self._lock:
+                    if conn in self._connections:
+                        self._connections.remove(conn)
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                return
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        with conn:
-            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            while True:
+        try:
+            with conn:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                while self._running:
+                    try:
+                        body = read_frame(
+                            lambda n: _recv_exact(conn, n), self._max_message_bytes
+                        )
+                    except CorruptionError:
+                        # Oversized (or length-damaged) frame: drop the
+                        # connection before attempting the allocation.
+                        with self._lock:
+                            self.oversize_drops += 1
+                        return
+                    except Exception:
+                        return  # disconnect or framing damage
+                    with self._lock:
+                        self._in_flight += 1
+                    try:
+                        # The response flush counts as in-flight too, so a
+                        # draining stop() cannot drop the connection between
+                        # dispatch finishing and the reply hitting the wire.
+                        response = self._registry.dispatch(Message.decode(body))
+                        with self._lock:
+                            # Counted before the flush so the served total
+                            # is already visible when the client reads the
+                            # response.
+                            self.requests_served += 1
+                        try:
+                            conn.sendall(frame(response.encode()))
+                        except OSError:
+                            return
+                    finally:
+                        with self._lock:
+                            self._in_flight -= 1
+                            self._idle.notify_all()
+        finally:
+            with self._lock:
                 try:
-                    body = read_frame(lambda n: _recv_exact(conn, n))
-                except Exception:
-                    return  # disconnect or framing damage: drop the connection
-                response = self._registry.dispatch(Message.decode(body))
-                try:
-                    conn.sendall(frame(response.encode()))
-                except OSError:
-                    return
+                    self._connections.remove(conn)
+                except ValueError:
+                    pass
 
-    def stop(self) -> None:
-        """Stop accepting and drop every live connection."""
+    def stop(self, drain: bool = False, timeout: float = 5.0) -> None:
+        """Stop the server.
+
+        With ``drain=False`` (the default, and the historical behaviour)
+        every live connection is dropped immediately.  With
+        ``drain=True`` the listener closes at once but requests already
+        being dispatched get up to ``timeout`` seconds to finish and
+        flush their responses before connections are torn down.
+        """
         self._running = False
+        try:
+            # shutdown() before close(): a bare close() does not release
+            # the listening port while the accept thread is blocked in
+            # accept() on it, so new connects could still succeed.
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._listener.close()
         except OSError:
             pass
-        with self._conn_lock:
+        if drain:
+            with self._idle:
+                self._idle.wait_for(lambda: self._in_flight == 0, timeout=timeout)
+        with self._lock:
             connections = list(self._connections)
             self._connections.clear()
         for conn in connections:
@@ -107,6 +226,9 @@ class TcpServer:
                 conn.close()
             except OSError:
                 pass
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
 
 class TcpConnection:

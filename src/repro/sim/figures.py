@@ -13,7 +13,7 @@ users, 5–50 % revocation ratios, 1–8 GB rekeyed files.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.costmodel import PAPER_TESTBED, TestbedModel
 from repro.util.units import GiB, KiB, MiB

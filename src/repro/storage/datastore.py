@@ -17,7 +17,7 @@ encrypted stubs (the storage-overhead experiment measures exactly this).
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.storage.backend import BlobBackend, MemoryBackend
 from repro.storage.container import DEFAULT_CONTAINER_BYTES, ContainerStore
@@ -97,6 +97,20 @@ class DataStore:
                 self._container_live.get(location.container_id, 0) + 1
             )
             return True
+
+    def has_many(self, fingerprints: list[bytes]) -> list[bool]:
+        """Batch existence check (order-preserving) for one multi-chunk
+        message of the batched upload protocol."""
+        return [self.index.contains(fp) for fp in fingerprints]
+
+    def put_many(self, chunks: list[tuple[bytes, bytes]]) -> list[bool]:
+        """Store many (fingerprint, data) pairs; per-item "was new" status.
+
+        Equivalent to calling :meth:`put_chunk` in order — container
+        layout and reference counts are byte-identical to the per-chunk
+        path — but lets a whole batch message land with one call.
+        """
+        return [self.put_chunk(fp, data) for fp, data in chunks]
 
     def get_chunk(self, fingerprint: bytes) -> bytes:
         return self.containers.read(self.index.lookup(fingerprint))

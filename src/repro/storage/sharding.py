@@ -32,7 +32,10 @@ class ShardedDataStore:
         return list(self._shards)
 
     def shard_for_chunk(self, fingerprint: bytes) -> DataStore:
-        return self._shards[int.from_bytes(fingerprint[:8], "big") % len(self._shards)]
+        return self._shards[self.shard_index(fingerprint)]
+
+    def shard_index(self, fingerprint: bytes) -> int:
+        return int.from_bytes(fingerprint[:8], "big") % len(self._shards)
 
     def shard_for_file(self, file_id: str) -> DataStore:
         digest = sum(file_id.encode("utf-8"))
@@ -45,6 +48,39 @@ class ShardedDataStore:
 
     def put_chunk(self, fingerprint: bytes, data: bytes) -> bool:
         return self.shard_for_chunk(fingerprint).put_chunk(fingerprint, data)
+
+    def has_many(self, fingerprints: list[bytes]) -> list[bool]:
+        """Batch existence check routed per shard (order-preserving).
+
+        Each shard sees one ``has_many`` sub-batch, so over RPC the cost
+        is one message per *shard touched*, not one per fingerprint.
+        """
+        groups: dict[int, list[int]] = {}
+        for position, fp in enumerate(fingerprints):
+            groups.setdefault(self.shard_index(fp), []).append(position)
+        flags = [False] * len(fingerprints)
+        for index, positions in groups.items():
+            answers = self._shards[index].has_many([fingerprints[p] for p in positions])
+            for position, flag in zip(positions, answers):
+                flags[position] = flag
+        return flags
+
+    def put_many(self, chunks: list[tuple[bytes, bytes]]) -> list[bool]:
+        """Store many chunks, one ``put_many`` sub-batch per shard.
+
+        Returns per-item "was new" status in request order.  Placement
+        is deterministic by fingerprint, so the stored bytes are
+        identical to per-chunk puts.
+        """
+        groups: dict[int, list[int]] = {}
+        for position, (fp, _data) in enumerate(chunks):
+            groups.setdefault(self.shard_index(fp), []).append(position)
+        statuses = [False] * len(chunks)
+        for index, positions in groups.items():
+            answers = self._shards[index].put_many([chunks[p] for p in positions])
+            for position, status in zip(positions, answers):
+                statuses[position] = status
+        return statuses
 
     def get_chunk(self, fingerprint: bytes) -> bytes:
         return self.shard_for_chunk(fingerprint).get_chunk(fingerprint)

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import random
 from collections.abc import Iterator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.util.codec import Decoder, Encoder
 from repro.util.errors import ConfigurationError

@@ -1,7 +1,6 @@
 """Tests for access trees: construction, evaluation, grammar, encoding."""
 
 import pytest
-from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.abe import access_tree as at

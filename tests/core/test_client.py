@@ -5,12 +5,10 @@ import pytest
 from repro.chunking.chunker import ChunkingSpec
 from repro.core.policy import FilePolicy
 from repro.core.rekey import RevocationMode
-from repro.crypto.drbg import HmacDrbg
 from repro.storage.recipes import FileRecipe
 from repro.util.errors import (
     AccessDeniedError,
     ConfigurationError,
-    CorruptionError,
     IntegrityError,
     NotFoundError,
 )

@@ -17,8 +17,6 @@ from repro.core.schemes import (
     CANARY_SIZE,
     MLE_KEY_SIZE,
     STUB_SIZE,
-    BasicScheme,
-    EnhancedScheme,
     available_schemes,
     get_scheme,
 )

@@ -18,7 +18,25 @@ REPO_ROOT = os.path.dirname(
 )
 BENCH = os.path.join(REPO_ROOT, "benchmarks", "bench_hotpath.py")
 
-EXPECTED_FAMILIES = {"chunking", "ctr", "caont", "upload"}
+EXPECTED_FAMILIES = {"chunking", "ctr", "caont", "upload", "upload_tcp"}
+
+#: Per-family baseline row (the oracle each speedup is computed against).
+REFERENCE_ROWS = {
+    "chunking": "chunking/reference",
+    "ctr": "ctr/reference",
+    "caont": "caont/reference",
+    "upload": "upload/reference",
+    "upload_tcp": "upload_tcp/per_chunk",
+}
+
+THROUGHPUT_KEYS = {"name", "bytes", "seconds", "mib_per_s"}
+#: The TCP scenario additionally records protocol round trips per layer.
+ROUND_TRIP_KEYS = THROUGHPUT_KEYS | {
+    "chunks",
+    "key_round_trips",
+    "store_round_trips",
+    "upload_batches",
+}
 
 
 @pytest.mark.slow
@@ -42,7 +60,12 @@ def test_quick_bench_runs_and_writes_valid_report(tmp_path):
     assert report["quick"] is True
     assert isinstance(report["results"], list) and report["results"]
     for result in report["results"]:
-        assert set(result) == {"name", "bytes", "seconds", "mib_per_s"}
+        expected_keys = (
+            ROUND_TRIP_KEYS
+            if result["name"].startswith("upload_tcp/")
+            else THROUGHPUT_KEYS
+        )
+        assert set(result) == expected_keys
         assert result["bytes"] > 0
         assert result["seconds"] > 0
         assert result["mib_per_s"] > 0
@@ -50,7 +73,13 @@ def test_quick_bench_runs_and_writes_valid_report(tmp_path):
     assert families == EXPECTED_FAMILIES
     # Every family must include a reference row (the oracle baseline).
     names = {r["name"] for r in report["results"]}
-    for family in EXPECTED_FAMILIES:
-        assert f"{family}/reference" in names
+    for family, reference_row in REFERENCE_ROWS.items():
+        assert reference_row in names
     assert isinstance(report["speedups"], dict)
     assert set(report["speedups"]) == EXPECTED_FAMILIES
+    # The batched pipeline's defining win: fewer round trips per layer.
+    by_name = {r["name"]: r for r in report["results"]}
+    per_chunk = by_name["upload_tcp/per_chunk"]
+    batched = by_name["upload_tcp/batched"]
+    assert batched["key_round_trips"] < per_chunk["key_round_trips"]
+    assert batched["store_round_trips"] < per_chunk["store_round_trips"]

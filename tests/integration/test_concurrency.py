@@ -8,7 +8,6 @@ through the full stack and check the invariants afterwards.
 
 import threading
 
-import pytest
 
 from repro.core.policy import FilePolicy
 from repro.core.rekey import RevocationMode

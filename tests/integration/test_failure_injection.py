@@ -17,7 +17,6 @@ from repro.util.errors import (
     IntegrityError,
     KeyManagerError,
     NotFoundError,
-    RateLimitExceeded,
     ReproError,
 )
 from repro.workloads.synthetic import unique_data
@@ -121,7 +120,10 @@ class TestKeyManagerFailures:
         def outage(_client_id, _blinded):
             raise KeyManagerError("key manager unreachable")
 
+        # A down key manager answers neither the per-chunk nor the
+        # batched derivation RPC.
         alice.key_client._channel.sign_batch = outage
+        alice.key_client._channel.derive_batch = outage
         with pytest.raises(KeyManagerError):
             alice.upload("doomed", unique_data(50_000, seed=43))
         # Nothing partially readable was registered.

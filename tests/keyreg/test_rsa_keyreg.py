@@ -3,11 +3,7 @@
 import pytest
 
 from repro.crypto.drbg import HmacDrbg
-from repro.keyreg.rsa_keyreg import (
-    KeyRegressionMember,
-    KeyRegressionOwner,
-    KeyState,
-)
+from repro.keyreg.rsa_keyreg import KeyRegressionOwner, KeyState
 from repro.util.errors import ConfigurationError
 
 

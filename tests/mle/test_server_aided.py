@@ -94,6 +94,61 @@ class TestCaching:
         assert manager.stats.signatures == 2
 
 
+class TestDeriveKeys:
+    """The whole-file ``derive_keys`` path of the batched upload protocol."""
+
+    def test_bit_identical_to_get_keys(self, manager, rsa_512):
+        fps = [bytes([i]) * 32 for i in range(17)]
+        batched = make_client(manager).derive_keys(fps)
+        reference = make_client(manager, batch_size=1).get_keys(fps)
+        assert batched == reference
+        for fp, key in zip(fps, batched):
+            assert key == blindrsa.derive_mle_key_directly(rsa_512, fp)
+
+    def test_one_round_trip_per_file(self, manager):
+        client = make_client(manager)
+        client.derive_keys([bytes([i]) * 32 for i in range(50)])
+        assert client.round_trips == 1
+        assert manager.stats.derive_batches == 1
+        assert manager.stats.signatures == 50
+
+    def test_round_trips_bounded_by_batch_size(self, manager):
+        client = make_client(manager, batch_size=8)
+        count = 50
+        client.derive_keys([bytes([i]) * 32 for i in range(count)])
+        assert client.round_trips == -(-count // 8)  # ceil(50/8) == 7
+
+    def test_cache_consulted_before_the_wire(self, manager):
+        client = make_client(manager, cache=MLEKeyCache(1 << 20))
+        fps = [bytes([i]) * 32 for i in range(5)]
+        client.derive_keys(fps)
+        assert client.round_trips == 1
+        client.derive_keys(fps)  # fully warm: nothing crosses the wire
+        assert client.round_trips == 1
+        assert client.cache_hits == 5
+
+    def test_rate_limiter_charged_per_fingerprint(self, rsa_512):
+        manager = KeyManager(private_key=rsa_512, rate_limit=10, burst=10)
+        client = make_client(manager, max_retries=0)
+        client.derive_keys([bytes([i]) * 32 for i in range(10)])  # drains bucket
+        with pytest.raises(RateLimitExceeded):
+            client.derive_keys([b"\xee" * 32])
+        assert manager.client_stats("alice")["requests"] == 10
+
+    def test_falls_back_without_derive_batch(self, manager, rsa_512):
+        class LegacyChannel(LocalKeyManagerChannel):
+            derive_batch = None  # channel predates the batched protocol
+
+        client = ServerAidedKeyClient(
+            LegacyChannel(manager), client_id="alice", rng=HmacDrbg(b"c")
+        )
+        fp = b"\x03" * 32
+        assert client.derive_keys([fp]) == [
+            blindrsa.derive_mle_key_directly(rsa_512, fp)
+        ]
+        assert manager.stats.derive_batches == 0  # went via sign_batch
+
+
 class TestRateLimitBackoff:
     def test_retry_after_backoff(self, rsa_512):
         clock = SimClock()

@@ -1,13 +1,17 @@
 """Tests for the RPC retry layer, with injected transport faults."""
 
+import random
+
 import pytest
 
 from repro.net.retry import RetryingRpcClient, RetryPolicy
 from repro.net.rpc import LoopbackTransport, ServiceRegistry
 from repro.util.errors import (
     ConfigurationError,
+    IntegrityError,
     NotFoundError,
     ProtocolError,
+    RateLimitExceeded,
 )
 
 
@@ -102,6 +106,119 @@ class TestRetryPolicy:
             RetryPolicy(attempts=0)
         with pytest.raises(ConfigurationError):
             RetryPolicy(base_delay=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=-0.1)
+
+
+class TestJitterDeterminism:
+    def test_seeded_rng_reproduces_delay_sequence(self):
+        mk = lambda: RetryPolicy(  # noqa: E731
+            attempts=6,
+            base_delay=0.1,
+            cap=2.0,
+            jitter=0.5,
+            rng=random.Random(42),
+            sleep=no_sleep,
+        )
+        first = [mk().delay(i) for i in [0, 1, 2, 3, 4]]
+        second = [mk().delay(i) for i in [0, 1, 2, 3, 4]]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = RetryPolicy(jitter=0.5, rng=random.Random(1), sleep=no_sleep)
+        b = RetryPolicy(jitter=0.5, rng=random.Random(2), sleep=no_sleep)
+        assert [a.delay(i) for i in range(4)] != [b.delay(i) for i in range(4)]
+
+    def test_jittered_delays_stay_within_bounds(self):
+        policy = RetryPolicy(
+            attempts=8,
+            base_delay=0.1,
+            cap=1.0,
+            jitter=0.5,
+            rng=random.Random(7),
+            sleep=no_sleep,
+        )
+        for attempt in range(8):
+            undithered = min(1.0, 0.1 * 2**attempt)
+            delay = policy.delay(attempt)
+            # Full-jitter-down: delay in [(1 - jitter) * d, d].
+            assert 0.5 * undithered <= delay <= undithered
+
+    def test_zero_jitter_is_exact(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.0, sleep=no_sleep)
+        assert policy.delay(2) == pytest.approx(0.4)
+
+
+class TestSemanticErrorsNotRetried:
+    """Retries are for the transport, never for application verdicts."""
+
+    def _registry(self):
+        registry = ServiceRegistry()
+
+        def limited(_p):
+            raise RateLimitExceeded("slow down")
+
+        def corrupt(_p):
+            raise IntegrityError("fingerprint mismatch")
+
+        registry.register("limited", limited)
+        registry.register("corrupt", corrupt)
+        return registry
+
+    def test_rate_limit_not_retried_by_transport_layer(self):
+        inner = LoopbackTransport(self._registry()).client()
+        slept = []
+        client = RetryingRpcClient(
+            inner, RetryPolicy(attempts=5, sleep=slept.append)
+        )
+        with pytest.raises(RateLimitExceeded):
+            client.call("limited")
+        assert inner.calls == 1  # one wire call, no blind retries
+        assert slept == []  # backoff is the key client's job, not ours
+
+    def test_integrity_error_not_retried(self):
+        inner = LoopbackTransport(self._registry()).client()
+        client = RetryingRpcClient(inner, RetryPolicy(attempts=5, sleep=no_sleep))
+        with pytest.raises(IntegrityError, match="fingerprint mismatch"):
+            client.call("corrupt")
+        assert inner.calls == 1
+
+    def test_rate_limited_key_client_backs_off_not_the_transport(self):
+        """End to end: a rate-limited key manager behind a retrying RPC
+        stub.  The transport layer passes ``RateLimitExceeded`` straight
+        through; the *key client* honors it by sleeping the hinted
+        backoff and retrying the batch."""
+        from repro.core.service import RemoteKeyManagerChannel, register_key_manager
+        from repro.crypto.drbg import HmacDrbg
+        from repro.mle.keymanager import KeyManager
+        from repro.mle.server_aided import ServerAidedKeyClient
+        from repro.sim.clock import SimClock
+
+        clock = SimClock()
+        manager = KeyManager(
+            key_bits=512, rate_limit=10, burst=10, clock=clock, rng=HmacDrbg(b"km")
+        )
+        registry = ServiceRegistry()
+        register_key_manager(registry, manager)
+        inner = LoopbackTransport(registry).client()
+        rpc = RetryingRpcClient(inner, RetryPolicy(attempts=3, sleep=no_sleep))
+        key_client = ServerAidedKeyClient(
+            RemoteKeyManagerChannel(rpc),
+            client_id="alice",
+            rng=HmacDrbg(b"c"),
+            sleep=clock.sleep,
+            batch_size=10,
+        )
+        key_client.get_keys([bytes([i]) * 32 for i in range(10)])  # drains bucket
+        calls_when_drained = inner.calls
+        keys = key_client.derive_keys([bytes([i + 50]) * 32 for i in range(10)])
+        assert len(keys) == 10
+        # Exactly one rejected derive, one backoff_hint query, and one
+        # successful derive — no blind transport-level retry storm.
+        assert inner.calls == calls_when_drained + 3
+        assert clock.now > 0  # the key client actually slept
 
 
 class TestEndToEndWithStorage:

@@ -1,6 +1,5 @@
 """Tests for the one-command reproduction report."""
 
-import pytest
 
 from repro.sim.experiments import (
     Comparison,

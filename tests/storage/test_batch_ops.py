@@ -1,0 +1,121 @@
+"""Batch operations on the data store and its sharded frontend.
+
+``has_many``/``put_many`` are the storage half of the multi-chunk
+messages the batched upload protocol ships; they must behave exactly
+like a loop of per-chunk calls — same answers, same bytes on disk —
+while letting the sharded frontend issue one sub-call per shard.
+"""
+
+import pytest
+
+from repro.crypto.hashing import fingerprint
+from repro.storage.datastore import DataStore
+from repro.storage.sharding import ShardedDataStore
+
+
+def make_chunks(count, prefix=b""):
+    datas = [prefix + bytes([i]) * 64 for i in range(count)]
+    return [(fingerprint(data), data) for data in datas]
+
+
+@pytest.fixture()
+def sharded():
+    return ShardedDataStore([DataStore() for _ in range(4)])
+
+
+class TestDataStoreBatches:
+    def test_has_many_matches_per_chunk_answers(self):
+        store = DataStore()
+        chunks = make_chunks(10)
+        for fp, data in chunks[:5]:
+            store.put_chunk(fp, data)
+        fps = [fp for fp, _ in chunks]
+        assert store.has_many(fps) == [store.has_chunk(fp) for fp in fps]
+        assert store.has_many(fps) == [True] * 5 + [False] * 5
+
+    def test_has_many_empty(self):
+        assert DataStore().has_many([]) == []
+
+    def test_put_many_matches_per_chunk_semantics(self):
+        batched, reference = DataStore(), DataStore()
+        chunks = make_chunks(8)
+        duplicated = chunks + chunks[:3]
+        assert batched.put_many(duplicated) == [
+            reference.put_chunk(fp, data) for fp, data in duplicated
+        ]
+        assert batched.stats.chunks_stored == reference.stats.chunks_stored == 8
+
+    def test_put_many_bytes_identical_to_per_chunk_path(self):
+        """Same chunks in the same order must produce the same container
+        layout regardless of which API stored them."""
+        batched, reference = DataStore(), DataStore()
+        chunks = make_chunks(20)
+        batched.put_many(chunks)
+        for fp, data in chunks:
+            reference.put_chunk(fp, data)
+        batched.flush()
+        reference.flush()
+        names = sorted(reference.backend.list())
+        assert sorted(batched.backend.list()) == names
+        for name in names:
+            assert batched.backend.get(name) == reference.backend.get(name)
+
+    def test_put_many_then_get(self):
+        store = DataStore()
+        chunks = make_chunks(6)
+        store.put_many(chunks)
+        for fp, data in chunks:
+            assert store.get_chunk(fp) == data
+
+
+class TestShardedBatches:
+    def test_has_many_routes_like_per_chunk(self, sharded):
+        chunks = make_chunks(32)
+        sharded.put_many(chunks[:16])
+        fps = [fp for fp, _ in chunks]
+        assert sharded.has_many(fps) == [sharded.has_chunk(fp) for fp in fps]
+
+    def test_put_many_equivalent_to_per_chunk_calls(self, sharded):
+        reference = ShardedDataStore([DataStore() for _ in range(4)])
+        chunks = make_chunks(32)
+        answers = sharded.put_many(chunks + chunks[:5])
+        expected = [reference.put_chunk(fp, data) for fp, data in chunks + chunks[:5]]
+        assert answers == expected
+        # Identical distribution across shards.
+        assert [s.stats.chunks_stored for s in sharded.shards] == [
+            s.stats.chunks_stored for s in reference.shards
+        ]
+        for fp, data in chunks:
+            assert sharded.get_chunk(fp) == data
+
+    def test_batches_touch_each_shard_once(self):
+        class CountingStore(DataStore):
+            def __init__(self):
+                super().__init__()
+                self.batch_calls = 0
+
+            def has_many(self, fingerprints):
+                self.batch_calls += 1
+                return super().has_many(fingerprints)
+
+            def put_many(self, chunks):
+                self.batch_calls += 1
+                return super().put_many(chunks)
+
+        shards = [CountingStore() for _ in range(4)]
+        sharded = ShardedDataStore(list(shards))
+        chunks = make_chunks(64)  # lands on all four shards w.h.p.
+        sharded.put_many(chunks)
+        sharded.has_many([fp for fp, _ in chunks])
+        for shard in shards:
+            assert shard.batch_calls == 2  # one put_many + one has_many
+
+    def test_order_preserved_across_shards(self, sharded):
+        chunks = make_chunks(48)
+        sharded.put_many(chunks[:24])
+        flags = sharded.has_many([fp for fp, _ in chunks])
+        assert flags == [True] * 24 + [False] * 24
+
+    def test_empty_batches(self, sharded):
+        assert sharded.has_many([]) == []
+        assert sharded.put_many([]) == []

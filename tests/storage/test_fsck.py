@@ -1,6 +1,5 @@
 """Tests for index persistence and fsck."""
 
-import pytest
 
 from repro.crypto.hashing import fingerprint
 from repro.storage.backend import DirectoryBackend, MemoryBackend
