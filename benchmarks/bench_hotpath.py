@@ -45,8 +45,34 @@ from repro.crypto import modes  # noqa: E402
 from repro.crypto.aes import AES  # noqa: E402
 from repro.crypto.cipher import get_cipher  # noqa: E402
 from repro.crypto.drbg import HmacDrbg  # noqa: E402
+from repro.obs.expo import parse_prometheus, render_prometheus  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
 
-SCHEMA = "reed-bench-hotpath/1"
+SCHEMA = "reed-bench-hotpath/2"
+
+#: Every timed repeat lands in ``bench_seconds{bench=...}`` here, so the
+#: numbers the report prints are the same ones a scrape would export.
+BENCH_METRICS = MetricsRegistry()
+
+#: Wide bucket spread: benchmark repeats range from sub-millisecond
+#: (quick CTR runs) to minutes (full reference chunking).
+_BENCH_BUCKETS = tuple(
+    base * scale for scale in (1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0) for base in (1, 2.5, 5)
+)
+
+
+def _bench_histogram():
+    return BENCH_METRICS.histogram(
+        "bench_seconds",
+        "Wall time of one benchmark repeat, by benchmark name.",
+        buckets=_BENCH_BUCKETS,
+        labelnames=("bench",),
+    )
+
+
+def _seed_rng(tag: str, seed: int) -> HmacDrbg:
+    """A deterministic byte stream bound to (tag, --seed)."""
+    return HmacDrbg(f"{tag}/{seed}".encode())
 
 
 def _mib_per_s(num_bytes: int, seconds: float) -> float:
@@ -55,20 +81,23 @@ def _mib_per_s(num_bytes: int, seconds: float) -> float:
     return num_bytes / (1024 * 1024) / seconds
 
 
-def _time(fn, repeats: int) -> float:
+def _time(fn, repeats: int, name: str) -> float:
     """Best-of-N wall time after one untimed warm-up call.
 
     The warm-up absorbs one-time lazy costs (numpy table builds, key
     schedule caches) so the steady-state throughput is what's reported;
-    best-of suppresses scheduler noise.
+    best-of suppresses scheduler noise.  Every timed repeat is recorded
+    into ``bench_seconds{bench=name}``; the return value is that
+    histogram child's observed minimum, so the report and the metrics
+    snapshot cannot disagree.
     """
+    child = _bench_histogram().labels(bench=name)
     fn()
-    best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+        child.observe(time.perf_counter() - start)
+    return child.minimum
 
 
 def bench_chunking(data: bytes, repeats: int) -> list[dict]:
@@ -78,7 +107,7 @@ def bench_chunking(data: bytes, repeats: int) -> list[dict]:
             for _ in rabin_chunks(data, min_size=512, max_size=4096, avg_size=1024, engine=engine):
                 pass
 
-        seconds = _time(run, repeats)
+        seconds = _time(run, repeats, f"chunking/{engine}")
         results.append(
             {
                 "name": f"chunking/{engine}",
@@ -98,7 +127,7 @@ def bench_ctr(data_len: int, repeats: int) -> list[dict]:
         def run(engine=engine):
             modes.ctr_keystream(aes, modes.ZERO_NONCE, data_len, engine=engine)
 
-        seconds = _time(run, repeats)
+        seconds = _time(run, repeats, f"ctr/{engine}")
         results.append(
             {
                 "name": f"ctr/{engine}",
@@ -110,7 +139,7 @@ def bench_ctr(data_len: int, repeats: int) -> list[dict]:
     return results
 
 
-def bench_caont(chunk_size: int, chunk_count: int, repeats: int) -> list[dict]:
+def bench_caont(chunk_size: int, chunk_count: int, repeats: int, seed: int) -> list[dict]:
     """CAONT transform under AES-256: reference CTR vs. fast dispatch.
 
     The cipher's ``mask``/``deterministic_encrypt`` go through
@@ -119,7 +148,7 @@ def bench_caont(chunk_size: int, chunk_count: int, repeats: int) -> list[dict]:
     """
     from repro.core.schemes import get_scheme
 
-    rng = HmacDrbg(b"bench-caont")
+    rng = _seed_rng("bench-caont", seed)
     chunks = [rng.random_bytes(chunk_size) for _ in range(chunk_count)]
     keys = [rng.random_bytes(32) for _ in range(chunk_count)]
     scheme = get_scheme("enhanced", cipher=get_cipher("aes256"))
@@ -145,7 +174,7 @@ def bench_caont(chunk_size: int, chunk_count: int, repeats: int) -> list[dict]:
                 finally:
                     modes.ctr_keystream = original
 
-        seconds = _time(run, repeats)
+        seconds = _time(run, repeats, f"caont/{label}")
         results.append(
             {
                 "name": f"caont/{label}",
@@ -157,11 +186,11 @@ def bench_caont(chunk_size: int, chunk_count: int, repeats: int) -> list[dict]:
     return results
 
 
-def bench_upload(file_bytes: int, repeats: int) -> list[dict]:
+def bench_upload(file_bytes: int, repeats: int, seed: int) -> list[dict]:
     """End-to-end upload: reference engines vs. accelerated defaults."""
     from repro.chunking.chunker import ChunkingSpec
 
-    rng = HmacDrbg(b"bench-upload")
+    rng = _seed_rng("bench-upload", seed)
     data = rng.random_bytes(file_bytes)
     results = []
     configs = (
@@ -190,7 +219,7 @@ def bench_upload(file_bytes: int, repeats: int) -> list[dict]:
             finally:
                 modes.ctr_keystream = original
 
-        seconds = _time(run, repeats)
+        seconds = _time(run, repeats, f"upload/{label}")
         results.append(
             {
                 "name": f"upload/{label}",
@@ -202,7 +231,7 @@ def bench_upload(file_bytes: int, repeats: int) -> list[dict]:
     return results
 
 
-def bench_upload_tcp(file_bytes: int, repeats: int) -> list[dict]:
+def bench_upload_tcp(file_bytes: int, repeats: int, seed: int) -> list[dict]:
     """Upload over localhost TCP: per-chunk round trips vs. the batched
     pipeline (``derive_batch`` + per-shard ``put_many`` + pipelining).
 
@@ -213,7 +242,7 @@ def bench_upload_tcp(file_bytes: int, repeats: int) -> list[dict]:
     from repro.chunking.chunker import ChunkingSpec
     from repro.core.cluster import TcpCluster
 
-    rng = HmacDrbg(b"bench-upload-tcp")
+    rng = _seed_rng("bench-upload-tcp", seed)
     chunking = ChunkingSpec(method="fixed", avg_size=4096)
     configs = (
         # Per-chunk: one fingerprint per key RPC, one chunk per store
@@ -237,7 +266,7 @@ def bench_upload_tcp(file_bytes: int, repeats: int) -> list[dict]:
                 state["last"] = client.upload(f"file-{label}-{state['counter']}", data)
                 client.close()
 
-            seconds = _time(run, repeats)
+            seconds = _time(run, repeats, f"upload_tcp/{label}")
             upload = state["last"]
             results.append(
                 {
@@ -273,8 +302,10 @@ def compute_speedups(results: list[dict]) -> dict[str, float]:
     return speedups
 
 
-def run(quick: bool) -> dict:
-    rng = HmacDrbg(b"bench-hotpath")
+def run(quick: bool, seed: int = 0) -> dict:
+    global BENCH_METRICS
+    BENCH_METRICS = MetricsRegistry()  # each run reports only its own repeats
+    rng = _seed_rng("bench-hotpath", seed)
     if quick:
         chunk_data = rng.random_bytes(96 * 1024)
         ctr_len = 64 * 1024
@@ -293,16 +324,40 @@ def run(quick: bool) -> dict:
     results: list[dict] = []
     results.extend(bench_chunking(chunk_data, repeats))
     results.extend(bench_ctr(ctr_len, repeats))
-    results.extend(bench_caont(*caont, repeats))
-    results.extend(bench_upload(upload_bytes, repeats))
-    results.extend(bench_upload_tcp(tcp_bytes, repeats))
+    results.extend(bench_caont(*caont, repeats, seed))
+    results.extend(bench_upload(upload_bytes, repeats, seed))
+    results.extend(bench_upload_tcp(tcp_bytes, repeats, seed))
     return {
         "schema": SCHEMA,
         "quick": quick,
+        "seed": seed,
         "python": sys.version.split()[0],
         "results": results,
         "speedups": compute_speedups(results),
+        "metrics": BENCH_METRICS.snapshot(),
     }
+
+
+def check_metrics_snapshot(report: dict) -> None:
+    """Assert the run's metrics exposition is well-formed (smoke mode).
+
+    Renders ``BENCH_METRICS`` to Prometheus text, re-parses it (the
+    parser rejects NaN and malformed lines), and checks that every
+    reported benchmark has a ``bench_seconds`` series whose observation
+    count is positive and whose minimum matches the reported seconds.
+    """
+    series = parse_prometheus(render_prometheus(BENCH_METRICS))
+    for result in report["results"]:
+        name = result["name"]
+        count = series.get(("bench_seconds_count", frozenset({("bench", name)})))
+        if not count or count <= 0:
+            raise AssertionError(f"no bench_seconds samples for {name!r}")
+        total = series.get(("bench_seconds_sum", frozenset({("bench", name)})))
+        if total is None or total < result["seconds"] - 1e-9:
+            raise AssertionError(f"bench_seconds_sum inconsistent for {name!r}")
+    snapshot = report["metrics"]
+    if "bench_seconds" not in snapshot:
+        raise AssertionError("metrics snapshot is missing bench_seconds")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -311,18 +366,33 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true", help="tiny inputs (smoke-test scale)"
     )
     parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="imply --quick and verify the metrics snapshot is well-formed "
+        "(the deterministic CI pass)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for every input byte stream (same seed, same bytes)",
+    )
+    parser.add_argument(
         "--out",
         default=os.path.join(REPO_ROOT, "BENCH_hotpath.json"),
         help="output JSON path (default: BENCH_hotpath.json at repo root)",
     )
     args = parser.parse_args(argv)
-    report = run(quick=args.quick)
+    report = run(quick=args.quick or args.smoke, seed=args.seed)
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     for result in report["results"]:
         print(f"{result['name']:24s} {result['mib_per_s']:10.2f} MiB/s")
     print("speedups:", report["speedups"])
+    if args.smoke:
+        check_metrics_snapshot(report)
+        print("metrics snapshot: well-formed")
     print(f"wrote {args.out}")
     return 0
 

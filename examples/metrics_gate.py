@@ -1,0 +1,112 @@
+"""CI metrics gate: boot a cluster, upload, scrape every node, verify.
+
+Boots a real :class:`~repro.core.cluster.TcpCluster` (two data-store
+servers, the key store, the key manager — all on localhost TCP), uploads
+a small file, then scrapes the ``metrics`` RPC of **every** node and
+fails if any required series is missing or any sample is NaN (the
+parser rejects NaN outright).  Run it the way CI does::
+
+    PYTHONPATH=src python examples/metrics_gate.py
+
+Exit status 0 means every node exposed a complete, well-formed
+exposition; anything else prints the offending node and series.
+See docs/OBSERVABILITY.md for the full metric catalog.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.chunking.chunker import ChunkingSpec  # noqa: E402
+from repro.core.cluster import TcpCluster  # noqa: E402
+from repro.crypto.drbg import HmacDrbg  # noqa: E402
+from repro.obs.expo import parse_prometheus  # noqa: E402
+from repro.util.errors import CorruptionError  # noqa: E402
+
+#: Series every node must expose after serving at least one request.
+REQUIRED_ON_EVERY_NODE = (
+    "tcp_connections_accepted_total",
+    "tcp_requests_total",
+    "tcp_active_connections",
+    "tcp_in_flight_requests",
+    "tcp_queue_depth",
+    "tcp_max_workers",
+)
+
+#: Per-node RPC methods whose request counters must have fired during
+#: the upload (beyond the ``metrics`` scrape itself).
+REQUIRED_METHODS = {
+    "storage-0": ("storage.put_many", "storage.flush"),
+    "storage-1": ("storage.put_many", "storage.flush"),
+    "keystore": ("keystore.put",),
+    "key-manager": ("km.public_key", "km.derive_batch"),
+}
+
+
+def check_node(node: str, text: str) -> list[str]:
+    """Problems found in one node's exposition (empty list = healthy)."""
+    problems: list[str] = []
+    try:
+        series = parse_prometheus(text)  # raises on NaN / malformed lines
+    except CorruptionError as exc:
+        return [f"{node}: exposition rejected: {exc}"]
+    names = {name for name, _ in series}
+    for required in REQUIRED_ON_EVERY_NODE:
+        if required not in names:
+            problems.append(f"{node}: missing series {required}")
+    for method in REQUIRED_METHODS.get(node, ()):
+        key = ("rpc_requests_total", frozenset({("method", method)}))
+        count = series.get(key, 0.0)
+        if count <= 0:
+            problems.append(
+                f"{node}: rpc_requests_total{{method={method!r}}} is {count}"
+            )
+        latency = series.get(
+            ("rpc_handler_seconds_count", frozenset({("method", method)})), 0.0
+        )
+        if latency != count:
+            problems.append(
+                f"{node}: {method!r} latency histogram has {latency} samples "
+                f"for {count} requests"
+            )
+    return problems
+
+
+def main() -> int:
+    rng = HmacDrbg(b"metrics-gate")
+    chunking = ChunkingSpec(method="fixed", avg_size=4096)
+    with TcpCluster(num_data_servers=2, chunking=chunking, rng=rng) as cluster:
+        client = cluster.new_client("gate-user")
+        data = rng.random_bytes(128 * 4096)
+        result = client.upload("gate-file", data)
+        print(
+            f"uploaded {result.size:,} bytes in {result.chunk_count} chunks "
+            f"({result.key_round_trips} key RPC, "
+            f"{result.store_round_trips} store RPCs)"
+        )
+        if client.download("gate-file").data != data:
+            print("FAIL: download mismatch", file=sys.stderr)
+            return 1
+
+        problems: list[str] = []
+        for node, text in cluster.scrape_all().items():
+            node_problems = check_node(node, text)
+            status = "FAIL" if node_problems else "ok"
+            print(f"scrape {node}: {len(text.splitlines())} lines [{status}]")
+            problems.extend(node_problems)
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("metrics gate: all nodes healthy")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

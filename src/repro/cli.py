@@ -54,6 +54,9 @@ from repro.mle.keymanager import KeyManager
 from repro.mle.server_aided import ServerAidedKeyClient
 from repro.net.rpc import ServiceRegistry
 from repro.net.tcp import TcpConnection, TcpServer
+from repro.obs.expo import parse_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.rpc import register_metrics, scrape
 from repro.storage.backend import DirectoryBackend
 from repro.storage.datastore import DataStore
 from repro.storage.keystore import KeyStore
@@ -200,7 +203,8 @@ def start_service(
 
     Used by ``reed serve`` and directly by tests/embedding code.
     """
-    registry = ServiceRegistry()
+    metrics = MetricsRegistry()
+    registry = ServiceRegistry(metrics=metrics)
     if role == "storage":
         store = DataStore(DirectoryBackend(data)) if data else DataStore()
         register_storage_service(registry, REEDServer(store))
@@ -211,7 +215,9 @@ def start_service(
         register_key_manager(registry, KeyManager(private_key=org.key_manager_key()))
     else:
         raise ConfigurationError(f"unknown service role {role!r}")
-    server = TcpServer(registry, host=host, port=port)
+    # Every service is scrapeable over its own RPC port (`reed stats`).
+    register_metrics(registry, metrics)
+    server = TcpServer(registry, host=host, port=port, metrics=metrics)
     server.start()
     return server
 
@@ -337,6 +343,71 @@ def cmd_ls(args) -> int:
             conn.close()
 
 
+def _scrape_endpoints(endpoints: str, fmt: str = "prometheus") -> list[tuple[str, str]]:
+    """Scrape each ``host:port`` in the comma-separated list.
+
+    Returns ``(endpoint, exposition_text)`` pairs; connections are
+    closed before returning.
+    """
+    results: list[tuple[str, str]] = []
+    for endpoint in endpoints.split(","):
+        endpoint = endpoint.strip()
+        conn = TcpConnection(*_parse_endpoint(endpoint))
+        try:
+            results.append((endpoint, scrape(conn.client(), fmt=fmt)))
+        finally:
+            conn.close()
+    return results
+
+
+def cmd_stats(args) -> int:
+    """Dump raw metrics from every endpoint (Prometheus text or JSON)."""
+    for endpoint, text in _scrape_endpoints(args.endpoints, args.format):
+        print(f"# ---- {endpoint} ----")
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def cmd_top(args) -> int:
+    """A compact live view: per-endpoint health plus hottest RPC methods."""
+    for endpoint, text in _scrape_endpoints(args.endpoints):
+        series = parse_prometheus(text)
+
+        def value(name: str, **labels) -> float | None:
+            return series.get((name, frozenset(labels.items())))
+
+        print(f"{endpoint}")
+        conns = value("tcp_active_connections")
+        in_flight = value("tcp_in_flight_requests")
+        queued = value("tcp_queue_depth")
+        served = value("tcp_requests_total")
+        if served is not None:
+            print(
+                f"  tcp: {served:.0f} served, "
+                f"{conns or 0:.0f} connections, "
+                f"{in_flight or 0:.0f} in flight, {queued or 0:.0f} queued"
+            )
+        # Hottest methods: request count with mean handler latency drawn
+        # from the same histogram a Prometheus scrape would see.
+        methods: list[tuple[float, str]] = []
+        for (name, labels), count in series.items():
+            if name != "rpc_requests_total":
+                continue
+            method = dict(labels).get("method")
+            if method is not None:
+                methods.append((count, method))
+        for count, method in sorted(methods, reverse=True)[: args.limit]:
+            total = value("rpc_handler_seconds_sum", method=method)
+            calls = value("rpc_handler_seconds_count", method=method)
+            mean_ms = (total / calls) * 1000 if total is not None and calls else 0.0
+            errors = value("rpc_errors_total", method=method) or 0
+            line = f"  {method:<28} {count:>8.0f} calls  {mean_ms:>9.3f} ms/call"
+            if errors:
+                line += f"  {errors:.0f} errors"
+            print(line)
+    return 0
+
+
 def cmd_demo(_args) -> int:
     from repro.core.system import build_system
     from repro.workloads.synthetic import unique_data
@@ -443,6 +514,22 @@ def build_parser() -> argparse.ArgumentParser:
     group_revoke.add_argument("--users", required=True)
     group_revoke.add_argument("--mode", default="lazy", choices=["lazy", "active"])
     group_revoke.set_defaults(func=cmd_group)
+
+    stats = sub.add_parser("stats", help="scrape raw metrics from services")
+    stats.add_argument(
+        "--endpoints", required=True, help="comma-separated host:port list"
+    )
+    stats.add_argument(
+        "--format", default="prometheus", choices=["prometheus", "json"]
+    )
+    stats.set_defaults(func=cmd_stats)
+
+    top = sub.add_parser("top", help="live per-service summary (hottest RPCs)")
+    top.add_argument(
+        "--endpoints", required=True, help="comma-separated host:port list"
+    )
+    top.add_argument("--limit", type=int, default=8, help="methods shown per service")
+    top.set_defaults(func=cmd_top)
 
     demo = sub.add_parser("demo", help="in-process end-to-end walkthrough")
     demo.set_defaults(func=cmd_demo)

@@ -22,6 +22,7 @@ caching (in :class:`~repro.mle.server_aided.ServerAidedKeyClient`),
 
 from __future__ import annotations
 
+import contextvars
 from collections import deque
 from collections.abc import Iterable
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -41,6 +42,9 @@ from repro.crypto.drbg import SYSTEM_RANDOM, RandomSource
 from repro.crypto.rsa import RSAPublicKey
 from repro.keyreg.rsa_keyreg import KeyRegressionMember, KeyRegressionOwner, KeyState
 from repro.mle.server_aided import ServerAidedKeyClient
+from repro.obs import scope as obs_scope
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracing import Tracer, default_tracer
 from repro.storage.keystore import KeyStateRecord, KeyStore
 from repro.storage.recipes import ChunkRef, FileRecipe, obfuscate_pathname
 from repro.util.errors import (
@@ -128,6 +132,8 @@ class REEDClient:
         pathname_salt: bytes | None = None,
         encryption_workers: int | None = None,
         pipeline_depth: int = 2,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         # ``encryption_workers`` is the configured name; ``encryption_threads``
         # survives as a back-compat alias.  Unset -> one worker per CPU
@@ -172,6 +178,35 @@ class REEDClient:
         #: sensitive metadata information, such as the file pathname, by
         #: encoding it via a salted hash function").
         self.pathname_salt = pathname_salt
+        #: Telemetry: per-stage latency histograms come from the tracer,
+        #: operation counters from the registry (the process default
+        #: unless injected — see docs/OBSERVABILITY.md).
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.tracer = tracer if tracer is not None else (
+            default_tracer() if self.metrics is default_registry() else Tracer(self.metrics)
+        )
+        self._m_uploads = self.metrics.counter(
+            "client_uploads_total", "Files uploaded."
+        )
+        self._m_upload_bytes = self.metrics.counter(
+            "client_upload_bytes_total", "Plaintext bytes uploaded."
+        )
+        self._m_chunks = self.metrics.counter(
+            "client_chunks_total", "Chunks processed by uploads."
+        )
+        self._m_new_chunks = self.metrics.counter(
+            "client_new_chunks_total", "Chunks the storage side had not seen."
+        )
+        self._m_downloads = self.metrics.counter(
+            "client_downloads_total", "Files downloaded."
+        )
+        self._m_download_bytes = self.metrics.counter(
+            "client_download_bytes_total", "Plaintext bytes downloaded."
+        )
+        self._m_rekeys = self.metrics.counter(
+            "client_rekeys_total", "Rekey operations, by revocation mode.",
+            labelnames=("mode",),
+        )
 
     # ------------------------------------------------------------------
     # helpers
@@ -290,10 +325,15 @@ class REEDClient:
         state = owner.initial_state()
         file_key = state.derive_key()
 
-        # Snapshot the key client's counters so the result can report
-        # this upload's share (getattr: custom key clients may not
-        # expose them).
         key_client = self.key_client
+        # Counter attribution: components instrumented with
+        # repro.obs.scope report this upload's deltas into the scope
+        # opened below, which stays correct under concurrent uploads on
+        # a shared client.  Components that predate the scope (custom
+        # key clients / storage) fall back to lifetime-counter diffing —
+        # the historical behaviour, fragile only under concurrency.
+        key_scoped = getattr(key_client, "supports_attribution", False)
+        store_scoped = getattr(self.storage, "supports_attribution", False)
         hits_before = getattr(key_client, "cache_hits", 0)
         evals_before = getattr(key_client, "oprf_evaluations", 0)
         trips_before = getattr(key_client, "round_trips", 0)
@@ -312,6 +352,10 @@ class REEDClient:
         derive = getattr(key_client, "derive_keys", None) or key_client.get_keys
         put_many = getattr(self.storage, "chunk_put_many", None)
 
+        tracer = self.tracer
+        clock = tracer.clock
+        chunking_seconds = 0.0
+
         def prepare(chunks: list[Chunk]) -> list[tuple[bytes, bytes]]:
             """Stage 1+2: batch-derive MLE keys, then transform chunks.
 
@@ -319,8 +363,10 @@ class REEDClient:
             order; only the store RPC is handed to the pipeline.
             """
             nonlocal trimmed_bytes
-            mle_keys = derive([c.fingerprint for c in chunks])
-            packages = self._encrypt_chunks(chunks, mle_keys)
+            with tracer.span("upload.key_derive", chunks=len(chunks)):
+                mle_keys = derive([c.fingerprint for c in chunks])
+            with tracer.span("upload.encrypt", chunks=len(chunks)):
+                packages = self._encrypt_chunks(chunks, mle_keys)
             payload = []
             for chunk, package in zip(chunks, packages):
                 refs.append(
@@ -334,14 +380,15 @@ class REEDClient:
         def store(payload: list[tuple[bytes, bytes]]) -> int:
             """Stage 3: ship one batch message (per-item status when the
             service supports it, falling back to the count reply)."""
-            if put_many is not None:
-                new = 0
-                for status in put_many(payload):
-                    if isinstance(status, Exception):
-                        raise status
-                    new += 1 if status else 0
-                return new
-            return self.storage.chunk_put_batch(payload)
+            with tracer.span("upload.store", chunks=len(payload)):
+                if put_many is not None:
+                    new = 0
+                    for status in put_many(payload):
+                        if isinstance(status, Exception):
+                            raise status
+                        new += 1 if status else 0
+                    return new
+                return self.storage.chunk_put_batch(payload)
 
         # A one-worker executor keeps store calls strictly ordered (so
         # container layout matches the unpipelined path byte for byte)
@@ -352,59 +399,78 @@ class REEDClient:
             else None
         )
         in_flight: deque[Future] = deque()
-        try:
-            def dispatch(chunks: list[Chunk]) -> None:
-                nonlocal new_chunks, upload_batches
-                upload_batches += 1
-                payload = prepare(chunks)
-                if executor is None:
-                    new_chunks += store(payload)
-                    return
-                while len(in_flight) >= self.pipeline_depth:
-                    new_chunks += in_flight.popleft().result()
-                in_flight.append(executor.submit(store, payload))
+        with obs_scope.attribution() as scope, tracer.span("upload"):
+            try:
+                def dispatch(chunks: list[Chunk]) -> None:
+                    nonlocal new_chunks, upload_batches
+                    upload_batches += 1
+                    payload = prepare(chunks)
+                    if executor is None:
+                        new_chunks += store(payload)
+                        return
+                    while len(in_flight) >= self.pipeline_depth:
+                        new_chunks += in_flight.popleft().result()
+                    # copy_context: the ship worker must keep reporting
+                    # into *this* upload's attribution scope.
+                    context = contextvars.copy_context()
+                    in_flight.append(executor.submit(context.run, store, payload))
 
-            for chunk in chunk_stream(data, self.chunking):
-                total_size += chunk.size
-                batch.append(chunk)
-                batch_bytes += chunk.size
-                if batch_bytes >= self.upload_batch_bytes:
+                chunker = iter(chunk_stream(data, self.chunking))
+                while True:
+                    chunk_started = clock()
+                    chunk = next(chunker, None)
+                    chunking_seconds += clock() - chunk_started
+                    if chunk is None:
+                        break
+                    total_size += chunk.size
+                    batch.append(chunk)
+                    batch_bytes += chunk.size
+                    if batch_bytes >= self.upload_batch_bytes:
+                        dispatch(batch)
+                        batch = []
+                        batch_bytes = 0
+                if batch:
                     dispatch(batch)
-                    batch = []
-                    batch_bytes = 0
-            if batch:
-                dispatch(batch)
-            while in_flight:
-                new_chunks += in_flight.popleft().result()
-        finally:
-            # Surface the first failure but never leak futures/threads.
-            while in_flight:
-                in_flight.popleft().cancel()
-            if executor is not None:
-                executor.shutdown(wait=True)
-        self.storage.flush()
+                while in_flight:
+                    new_chunks += in_flight.popleft().result()
+            finally:
+                # Surface the first failure but never leak futures/threads.
+                while in_flight:
+                    in_flight.popleft().cancel()
+                if executor is not None:
+                    executor.shutdown(wait=True)
+                tracer.observe("upload.chunk", chunking_seconds)
+            self.storage.flush()
 
-        stub_file = encrypt_stub_file(
-            file_key,
-            stubs,
-            stub_size=self.scheme.stub_size,
-            cipher=self.scheme.cipher,
-            rng=self.rng,
-        )
-        self.storage.stub_put(file_id, stub_file)
+            with tracer.span("upload.stub"):
+                stub_file = encrypt_stub_file(
+                    file_key,
+                    stubs,
+                    stub_size=self.scheme.stub_size,
+                    cipher=self.scheme.cipher,
+                    rng=self.rng,
+                )
+                self.storage.stub_put(file_id, stub_file)
 
-        if pathname and self.pathname_salt is not None:
-            pathname = obfuscate_pathname(pathname, self.pathname_salt)
-        recipe = FileRecipe(
-            file_id=file_id,
-            pathname=pathname,
-            size=total_size,
-            scheme=self.scheme.name,
-            key_version=state.version,
-            chunks=tuple(refs),
-        )
-        self.storage.recipe_put(file_id, recipe.encode())
-        self.keystore.put(self._seal_key_state(file_id, state, policy))
+            if pathname and self.pathname_salt is not None:
+                pathname = obfuscate_pathname(pathname, self.pathname_salt)
+            recipe = FileRecipe(
+                file_id=file_id,
+                pathname=pathname,
+                size=total_size,
+                scheme=self.scheme.name,
+                key_version=state.version,
+                chunks=tuple(refs),
+            )
+            with tracer.span("upload.recipe"):
+                self.storage.recipe_put(file_id, recipe.encode())
+            with tracer.span("upload.keystate"):
+                self.keystore.put(self._seal_key_state(file_id, state, policy))
+
+        self._m_uploads.inc()
+        self._m_upload_bytes.inc(total_size)
+        self._m_chunks.inc(len(refs))
+        self._m_new_chunks.inc(new_chunks)
 
         return UploadResult(
             file_id=file_id,
@@ -414,12 +480,18 @@ class REEDClient:
             trimmed_bytes=trimmed_bytes,
             stub_file_bytes=len(stub_file),
             key_version=state.version,
-            key_cache_hits=getattr(key_client, "cache_hits", 0) - hits_before,
-            key_oprf_evaluations=getattr(key_client, "oprf_evaluations", 0)
-            - evals_before,
-            key_round_trips=getattr(key_client, "round_trips", 0) - trips_before,
-            store_round_trips=getattr(self.storage, "round_trips", 0)
-            - store_trips_before,
+            key_cache_hits=scope.get_int("key_cache_hits")
+            if key_scoped
+            else getattr(key_client, "cache_hits", 0) - hits_before,
+            key_oprf_evaluations=scope.get_int("key_oprf_evaluations")
+            if key_scoped
+            else getattr(key_client, "oprf_evaluations", 0) - evals_before,
+            key_round_trips=scope.get_int("key_round_trips")
+            if key_scoped
+            else getattr(key_client, "round_trips", 0) - trips_before,
+            store_round_trips=scope.get_int("store_round_trips")
+            if store_scoped
+            else getattr(self.storage, "round_trips", 0) - store_trips_before,
             upload_batches=upload_batches,
         )
 
@@ -452,44 +524,54 @@ class REEDClient:
 
     def download(self, file_id: str, fetch_batch_chunks: int = 512) -> DownloadResult:
         """Retrieve and decrypt a file; aborts on any tampered chunk."""
-        record = self.keystore.get(file_id)
-        state = self._open_key_state(record)
-        recipe = FileRecipe.decode(self.storage.recipe_get(file_id))
-        if recipe.file_id != file_id or record.file_id != file_id:
-            raise IntegrityError(
-                "stored metadata does not name the requested file"
-            )
-        if recipe.key_version > state.version:
-            raise CorruptionError(
-                "recipe references a key version newer than the key state"
-            )
-        file_key = self._file_key_at(record, state, recipe.key_version)
-        stubs = decrypt_stub_file(
-            file_key, self.storage.stub_get(file_id), cipher=self.scheme.cipher
-        )
-        if len(stubs) != recipe.chunk_count:
-            raise IntegrityError(
-                f"stub file holds {len(stubs)} stubs but the recipe lists "
-                f"{recipe.chunk_count} chunks"
-            )
-        scheme = self.scheme
-        if recipe.scheme != scheme.name:
-            scheme = get_scheme(recipe.scheme, cipher=self.scheme.cipher)
+        tracer = self.tracer
+        with tracer.span("download"):
+            with tracer.span("download.keystate"):
+                record = self.keystore.get(file_id)
+                state = self._open_key_state(record)
+                recipe = FileRecipe.decode(self.storage.recipe_get(file_id))
+            if recipe.file_id != file_id or record.file_id != file_id:
+                raise IntegrityError(
+                    "stored metadata does not name the requested file"
+                )
+            if recipe.key_version > state.version:
+                raise CorruptionError(
+                    "recipe references a key version newer than the key state"
+                )
+            file_key = self._file_key_at(record, state, recipe.key_version)
+            with tracer.span("download.stub"):
+                stubs = decrypt_stub_file(
+                    file_key, self.storage.stub_get(file_id), cipher=self.scheme.cipher
+                )
+            if len(stubs) != recipe.chunk_count:
+                raise IntegrityError(
+                    f"stub file holds {len(stubs)} stubs but the recipe lists "
+                    f"{recipe.chunk_count} chunks"
+                )
+            scheme = self.scheme
+            if recipe.scheme != scheme.name:
+                scheme = get_scheme(recipe.scheme, cipher=self.scheme.cipher)
 
-        pieces: list[bytes] = []
-        for start in range(0, recipe.chunk_count, fetch_batch_chunks):
-            window = recipe.chunks[start : start + fetch_batch_chunks]
-            packages = self.storage.chunk_get_batch([ref.fingerprint for ref in window])
-            for position, (ref, trimmed) in enumerate(zip(window, packages)):
-                chunk = scheme.decrypt_chunk(trimmed, stubs[start + position])
-                if len(chunk) != ref.length:
-                    raise IntegrityError(
-                        "decrypted chunk length disagrees with the recipe"
+            pieces: list[bytes] = []
+            for start in range(0, recipe.chunk_count, fetch_batch_chunks):
+                window = recipe.chunks[start : start + fetch_batch_chunks]
+                with tracer.span("download.fetch", chunks=len(window)):
+                    packages = self.storage.chunk_get_batch(
+                        [ref.fingerprint for ref in window]
                     )
-                pieces.append(chunk)
-        data = b"".join(pieces)
-        if len(data) != recipe.size:
-            raise IntegrityError("reassembled file size disagrees with the recipe")
+                with tracer.span("download.decrypt", chunks=len(window)):
+                    for position, (ref, trimmed) in enumerate(zip(window, packages)):
+                        chunk = scheme.decrypt_chunk(trimmed, stubs[start + position])
+                        if len(chunk) != ref.length:
+                            raise IntegrityError(
+                                "decrypted chunk length disagrees with the recipe"
+                            )
+                        pieces.append(chunk)
+            data = b"".join(pieces)
+            if len(data) != recipe.size:
+                raise IntegrityError("reassembled file size disagrees with the recipe")
+        self._m_downloads.inc()
+        self._m_download_bytes.inc(len(data))
         return DownloadResult(
             file_id=file_id,
             data=data,
@@ -522,37 +604,48 @@ class REEDClient:
         file, re-encrypt it under the new file key, re-upload it, and
         bump the recipe's key version.
         """
-        owner = self._require_owner()
-        record = self.keystore.get(file_id)
-        old_state = self._open_key_state(record)
-        new_state = owner.wind(old_state)
-        self.keystore.put(self._seal_key_state(file_id, new_state, new_policy))
+        tracer = self.tracer
+        with tracer.span("rekey", mode=mode.value):
+            owner = self._require_owner()
+            with tracer.span("rekey.wind"):
+                record = self.keystore.get(file_id)
+                old_state = self._open_key_state(record)
+                new_state = owner.wind(old_state)
+                self.keystore.put(
+                    self._seal_key_state(file_id, new_state, new_policy)
+                )
 
-        stub_bytes = 0
-        if mode is RevocationMode.ACTIVE:
-            recipe = FileRecipe.decode(self.storage.recipe_get(file_id))
-            old_file_key = self._file_key_at(record, old_state, recipe.key_version)
-            stub_file = self.storage.stub_get(file_id)
-            stubs = decrypt_stub_file(old_file_key, stub_file, cipher=self.scheme.cipher)
-            new_stub_file = encrypt_stub_file(
-                new_state.derive_key(),
-                stubs,
-                stub_size=len(stubs[0]) if stubs else self.scheme.stub_size,
-                cipher=self.scheme.cipher,
-                rng=self.rng,
-            )
-            self.storage.stub_put(file_id, new_stub_file)
-            stub_bytes = len(stub_file) + len(new_stub_file)
-            updated = FileRecipe(
-                file_id=recipe.file_id,
-                pathname=recipe.pathname,
-                size=recipe.size,
-                scheme=recipe.scheme,
-                key_version=new_state.version,
-                chunks=recipe.chunks,
-            )
-            self.storage.recipe_put(file_id, updated.encode())
+            stub_bytes = 0
+            if mode is RevocationMode.ACTIVE:
+                with tracer.span("rekey.stub_reencrypt"):
+                    recipe = FileRecipe.decode(self.storage.recipe_get(file_id))
+                    old_file_key = self._file_key_at(
+                        record, old_state, recipe.key_version
+                    )
+                    stub_file = self.storage.stub_get(file_id)
+                    stubs = decrypt_stub_file(
+                        old_file_key, stub_file, cipher=self.scheme.cipher
+                    )
+                    new_stub_file = encrypt_stub_file(
+                        new_state.derive_key(),
+                        stubs,
+                        stub_size=len(stubs[0]) if stubs else self.scheme.stub_size,
+                        cipher=self.scheme.cipher,
+                        rng=self.rng,
+                    )
+                    self.storage.stub_put(file_id, new_stub_file)
+                    stub_bytes = len(stub_file) + len(new_stub_file)
+                    updated = FileRecipe(
+                        file_id=recipe.file_id,
+                        pathname=recipe.pathname,
+                        size=recipe.size,
+                        scheme=recipe.scheme,
+                        key_version=new_state.version,
+                        chunks=recipe.chunks,
+                    )
+                    self.storage.recipe_put(file_id, updated.encode())
 
+        self._m_rekeys.labels(mode=mode.value).inc()
         return RekeyResult(
             file_id=file_id,
             mode=mode,

@@ -31,6 +31,8 @@ from repro.mle.keymanager import KeyManager
 from repro.mle.server_aided import DEFAULT_BATCH_SIZE, ServerAidedKeyClient
 from repro.net.rpc import ServiceRegistry
 from repro.net.tcp import DEFAULT_MAX_WORKERS, TcpConnection, TcpServer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.rpc import register_metrics, scrape
 from repro.storage.keystore import KeyStore
 from repro.util.errors import ConfigurationError
 
@@ -75,20 +77,33 @@ class TcpCluster:
         self._owners: dict[str, KeyRegressionOwner] = {}
         self._tcp_servers: list[TcpServer] = []
         self._connections: list[TcpConnection] = []
+        #: Per-node metrics registries keyed by node name
+        #: (``storage-0`` … ``keystore`` / ``key-manager``).  Each node's
+        #: TcpServer, RPC dispatch, and ``metrics`` RPC method share its
+        #: registry, so a live scrape sees one coherent snapshot per node.
+        self.node_metrics: dict[str, MetricsRegistry] = {}
 
-        def serve(register, obj) -> tuple[str, int]:
-            registry = ServiceRegistry()
+        def serve(register, obj, node: str) -> tuple[str, int]:
+            metrics = MetricsRegistry()
+            self.node_metrics[node] = metrics
+            registry = ServiceRegistry(metrics=metrics)
             register(registry, obj)
-            server = TcpServer(registry, max_workers=max_workers)
+            register_metrics(registry, metrics)
+            server = TcpServer(registry, max_workers=max_workers, metrics=metrics)
             server.start()
             self._tcp_servers.append(server)
             return server.address
 
         self.storage_addresses = [
-            serve(register_storage_service, server) for server in self.servers
+            serve(register_storage_service, server, f"storage-{index}")
+            for index, server in enumerate(self.servers)
         ]
-        self.keystore_address = serve(register_keystate_service, self.keystore)
-        self.key_manager_address = serve(register_key_manager, self.key_manager)
+        self.keystore_address = serve(
+            register_keystate_service, self.keystore, "keystore"
+        )
+        self.key_manager_address = serve(
+            register_key_manager, self.key_manager, "key-manager"
+        )
 
     # ------------------------------------------------------------------
 
@@ -149,6 +164,27 @@ class TcpCluster:
     def server_stats(self) -> list[dict]:
         """Per-TCP-server counters (connections, requests, in-flight)."""
         return [server.stats() for server in self._tcp_servers]
+
+    # -- telemetry ------------------------------------------------------
+
+    def node_addresses(self) -> dict[str, tuple[str, int]]:
+        """Node name → (host, port) for every served node."""
+        addresses = {
+            f"storage-{index}": address
+            for index, address in enumerate(self.storage_addresses)
+        }
+        addresses["keystore"] = self.keystore_address
+        addresses["key-manager"] = self.key_manager_address
+        return addresses
+
+    def scrape_node(self, node: str, fmt: str = "prometheus") -> str:
+        """Scrape one node's metrics over a real TCP ``metrics`` RPC."""
+        address = self.node_addresses()[node]
+        return scrape(self._connect(address), fmt=fmt)
+
+    def scrape_all(self, fmt: str = "prometheus") -> dict[str, str]:
+        """Live-scrape every node; node name → exposition text."""
+        return {node: self.scrape_node(node, fmt) for node in self.node_addresses()}
 
     def stop(self, drain: bool = True) -> None:
         """Close every client connection and stop every server."""

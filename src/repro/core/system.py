@@ -26,6 +26,8 @@ from repro.mle.server_aided import (
     LocalKeyManagerChannel,
     ServerAidedKeyClient,
 )
+from repro.obs import scope as obs_scope
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.storage.backend import MemoryBackend
 from repro.storage.datastore import DataStore, DataStoreStats
 from repro.storage.keystore import KeyStore
@@ -49,13 +51,39 @@ class ShardedStorageService:
     identifier.  Works identically over in-process servers and RPC stubs.
     """
 
-    def __init__(self, services: list[StorageService]) -> None:
+    #: Round trips are reported through :mod:`repro.obs.scope`, so
+    #: callers can attribute them to one operation without diffing.
+    supports_attribution = True
+
+    def __init__(
+        self,
+        services: list[StorageService],
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         if not services:
             raise ConfigurationError("need at least one storage service")
         self._services = services
         #: Sub-service calls issued — each is one RPC round trip when the
         #: services are remote stubs.
         self.round_trips = 0
+        # Mirrored into the registry (process totals + per-shard routing)
+        # and the active attribution scope (per-upload deltas).
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_trips = self.metrics.counter(
+            "store_round_trips_total",
+            "Storage-layer sub-service calls (RPC round trips when remote).",
+        )
+        self._m_shard = self.metrics.counter(
+            "store_shard_requests_total",
+            "Storage-layer calls routed to each shard.",
+            labelnames=("shard",),
+        )
+
+    def _trip(self, shard: int) -> None:
+        self.round_trips += 1
+        self._m_trips.inc()
+        self._m_shard.labels(shard=str(shard)).inc()
+        obs_scope.add("store_round_trips")
 
     def _index_for(self, fingerprint: bytes) -> int:
         return int.from_bytes(fingerprint[:8], "big") % len(self._services)
@@ -63,8 +91,11 @@ class ShardedStorageService:
     def _for_chunk(self, fingerprint: bytes) -> StorageService:
         return self._services[self._index_for(fingerprint)]
 
+    def _file_index(self, file_id: str) -> int:
+        return sum(file_id.encode("utf-8")) % len(self._services)
+
     def _for_file(self, file_id: str) -> StorageService:
-        return self._services[sum(file_id.encode("utf-8")) % len(self._services)]
+        return self._services[self._file_index(file_id)]
 
     def _group_positions(self, fingerprints: list[bytes]) -> dict[int, list[int]]:
         groups: dict[int, list[int]] = {}
@@ -77,7 +108,7 @@ class ShardedStorageService:
         # fingerprint — the multi-chunk message of the batch protocol.
         flags = [False] * len(fingerprints)
         for index, positions in self._group_positions(fingerprints).items():
-            self.round_trips += 1
+            self._trip(index)
             answers = self._services[index].chunk_exists_batch(
                 [fingerprints[p] for p in positions]
             )
@@ -91,7 +122,7 @@ class ShardedStorageService:
             groups.setdefault(self._index_for(fp), []).append((fp, data))
         new = 0
         for index, group in groups.items():
-            self.round_trips += 1
+            self._trip(index)
             new += self._services[index].chunk_put_batch(group)
         return new
 
@@ -102,7 +133,7 @@ class ShardedStorageService:
         statuses: list[bool | Exception] = [False] * len(chunks)
         groups = self._group_positions([fp for fp, _data in chunks])
         for index, positions in groups.items():
-            self.round_trips += 1
+            self._trip(index)
             answers = self._services[index].chunk_put_many(
                 [chunks[p] for p in positions]
             )
@@ -114,7 +145,7 @@ class ShardedStorageService:
         # Group by shard, fetch per shard, then restore request order.
         results: list[bytes | None] = [None] * len(fingerprints)
         for index, positions in self._group_positions(fingerprints).items():
-            self.round_trips += 1
+            self._trip(index)
             fetched = self._services[index].chunk_get_batch(
                 [fingerprints[p] for p in positions]
             )
@@ -124,49 +155,54 @@ class ShardedStorageService:
 
     def chunk_release_batch(self, fingerprints: list[bytes]) -> None:
         for index, positions in self._group_positions(fingerprints).items():
-            self.round_trips += 1
+            self._trip(index)
             self._services[index].chunk_release_batch(
                 [fingerprints[p] for p in positions]
             )
 
     def recipe_put(self, file_id: str, data: bytes) -> None:
-        self.round_trips += 1
+        self._trip(self._file_index(file_id))
         self._for_file(file_id).recipe_put(file_id, data)
 
     def recipe_get(self, file_id: str) -> bytes:
-        self.round_trips += 1
+        self._trip(self._file_index(file_id))
         return self._for_file(file_id).recipe_get(file_id)
 
     def recipe_delete(self, file_id: str) -> None:
-        self.round_trips += 1
+        self._trip(self._file_index(file_id))
         self._for_file(file_id).recipe_delete(file_id)
 
     def recipe_list(self) -> list[str]:
         names: list[str] = []
-        for service in self._services:
-            self.round_trips += 1
+        for index, service in enumerate(self._services):
+            self._trip(index)
             names.extend(service.recipe_list())
         return sorted(names)
 
     def stub_put(self, file_id: str, data: bytes) -> None:
-        self.round_trips += 1
+        self._trip(self._file_index(file_id))
         self._for_file(file_id).stub_put(file_id, data)
 
     def stub_get(self, file_id: str) -> bytes:
-        self.round_trips += 1
+        self._trip(self._file_index(file_id))
         return self._for_file(file_id).stub_get(file_id)
 
     def stub_delete(self, file_id: str) -> None:
-        self.round_trips += 1
+        self._trip(self._file_index(file_id))
         self._for_file(file_id).stub_delete(file_id)
 
     def flush(self) -> None:
-        for service in self._services:
-            self.round_trips += 1
+        for index, service in enumerate(self._services):
+            self._trip(index)
             service.flush()
 
     def stats(self) -> dict:
-        """Round-trip counter for observability."""
+        """Round-trip counter for observability.
+
+        .. deprecated:: prefer the registry series
+           (``store_round_trips_total``, ``store_shard_requests_total``);
+           this dict remains as a per-instance view.
+        """
         return {"round_trips": self.round_trips, "services": len(self._services)}
 
 

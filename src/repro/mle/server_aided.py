@@ -28,6 +28,8 @@ from repro.crypto.drbg import SYSTEM_RANDOM, RandomSource
 from repro.crypto.rsa import RSAPublicKey
 from repro.mle.cache import MLEKeyCache
 from repro.mle.keymanager import KeyManager
+from repro.obs import scope as obs_scope
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.util.errors import ConfigurationError, KeyManagerError, RateLimitExceeded
 
 #: Default number of per-chunk key requests batched per round trip
@@ -76,6 +78,11 @@ class LocalKeyManagerChannel:
 class ServerAidedKeyClient:
     """Obtains MLE keys from the key manager via the blind-RSA OPRF."""
 
+    #: This client reports per-operation deltas through
+    #: :mod:`repro.obs.scope`, so callers can attribute counters to one
+    #: upload without diffing lifetime totals.
+    supports_attribution = True
+
     def __init__(
         self,
         channel: KeyManagerChannel,
@@ -85,6 +92,8 @@ class ServerAidedKeyClient:
         rng: RandomSource | None = None,
         sleep: Callable[[float], None] = time.sleep,
         max_retries: int = DEFAULT_MAX_RETRIES,
+        metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         if batch_size < 1:
             raise ConfigurationError("batch size must be at least 1")
@@ -103,6 +112,38 @@ class ServerAidedKeyClient:
         #: sign-batch RPCs issued to the key manager (including attempts
         #: rejected by rate limiting — they did cross the wire).
         self.round_trips = 0
+        # The per-instance integers above stay the exact per-client
+        # record; every bump is mirrored into the registry (process
+        # totals, labeled by client) and the active attribution scope
+        # (per-upload deltas — see repro.obs.scope).
+        self._clock = clock
+        self.metrics = metrics if metrics is not None else default_registry()
+        labels = {"client": client_id}
+        self._m_oprf = self.metrics.counter(
+            "key_oprf_evaluations_total",
+            "Blind-RSA OPRF evaluations paid for, by client.",
+            labelnames=("client",),
+        ).labels(**labels)
+        self._m_hits = self.metrics.counter(
+            "key_cache_hits_total",
+            "MLE-key requests answered from the client-side cache.",
+            labelnames=("client",),
+        ).labels(**labels)
+        self._m_trips = self.metrics.counter(
+            "key_round_trips_total",
+            "Key-manager RPCs issued (rate-limited attempts included).",
+            labelnames=("client",),
+        ).labels(**labels)
+        self._m_rate_limited = self.metrics.counter(
+            "key_rate_limited_total",
+            "Key-manager RPCs rejected by rate limiting.",
+            labelnames=("client",),
+        ).labels(**labels)
+        self._m_rpc_seconds = self.metrics.histogram(
+            "key_rpc_seconds",
+            "Latency of one key-manager batch round trip.",
+            labelnames=("client",),
+        ).labels(**labels)
 
     @property
     def public_key(self) -> RSAPublicKey:
@@ -119,6 +160,10 @@ class ServerAidedKeyClient:
 
         Includes the LRU cache's own :meth:`~repro.mle.cache.MLEKeyCache.stats`
         under ``"cache"`` when a cache is attached.
+
+        .. deprecated:: the registry series (``key_oprf_evaluations_total``
+           et al. on :attr:`metrics`, labeled by client) are the
+           canonical source; this dict remains as a per-instance view.
         """
         data = {
             "oprf_evaluations": self.oprf_evaluations,
@@ -135,10 +180,17 @@ class ServerAidedKeyClient:
         if rpc is None:
             rpc = self._channel.sign_batch
         for attempt in range(self._max_retries + 1):
+            started = self._clock()
             try:
                 self.round_trips += 1
-                return rpc(self._client_id, blinded)
+                self._m_trips.inc()
+                obs_scope.add("key_round_trips")
+                result = rpc(self._client_id, blinded)
+                self._m_rpc_seconds.observe(self._clock() - started)
+                return result
             except RateLimitExceeded:
+                self._m_rpc_seconds.observe(self._clock() - started)
+                self._m_rate_limited.inc()
                 if attempt == self._max_retries:
                     raise
                 delay = self._channel.backoff_hint(self._client_id, len(blinded))
@@ -166,6 +218,8 @@ class ServerAidedKeyClient:
             unblinded = blindrsa.unblind(public_key, state, signature)
             keys.append(blindrsa.signature_to_key(unblinded, public_key.byte_size))
         self.oprf_evaluations += len(keys)
+        self._m_oprf.inc(len(keys))
+        obs_scope.add("key_oprf_evaluations", len(keys))
         return keys
 
     def _resolve(self, fingerprints: Sequence[bytes], rpc=None) -> list[bytes]:
@@ -181,6 +235,8 @@ class ServerAidedKeyClient:
             if cached is not None:
                 results[fp] = cached
                 self.cache_hits += 1
+                self._m_hits.inc()
+                obs_scope.add("key_cache_hits")
             else:
                 missing.append(fp)
         for start in range(0, len(missing), self._batch_size):

@@ -6,14 +6,23 @@ serialized by class name and re-raised as the *same class* on the
 client, so e.g. a :class:`RateLimitExceeded` from the key manager
 travels through TCP intact and the client's back-off logic does not care
 whether the key manager is local or remote.
+
+Both ends are instrumented through :mod:`repro.obs`: the registry
+records server-side ``rpc_requests_total`` / ``rpc_handler_seconds`` per
+method, and every :class:`RpcClient` records per-method latency and
+payload bytes.  Registries are injectable so each node of a
+:class:`~repro.core.cluster.TcpCluster` exposes its own series; the
+process default registry is used otherwise.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Callable
 
 from repro.net.message import Message
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.util import errors
 from repro.util.codec import Decoder, Encoder
 from repro.util.errors import ProtocolError, ReproError
@@ -52,10 +61,48 @@ def decode_error(payload: bytes) -> ReproError:
 
 
 class ServiceRegistry:
-    """Method-name → handler dispatch table shared by all transports."""
+    """Method-name → handler dispatch table shared by all transports.
 
-    def __init__(self) -> None:
+    Dispatch is metered: every request bumps
+    ``rpc_requests_total{method=...}`` and records handler wall time in
+    ``rpc_handler_seconds{method=...}`` on ``metrics`` (the process
+    default registry unless a per-node registry is injected).  ``clock``
+    is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
         self._handlers: dict[str, Handler] = {}
+        self._clock = clock
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._requests = self.metrics.counter(
+            "rpc_requests_total",
+            "RPC requests dispatched, by method.",
+            labelnames=("method",),
+        )
+        self._errors = self.metrics.counter(
+            "rpc_errors_total",
+            "RPC requests that produced an error reply, by method.",
+            labelnames=("method",),
+        )
+        self._handler_seconds = self.metrics.histogram(
+            "rpc_handler_seconds",
+            "Server-side handler wall time, by method.",
+            labelnames=("method",),
+        )
+        self._request_bytes = self.metrics.counter(
+            "rpc_request_payload_bytes_total",
+            "Request payload bytes received, by method.",
+            labelnames=("method",),
+        )
+        self._response_bytes = self.metrics.counter(
+            "rpc_response_payload_bytes_total",
+            "Response payload bytes produced, by method.",
+            labelnames=("method",),
+        )
 
     def register(self, method: str, handler: Handler) -> None:
         if method in self._handlers:
@@ -67,26 +114,37 @@ class ServiceRegistry:
 
     def dispatch(self, request: Message) -> Message:
         """Run a handler, converting exceptions into error replies."""
-        handler = self._handlers.get(request.method)
+        method = request.method
+        self._requests.labels(method=method).inc()
+        self._request_bytes.labels(method=method).inc(len(request.payload))
+        handler = self._handlers.get(method)
         if handler is None:
+            self._errors.labels(method=method).inc()
             return Message(
                 message_id=request.message_id,
-                method=request.method,
+                method=method,
                 is_error=True,
-                payload=encode_error(ProtocolError(f"unknown method {request.method!r}")),
+                payload=encode_error(ProtocolError(f"unknown method {method!r}")),
             )
+        started = self._clock()
         try:
             payload = handler(request.payload)
         except Exception as exc:  # noqa: BLE001 - faults must cross the wire
+            self._handler_seconds.labels(method=method).observe(
+                self._clock() - started
+            )
+            self._errors.labels(method=method).inc()
             return Message(
                 message_id=request.message_id,
-                method=request.method,
+                method=method,
                 is_error=True,
                 payload=encode_error(exc),
             )
+        self._handler_seconds.labels(method=method).observe(self._clock() - started)
+        self._response_bytes.labels(method=method).inc(len(payload))
         return Message(
             message_id=request.message_id,
-            method=request.method,
+            method=method,
             is_error=False,
             payload=payload,
         )
@@ -100,14 +158,46 @@ class RpcClient:
     sockets for TCP).
     """
 
-    def __init__(self, send: Callable[[Message], Message]) -> None:
+    def __init__(
+        self,
+        send: Callable[[Message], Message],
+        metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
         self._send = send
         self._next_id = 0
         self._lock = threading.Lock()
+        self._clock = clock
         #: Round trips issued through this client.
         self.calls = 0
         #: Calls that came back as (decoded) error replies.
         self.errors = 0
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._requests = self.metrics.counter(
+            "rpc_client_requests_total",
+            "Client-side RPC round trips issued, by method.",
+            labelnames=("method",),
+        )
+        self._client_errors = self.metrics.counter(
+            "rpc_client_errors_total",
+            "Client-side RPC calls that raised, by method.",
+            labelnames=("method",),
+        )
+        self._latency = self.metrics.histogram(
+            "rpc_client_seconds",
+            "Client-observed round-trip latency, by method.",
+            labelnames=("method",),
+        )
+        self._request_bytes = self.metrics.counter(
+            "rpc_client_request_bytes_total",
+            "Request payload bytes sent, by method.",
+            labelnames=("method",),
+        )
+        self._response_bytes = self.metrics.counter(
+            "rpc_client_response_bytes_total",
+            "Response payload bytes received, by method.",
+            labelnames=("method",),
+        )
 
     def call(self, method: str, payload: bytes = b"") -> bytes:
         with self._lock:
@@ -117,18 +207,35 @@ class RpcClient:
             message_id=message_id, method=method, is_error=False, payload=payload
         )
         self.calls += 1
-        response = self._send(request)
+        self._requests.labels(method=method).inc()
+        self._request_bytes.labels(method=method).inc(len(payload))
+        started = self._clock()
+        try:
+            response = self._send(request)
+        except Exception:
+            self._latency.labels(method=method).observe(self._clock() - started)
+            self._client_errors.labels(method=method).inc()
+            raise
+        self._latency.labels(method=method).observe(self._clock() - started)
         if response.message_id != message_id:
+            self._client_errors.labels(method=method).inc()
             raise ProtocolError(
                 f"response id {response.message_id} does not match request {message_id}"
             )
         if response.is_error:
             self.errors += 1
+            self._client_errors.labels(method=method).inc()
             raise decode_error(response.payload)
+        self._response_bytes.labels(method=method).inc(len(response.payload))
         return response.payload
 
     def stats(self) -> dict:
-        """Round-trip counters for observability."""
+        """Round-trip counters for observability.
+
+        .. deprecated:: the registry series (``rpc_client_requests_total``
+           et al. on :attr:`metrics`) are the canonical source; this dict
+           remains as a stable view of the per-instance totals.
+        """
         return {"calls": self.calls, "errors": self.errors}
 
 
@@ -142,9 +249,15 @@ class LoopbackTransport:
     zero-copy fast path never serializes).
     """
 
-    def __init__(self, registry: ServiceRegistry, on_message=None) -> None:
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        on_message=None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self._registry = registry
         self._on_message = on_message
+        self._metrics = metrics
         #: Messages dispatched through this transport (all clients).
         self.messages = 0
         #: Encoded request/response bytes (only counted when encoding
@@ -164,7 +277,7 @@ class LoopbackTransport:
                 self._on_message(request_encoded, response_encoded)
             return response
 
-        return RpcClient(send)
+        return RpcClient(send, metrics=self._metrics)
 
     def stats(self) -> dict:
         """Transport-level counters for observability."""

@@ -17,6 +17,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.net.message import MAX_MESSAGE_BYTES, Message, frame, read_frame
 from repro.net.rpc import RpcClient, ServiceRegistry
+from repro.obs.metrics import MetricsRegistry
 from repro.util.errors import ConfigurationError, CorruptionError, ProtocolError
 
 #: Default size of a server's connection-serving worker pool.  Each live
@@ -62,6 +63,7 @@ class TcpServer:
         port: int = 0,
         max_workers: int = DEFAULT_MAX_WORKERS,
         max_message_bytes: int = MAX_MESSAGE_BYTES,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if max_workers < 1:
             raise ConfigurationError("need at least one worker")
@@ -83,24 +85,74 @@ class TcpServer:
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
         self._in_flight = 0
-        #: Lifetime counters for observability.
-        self.connections_accepted = 0
-        self.requests_served = 0
-        self.oversize_drops = 0
+        #: Connections handed to the pool but not yet picked up by a
+        #: worker (the accept backlog inside the process).
+        self._queued = 0
+        # The registry is per-server by default so the legacy attribute
+        # views below (``connections_accepted`` etc.) stay exact per
+        # instance; a TcpCluster injects each node's scrape registry.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._connections_accepted = self.metrics.counter(
+            "tcp_connections_accepted_total", "Connections accepted."
+        )
+        self._requests_served = self.metrics.counter(
+            "tcp_requests_total", "Requests served (responses flushed count too)."
+        )
+        self._oversize_drops = self.metrics.counter(
+            "tcp_oversize_drops_total",
+            "Connections dropped for oversized or length-damaged frames.",
+        )
+        self._active_connections = self.metrics.gauge(
+            "tcp_active_connections", "Connections currently open."
+        )
+        self._in_flight_gauge = self.metrics.gauge(
+            "tcp_in_flight_requests", "Requests currently being dispatched."
+        )
+        self._queue_depth = self.metrics.gauge(
+            "tcp_queue_depth",
+            "Accepted connections waiting for a free worker.",
+        )
+        self.metrics.gauge(
+            "tcp_max_workers", "Size of the connection-serving worker pool."
+        ).set(max_workers)
 
     @property
     def address(self) -> tuple[str, int]:
         return self._listener.getsockname()
 
+    # -- legacy counter views (canonical values live in the registry) ------
+
+    @property
+    def connections_accepted(self) -> int:
+        return int(self._connections_accepted.value)
+
+    @property
+    def requests_served(self) -> int:
+        return int(self._requests_served.value)
+
+    @property
+    def oversize_drops(self) -> int:
+        return int(self._oversize_drops.value)
+
     def stats(self) -> dict:
-        """Server-side counters for observability."""
+        """Server-side counters for observability.
+
+        The whole snapshot is taken under the server's own mutation lock
+        — every counter bump in the serve path happens while holding it
+        — so the dict is internally consistent even mid-drain (a served
+        total can never run ahead of the in-flight count it implies).
+
+        .. deprecated:: prefer scraping :attr:`metrics`; this dict is a
+           stable view kept for existing callers.
+        """
         with self._lock:
             return {
-                "connections_accepted": self.connections_accepted,
+                "connections_accepted": int(self._connections_accepted.value),
                 "active_connections": len(self._connections),
                 "in_flight_requests": self._in_flight,
-                "requests_served": self.requests_served,
-                "oversize_drops": self.oversize_drops,
+                "queued_connections": self._queued,
+                "requests_served": int(self._requests_served.value),
+                "oversize_drops": int(self._oversize_drops.value),
                 "max_workers": self._max_workers,
             }
 
@@ -130,7 +182,10 @@ class TcpServer:
                 return
             with self._lock:
                 self._connections.append(conn)
-                self.connections_accepted += 1
+                self._connections_accepted.inc()
+                self._active_connections.set(len(self._connections))
+                self._queued += 1
+                self._queue_depth.set(self._queued)
             pool = self._pool
             try:
                 if pool is None:
@@ -140,6 +195,9 @@ class TcpServer:
                 with self._lock:
                     if conn in self._connections:
                         self._connections.remove(conn)
+                    self._active_connections.set(len(self._connections))
+                    self._queued -= 1
+                    self._queue_depth.set(self._queued)
                 try:
                     conn.close()
                 except OSError:
@@ -147,6 +205,10 @@ class TcpServer:
                 return
 
     def _serve_connection(self, conn: socket.socket) -> None:
+        with self._lock:
+            # A worker picked the connection up: it leaves the queue.
+            self._queued -= 1
+            self._queue_depth.set(self._queued)
         try:
             with conn:
                 conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -159,12 +221,13 @@ class TcpServer:
                         # Oversized (or length-damaged) frame: drop the
                         # connection before attempting the allocation.
                         with self._lock:
-                            self.oversize_drops += 1
+                            self._oversize_drops.inc()
                         return
                     except Exception:
                         return  # disconnect or framing damage
                     with self._lock:
                         self._in_flight += 1
+                        self._in_flight_gauge.set(self._in_flight)
                     try:
                         # The response flush counts as in-flight too, so a
                         # draining stop() cannot drop the connection between
@@ -174,7 +237,7 @@ class TcpServer:
                             # Counted before the flush so the served total
                             # is already visible when the client reads the
                             # response.
-                            self.requests_served += 1
+                            self._requests_served.inc()
                         try:
                             conn.sendall(frame(response.encode()))
                         except OSError:
@@ -182,6 +245,7 @@ class TcpServer:
                     finally:
                         with self._lock:
                             self._in_flight -= 1
+                            self._in_flight_gauge.set(self._in_flight)
                             self._idle.notify_all()
         finally:
             with self._lock:
@@ -189,6 +253,7 @@ class TcpServer:
                     self._connections.remove(conn)
                 except ValueError:
                     pass
+                self._active_connections.set(len(self._connections))
 
     def stop(self, drain: bool = False, timeout: float = 5.0) -> None:
         """Stop the server.
@@ -234,10 +299,17 @@ class TcpServer:
 class TcpConnection:
     """A client connection; thread-safe (one in-flight call at a time)."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._lock = threading.Lock()
+        self._metrics = metrics
 
     def client(self) -> RpcClient:
         def send(request: Message) -> Message:
@@ -246,7 +318,7 @@ class TcpConnection:
                 body = read_frame(lambda n: _recv_exact(self._sock, n))
             return Message.decode(body)
 
-        return RpcClient(send)
+        return RpcClient(send, metrics=self._metrics)
 
     def close(self) -> None:
         try:
@@ -255,6 +327,11 @@ class TcpConnection:
             pass
 
 
-def connect(host: str, port: int, timeout: float = 30.0) -> RpcClient:
+def connect(
+    host: str,
+    port: int,
+    timeout: float = 30.0,
+    metrics: MetricsRegistry | None = None,
+) -> RpcClient:
     """Convenience: open a connection and return its RPC client."""
-    return TcpConnection(host, port, timeout).client()
+    return TcpConnection(host, port, timeout, metrics=metrics).client()

@@ -1,0 +1,54 @@
+"""``repro.obs`` — the unified telemetry layer.
+
+Dependency-free metrics (:mod:`~repro.obs.metrics`), span tracing
+(:mod:`~repro.obs.tracing`), per-operation counter attribution
+(:mod:`~repro.obs.scope`), exposition renderers
+(:mod:`~repro.obs.expo`), and the ``metrics`` RPC binding
+(:mod:`~repro.obs.rpc`).  See ``docs/OBSERVABILITY.md`` for the metric
+catalog and label conventions.
+"""
+
+from repro.obs.expo import parse_prometheus, render_json, render_prometheus
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    default_registry,
+    reset_default_registry,
+)
+from repro.obs.scope import AttributionScope, attribution
+from repro.obs.tracing import (
+    SPAN_HISTOGRAM,
+    Span,
+    Tracer,
+    default_tracer,
+    format_trace,
+    reset_default_tracer,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "SPAN_HISTOGRAM",
+    "AttributionScope",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "attribution",
+    "default_registry",
+    "default_tracer",
+    "format_trace",
+    "parse_prometheus",
+    "render_json",
+    "render_prometheus",
+    "reset_default_registry",
+    "reset_default_tracer",
+]

@@ -1,0 +1,150 @@
+"""Metrics exposition: Prometheus text format and JSON.
+
+``render_prometheus`` emits the text exposition format (version 0.0.4)
+that real Prometheus servers scrape: ``# HELP``/``# TYPE`` headers, one
+line per series, histograms expanded into cumulative ``_bucket`` series
+plus ``_sum``/``_count``.  ``render_json`` is the registry snapshot
+serialized for programmatic consumers (the ``reed stats`` CLI, the
+benchmark harness).
+
+``parse_prometheus`` is the inverse used by tests and the CI metrics
+gate: it folds an exposition body back into ``{(name, labels): value}``
+and rejects NaN samples, so a scrape check is one function call.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.obs.metrics import MetricsRegistry
+from repro.util.errors import CorruptionError
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in merged.items()
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key, child in sorted(family.children().items()):
+            labels = dict(zip(family.labelnames, key))
+            if family.kind == "histogram":
+                snap = child.snapshot()
+                cumulative = 0
+                for bound, count in snap["buckets"].items():
+                    cumulative += count
+                    le = _format_labels(labels, {"le": _format_value(bound)})
+                    lines.append(f"{family.name}_bucket{le} {cumulative}")
+                le = _format_labels(labels, {"le": "+Inf"})
+                lines.append(f"{family.name}_bucket{le} {snap['count']}")
+                label_text = _format_labels(labels)
+                lines.append(
+                    f"{family.name}_sum{label_text} {_format_value(snap['sum'])}"
+                )
+                lines.append(f"{family.name}_count{label_text} {snap['count']}")
+            else:
+                label_text = _format_labels(labels)
+                lines.append(
+                    f"{family.name}{label_text} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(registry: MetricsRegistry, indent: int | None = None) -> str:
+    """The registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def _parse_label_block(block: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    rest = block
+    while rest:
+        name, _, rest = rest.partition("=")
+        if not rest.startswith('"'):
+            raise CorruptionError(f"malformed label block near {rest!r}")
+        value_chars: list[str] = []
+        index = 1
+        while index < len(rest):
+            char = rest[index]
+            if char == "\\" and index + 1 < len(rest):
+                escape = rest[index + 1]
+                value_chars.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(escape, escape)
+                )
+                index += 2
+                continue
+            if char == '"':
+                break
+            value_chars.append(char)
+            index += 1
+        else:
+            raise CorruptionError(f"unterminated label value in {block!r}")
+        labels[name.strip()] = "".join(value_chars)
+        rest = rest[index + 1 :].lstrip(",")
+    return labels
+
+
+def parse_prometheus(text: str) -> dict[tuple[str, frozenset], float]:
+    """Fold exposition text into ``{(name, frozen label items): value}``.
+
+    Raises :class:`~repro.util.errors.CorruptionError` on malformed
+    lines or NaN sample values (a NaN series is what the CI metrics gate
+    exists to catch).
+    """
+    samples: dict[tuple[str, frozenset], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise CorruptionError(f"malformed exposition line: {line!r}")
+        if value_part == "+Inf":
+            value = math.inf
+        elif value_part == "-Inf":
+            value = -math.inf
+        else:
+            try:
+                value = float(value_part)
+            except ValueError as exc:
+                raise CorruptionError(
+                    f"malformed sample value in line: {line!r}"
+                ) from exc
+        if math.isnan(value):
+            raise CorruptionError(f"NaN sample value in line: {line!r}")
+        if "{" in name_part:
+            name, _, label_block = name_part.partition("{")
+            labels = _parse_label_block(label_block.rstrip("}"))
+        else:
+            name, labels = name_part, {}
+        samples[(name, frozenset(labels.items()))] = value
+    return samples

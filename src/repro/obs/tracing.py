@@ -1,0 +1,205 @@
+"""Span-based tracing for the chunk→key→CAONT→stub→store pipeline.
+
+A :class:`Tracer` hands out :class:`Span` context managers::
+
+    tracer = Tracer(registry)
+    with tracer.span("upload") as root:
+        with tracer.span("upload.key_derive", chunks=128):
+            ...
+
+Every finished span records its wall time into the registry histogram
+``span_seconds{span="upload.key_derive"}``, so latency distributions
+fall out of tracing for free; the span objects additionally link into an
+in-memory tree (parent/children) kept in a bounded ring of recent root
+traces for the ``reed top`` view and for tests.
+
+The clock is injectable: ``Tracer(clock=sim_clock)`` lets
+:mod:`repro.sim` (or any deterministic test) drive span timings from a
+:class:`~repro.sim.clock.SimClock` instead of ``time.perf_counter``, so
+simulated pipelines reuse the same span names and histograms as the real
+one.
+
+Span nesting is tracked per thread.  Work handed to another thread (the
+upload pipeline's ship worker) starts a new root in that thread — the
+histogram series are shared either way.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Callable
+
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+#: Histogram recording every span's duration, labeled by span name.
+SPAN_HISTOGRAM = "span_seconds"
+
+#: Default number of completed root traces retained per tracer.
+DEFAULT_TRACE_RING = 32
+
+
+class Span:
+    """One timed operation; a node in a trace tree."""
+
+    __slots__ = (
+        "name", "attributes", "parent", "children",
+        "start_time", "end_time", "error",
+    )
+
+    def __init__(self, name: str, attributes: dict, parent: "Span | None") -> None:
+        self.name = name
+        self.attributes = attributes
+        self.parent = parent
+        self.children: list[Span] = []
+        self.start_time: float = 0.0
+        self.end_time: float | None = None
+        self.error: str | None = None
+
+    @property
+    def duration(self) -> float | None:
+        if self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def tree(self) -> dict:
+        """This span and its subtree as plain dicts (JSON-friendly)."""
+        return {
+            "name": self.name,
+            "attributes": dict(self.attributes),
+            "duration": self.duration,
+            "error": self.error,
+            "children": [child.tree() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, duration={self.duration})"
+
+
+def format_trace(span: Span, indent: str = "") -> str:
+    """Render a span tree as an indented text block."""
+    duration = span.duration
+    timing = f"{duration * 1000:.3f} ms" if duration is not None else "open"
+    attrs = (
+        " " + " ".join(f"{k}={v}" for k, v in span.attributes.items())
+        if span.attributes
+        else ""
+    )
+    flag = " !" + span.error if span.error else ""
+    lines = [f"{indent}{span.name} [{timing}]{attrs}{flag}"]
+    for child in span.children:
+        lines.append(format_trace(child, indent + "  "))
+    return "\n".join(lines)
+
+
+class _SpanHandle:
+    """Context manager binding one span to one tracer activation."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None:
+            self.span.error = type(exc).__name__
+        self._tracer._pop(self.span)
+
+
+class Tracer:
+    """Creates spans, records their durations, keeps recent root traces."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] | None = None,
+        trace_ring: int = DEFAULT_TRACE_RING,
+    ) -> None:
+        self._metrics = metrics if metrics is not None else default_registry()
+        self._clock = clock if clock is not None else time.perf_counter
+        self._histogram = self._metrics.histogram(
+            SPAN_HISTOGRAM, "Span wall time by span name.", labelnames=("span",)
+        )
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._recent: deque[Span] = deque(maxlen=trace_ring)
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attributes) -> _SpanHandle:
+        """A context manager for one timed operation."""
+        parent = self._stack()[-1] if self._stack() else None
+        return _SpanHandle(self, Span(name, attributes, parent))
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record a duration into the span histogram without a tree node.
+
+        For stages whose time accumulates non-contiguously (e.g. the
+        chunking generator interleaved with the upload loop).
+        """
+        self._histogram.labels(span=name).observe(seconds)
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        return self._clock
+
+    def _push(self, span: Span) -> None:
+        if span.parent is not None:
+            span.parent.children.append(span)
+        self._stack().append(span)
+        span.start_time = self._clock()
+
+    def _pop(self, span: Span) -> None:
+        span.end_time = self._clock()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        self._histogram.labels(span=span.name).observe(span.duration or 0.0)
+        if span.parent is None:
+            with self._lock:
+                self._recent.append(span)
+
+    # -- inspection --------------------------------------------------------
+
+    def current_span(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def recent_traces(self) -> list[Span]:
+        """Completed root spans, oldest first (bounded ring)."""
+        with self._lock:
+            return list(self._recent)
+
+    def last_trace(self) -> Span | None:
+        with self._lock:
+            return self._recent[-1] if self._recent else None
+
+
+#: Process-wide tracer over the default registry — components that are
+#: not handed a tracer share this one, so their spans land in the same
+#: ``span_seconds`` histogram a scrape of the default registry exports.
+_DEFAULT_TRACER = Tracer()
+
+
+def default_tracer() -> Tracer:
+    return _DEFAULT_TRACER
+
+
+def reset_default_tracer() -> Tracer:
+    """Replace the process default tracer (tests only — pairs with
+    :func:`~repro.obs.metrics.reset_default_registry`)."""
+    global _DEFAULT_TRACER
+    _DEFAULT_TRACER = Tracer()
+    return _DEFAULT_TRACER

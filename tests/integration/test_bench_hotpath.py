@@ -47,17 +47,24 @@ def test_quick_bench_runs_and_writes_valid_report(tmp_path):
         "PYTHONPATH", ""
     )
     proc = subprocess.run(
-        [sys.executable, BENCH, "--quick", "--out", str(out)],
+        [sys.executable, BENCH, "--smoke", "--seed", "3", "--out", str(out)],
         capture_output=True,
         text=True,
         env=env,
         timeout=300,
     )
     assert proc.returncode == 0, proc.stderr
+    assert "metrics snapshot: well-formed" in proc.stdout
 
     report = json.loads(out.read_text())
-    assert report["schema"] == "reed-bench-hotpath/1"
+    assert report["schema"] == "reed-bench-hotpath/2"
     assert report["quick"] is True
+    assert report["seed"] == 3
+    # Every reported row has its repeats recorded in the bench histogram
+    # (the report's seconds are derived from that histogram's minimum).
+    bench_series = report["metrics"]["bench_seconds"]["series"]
+    recorded = {series["labels"]["bench"] for series in bench_series}
+    assert recorded == {r["name"] for r in report["results"]}
     assert isinstance(report["results"], list) and report["results"]
     for result in report["results"]:
         expected_keys = (

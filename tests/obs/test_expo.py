@@ -1,0 +1,93 @@
+"""Exposition tests: Prometheus text rendering, JSON, and the parser
+(the CI metrics gate's NaN / malformed-line detector)."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.expo import parse_prometheus, render_json, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.util.errors import CorruptionError
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("req_total", "Requests.", labelnames=("method",)).labels(
+        method="km.derive_batch"
+    ).inc(5)
+    registry.gauge("depth", "Queue depth.").set(3)
+    registry.histogram(
+        "lat_seconds", "Latency.", buckets=(0.1, 1.0)
+    ).observe(0.05)
+    return registry
+
+
+def test_render_prometheus_format():
+    text = render_prometheus(_populated_registry())
+    assert "# HELP req_total Requests." in text
+    assert "# TYPE req_total counter" in text
+    assert 'req_total{method="km.derive_batch"} 5' in text
+    assert "# TYPE lat_seconds histogram" in text
+    # Cumulative buckets plus the implicit +Inf, sum, and count.
+    assert 'lat_seconds_bucket{le="0.1"} 1' in text
+    assert 'lat_seconds_bucket{le="1"} 1' in text
+    assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+    assert "lat_seconds_sum 0.05" in text
+    assert "lat_seconds_count 1" in text
+    assert text.endswith("\n")
+
+
+def test_render_empty_registry():
+    assert render_prometheus(MetricsRegistry()) == ""
+
+
+def test_round_trip_through_parser():
+    registry = _populated_registry()
+    samples = parse_prometheus(render_prometheus(registry))
+    assert samples[
+        ("req_total", frozenset({("method", "km.derive_batch")}))
+    ] == 5.0
+    assert samples[("depth", frozenset())] == 3.0
+    assert samples[("lat_seconds_count", frozenset())] == 1.0
+    assert samples[
+        ("lat_seconds_bucket", frozenset({("le", "+Inf")}))
+    ] == 1.0
+
+
+def test_label_escaping_round_trip():
+    registry = MetricsRegistry()
+    tricky = 'quo"te\\slash\nnewline'
+    registry.counter("esc_total", labelnames=("v",)).labels(v=tricky).inc()
+    samples = parse_prometheus(render_prometheus(registry))
+    assert samples[("esc_total", frozenset({("v", tricky)}))] == 1.0
+
+
+def test_render_json_matches_snapshot():
+    registry = _populated_registry()
+    assert json.loads(render_json(registry)) == json.loads(
+        json.dumps(registry.snapshot())
+    )
+
+
+def test_parser_rejects_nan():
+    with pytest.raises(CorruptionError):
+        parse_prometheus("broken_metric NaN\n")
+
+
+def test_parser_rejects_malformed_lines():
+    with pytest.raises(CorruptionError):
+        parse_prometheus("no_value_here\n")
+    with pytest.raises(CorruptionError):
+        parse_prometheus('bad_labels{unterminated="x 1\n')
+
+
+def test_parser_accepts_inf():
+    samples = parse_prometheus("edge_metric +Inf\nneg_metric -Inf\n")
+    assert samples[("edge_metric", frozenset())] == math.inf
+    assert samples[("neg_metric", frozenset())] == -math.inf
+
+
+def test_parser_skips_comments_and_blanks():
+    samples = parse_prometheus("# HELP x y\n\n# TYPE x counter\nx 1\n")
+    assert samples == {("x", frozenset()): 1.0}

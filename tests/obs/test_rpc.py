@@ -1,0 +1,55 @@
+"""The ``metrics`` RPC method: registration, scraping, format selection."""
+
+import json
+
+import pytest
+
+from repro.net.rpc import LoopbackTransport, ServiceRegistry
+from repro.obs.expo import parse_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.rpc import METRICS_METHOD, register_metrics, scrape
+from repro.util.errors import ProtocolError
+
+
+def _setup():
+    metrics = MetricsRegistry()
+    metrics.counter("demo_total", "Demo.").inc(4)
+    services = ServiceRegistry(metrics=metrics)
+    register_metrics(services, metrics)
+    client = LoopbackTransport(services, metrics=MetricsRegistry()).client()
+    return metrics, client
+
+
+def test_scrape_prometheus():
+    _, client = _setup()
+    samples = parse_prometheus(scrape(client))
+    assert samples[("demo_total", frozenset())] == 4.0
+    # Dispatch instrumentation counts the scrape itself.
+    assert (
+        samples[
+            ("rpc_requests_total", frozenset({("method", METRICS_METHOD)}))
+        ]
+        == 1.0
+    )
+
+
+def test_scrape_json():
+    _, client = _setup()
+    snapshot = json.loads(scrape(client, fmt="json"))
+    assert snapshot["demo_total"]["series"][0]["value"] == 4.0
+
+
+def test_unknown_format_rejected():
+    _, client = _setup()
+    with pytest.raises(ProtocolError):
+        scrape(client, fmt="xml")
+
+
+def test_empty_payload_defaults_to_prometheus():
+    metrics = MetricsRegistry()
+    metrics.counter("x_total").inc()
+    services = ServiceRegistry(metrics=metrics)
+    register_metrics(services, metrics)
+    client = LoopbackTransport(services).client()
+    body = client.call(METRICS_METHOD, b"").decode()
+    assert ("x_total", frozenset()) in parse_prometheus(body)

@@ -1,0 +1,111 @@
+"""Tracer tests: span trees, histogram recording, error capture, and
+deterministic timing through an injected SimClock."""
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import SPAN_HISTOGRAM, Tracer, format_trace
+from repro.sim.clock import SimClock
+
+
+def _tracer(ring: int = 32) -> tuple[Tracer, MetricsRegistry, SimClock]:
+    clock = SimClock()
+    registry = MetricsRegistry()
+    # SimClock is itself the callable clock (calling it reads the time).
+    return Tracer(registry, clock=clock, trace_ring=ring), registry, clock
+
+
+def test_span_durations_from_sim_clock():
+    tracer, registry, clock = _tracer()
+    with tracer.span("upload"):
+        clock.advance(1.0)
+        with tracer.span("upload.key_derive", chunks=128):
+            clock.advance(0.25)
+        with tracer.span("upload.store"):
+            clock.advance(0.5)
+    root = tracer.last_trace()
+    assert root.name == "upload"
+    assert root.duration == 1.75
+    assert [child.name for child in root.children] == [
+        "upload.key_derive",
+        "upload.store",
+    ]
+    assert root.children[0].duration == 0.25
+    assert root.children[0].attributes == {"chunks": 128}
+    # Every span landed in span_seconds{span=...} with its exact duration.
+    hist = registry.get(SPAN_HISTOGRAM)
+    assert hist.labels(span="upload.key_derive").sum == 0.25
+    assert hist.labels(span="upload").count == 1
+
+
+def test_error_spans_are_flagged():
+    tracer, _, clock = _tracer()
+    try:
+        with tracer.span("download"):
+            clock.advance(0.1)
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    root = tracer.last_trace()
+    assert root.error == "ValueError"
+    assert root.duration == 0.1
+
+
+def test_observe_records_without_tree_node():
+    tracer, registry, _ = _tracer()
+    tracer.observe("upload.chunk", 0.75)
+    assert registry.get(SPAN_HISTOGRAM).labels(span="upload.chunk").sum == 0.75
+    assert tracer.recent_traces() == []
+
+
+def test_trace_ring_is_bounded():
+    tracer, _, clock = _tracer(ring=3)
+    for index in range(5):
+        with tracer.span(f"op-{index}"):
+            clock.advance(0.01)
+    names = [span.name for span in tracer.recent_traces()]
+    assert names == ["op-2", "op-3", "op-4"]
+
+
+def test_current_span_nesting():
+    tracer, _, _ = _tracer()
+    assert tracer.current_span() is None
+    with tracer.span("outer") as outer:
+        assert tracer.current_span() is outer
+        with tracer.span("inner") as inner:
+            assert tracer.current_span() is inner
+        assert tracer.current_span() is outer
+    assert tracer.current_span() is None
+
+
+def test_span_tree_and_format():
+    tracer, _, clock = _tracer()
+    with tracer.span("root", file_id="f1"):
+        clock.advance(0.5)
+        with tracer.span("child"):
+            clock.advance(0.5)
+    tree = tracer.last_trace().tree()
+    assert tree["name"] == "root"
+    assert tree["attributes"] == {"file_id": "f1"}
+    assert tree["children"][0]["name"] == "child"
+    text = format_trace(tracer.last_trace())
+    assert "root" in text and "  child" in text
+    assert "file_id=f1" in text
+
+
+def test_threads_get_independent_span_stacks():
+    tracer, _, _ = _tracer()
+    seen = {}
+
+    def worker() -> None:
+        # This thread starts with no inherited parent span.
+        seen["parent"] = tracer.current_span()
+        with tracer.span("thread-op") as span:
+            seen["root_is_parentless"] = span.parent is None
+
+    with tracer.span("main-op"):
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+    assert seen["parent"] is None
+    assert seen["root_is_parentless"] is True
