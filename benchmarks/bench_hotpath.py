@@ -12,7 +12,12 @@ Measures the four layers the acceleration pass touches —
   reference engines vs. accelerated defaults;
 * **upload_tcp** — end-to-end upload over a real localhost TCP cluster,
   per-chunk RPCs vs. the batched pipeline, recording round trips per
-  layer alongside throughput —
+  layer alongside throughput;
+* **download_tcp** — end-to-end restore over a 4-shard localhost TCP
+  cluster: serial fetch/decrypt vs. the parallel restore pipeline
+  (shard scatter-gather + process-pool CAONT inversion + prefetch
+  overlap), plus a warm-chunk-cache pass that serves every trimmed
+  package locally —
 
 and writes machine-readable ``BENCH_hotpath.json`` at the repo root so
 future PRs can track the perf trajectory.  Run it directly::
@@ -283,6 +288,88 @@ def bench_upload_tcp(file_bytes: int, repeats: int, seed: int) -> list[dict]:
     return results
 
 
+def bench_download_tcp(file_bytes: int, repeats: int, seed: int) -> list[dict]:
+    """Restore over localhost TCP: serial per-chunk vs. the pipeline.
+
+    One client uploads a fixed-chunk file to a 4-shard cluster; then
+    three download configurations restore it:
+
+    * ``serial`` — the chunk-at-a-time restore protocol: one storage
+      round trip per chunk, one shard sub-fetch at a time, one decrypt
+      core, no prefetch overlap, no cache (the download twin of
+      ``upload_tcp/per_chunk``);
+    * ``pipelined`` — windowed fetches, concurrent shard
+      scatter-gather, process-pool CAONT inversion, and fetch/decrypt
+      overlap (the defaults);
+    * ``cache_warm`` — pipelined plus a chunk cache big enough for the
+      whole file: the untimed warm-up download fills it, so the timed
+      repeats serve every trimmed package locally with zero
+      ``chunk_get_batch`` RPCs.
+
+    Like ``upload_tcp``, loopback throughput undersells the protocol
+    win (RTT is microseconds and this box may have a single core, which
+    serializes the decrypt fan-out) — the latency-independent evidence
+    is the recorded counters: per-chunk restore pays one store round
+    trip per chunk, the pipeline a handful per file.  Every
+    configuration's restored plaintext is asserted bit-identical to the
+    uploaded bytes.
+    """
+    from repro.chunking.chunker import ChunkingSpec
+    from repro.core.cluster import TcpCluster
+
+    rng = _seed_rng("bench-download-tcp", seed)
+    chunking = ChunkingSpec(method="fixed", avg_size=4096)
+    data = rng.random_bytes(file_bytes)
+    file_id = "bench-download-file"
+    user = "bench-download"
+    results = []
+    with TcpCluster(num_data_servers=4, chunking=chunking, rng=rng) as cluster:
+        uploader = cluster.new_client(user)
+        uploader.upload(file_id, data)
+        uploader.close()
+        configs = (
+            (
+                "serial",
+                {"pipeline_depth": 1, "encryption_workers": 1, "fetch_workers": 1},
+                {"fetch_batch_chunks": 1},
+            ),
+            ("pipelined", {}, {}),
+            ("cache_warm", {"chunk_cache_bytes": 64 * 1024 * 1024}, {}),
+        )
+        for label, kwargs, download_kwargs in configs:
+            client = cluster.new_client(user, **kwargs)
+            state = {"last": None}
+
+            def run(client=client, state=state, download_kwargs=download_kwargs):
+                state["last"] = client.download(file_id, **download_kwargs)
+
+            seconds = _time(run, repeats, f"download_tcp/{label}")
+            download = state["last"]
+            if download.data != data:
+                raise AssertionError(
+                    f"download_tcp/{label}: restored plaintext differs from input"
+                )
+            lookups = download.chunk_cache_hits + download.chunk_cache_misses
+            results.append(
+                {
+                    "name": f"download_tcp/{label}",
+                    "bytes": file_bytes,
+                    "seconds": seconds,
+                    "mib_per_s": _mib_per_s(file_bytes, seconds),
+                    "chunks": download.chunk_count,
+                    "store_round_trips": download.store_round_trips,
+                    "fetch_batches": download.fetch_batches,
+                    "chunk_cache_hits": download.chunk_cache_hits,
+                    "chunk_cache_misses": download.chunk_cache_misses,
+                    "cache_hit_rate": round(download.chunk_cache_hits / lookups, 4)
+                    if lookups
+                    else 0.0,
+                }
+            )
+            client.close()
+    return results
+
+
 def compute_speedups(results: list[dict]) -> dict[str, float]:
     """Accelerated-over-reference ratios per benchmark family."""
     by_name = {r["name"]: r for r in results}
@@ -293,6 +380,7 @@ def compute_speedups(results: list[dict]) -> dict[str, float]:
         ("caont", "caont/reference", ("caont/accelerated",)),
         ("upload", "upload/reference", ("upload/accelerated",)),
         ("upload_tcp", "upload_tcp/per_chunk", ("upload_tcp/batched",)),
+        ("download_tcp", "download_tcp/serial", ("download_tcp/pipelined",)),
     )
     for family, ref_name, fast_names in pairs:
         ref = by_name.get(ref_name)
@@ -312,6 +400,7 @@ def run(quick: bool, seed: int = 0) -> dict:
         caont = (4096, 4)
         upload_bytes = 64 * 1024
         tcp_bytes = 64 * 1024
+        download_bytes = 64 * 1024
         repeats = 1
     else:
         chunk_data = rng.random_bytes(4 * 1024 * 1024)
@@ -319,6 +408,10 @@ def run(quick: bool, seed: int = 0) -> dict:
         caont = (8192, 64)
         upload_bytes = 1024 * 1024
         tcp_bytes = 512 * 1024
+        # 128 fixed 4 KiB chunks, matching upload_tcp's full scale: the
+        # serial row then pays one store round trip per chunk while the
+        # pipeline pays a handful per file.
+        download_bytes = 512 * 1024
         repeats = 3
 
     results: list[dict] = []
@@ -327,6 +420,7 @@ def run(quick: bool, seed: int = 0) -> dict:
     results.extend(bench_caont(*caont, repeats, seed))
     results.extend(bench_upload(upload_bytes, repeats, seed))
     results.extend(bench_upload_tcp(tcp_bytes, repeats, seed))
+    results.extend(bench_download_tcp(download_bytes, repeats, seed))
     return {
         "schema": SCHEMA,
         "quick": quick,

@@ -25,7 +25,8 @@ sys.path.insert(
 from repro.chunking.chunker import ChunkingSpec  # noqa: E402
 from repro.core.cluster import TcpCluster  # noqa: E402
 from repro.crypto.drbg import HmacDrbg  # noqa: E402
-from repro.obs.expo import parse_prometheus  # noqa: E402
+from repro.obs.expo import parse_prometheus, render_prometheus  # noqa: E402
+from repro.obs.metrics import default_registry  # noqa: E402
 from repro.util.errors import CorruptionError  # noqa: E402
 
 #: Series every node must expose after serving at least one request.
@@ -39,13 +40,46 @@ REQUIRED_ON_EVERY_NODE = (
 )
 
 #: Per-node RPC methods whose request counters must have fired during
-#: the upload (beyond the ``metrics`` scrape itself).
+#: the upload and the downloads (beyond the ``metrics`` scrape itself).
 REQUIRED_METHODS = {
-    "storage-0": ("storage.put_many", "storage.flush"),
-    "storage-1": ("storage.put_many", "storage.flush"),
+    "storage-0": ("storage.put_many", "storage.flush", "storage.get"),
+    "storage-1": ("storage.put_many", "storage.flush", "storage.get"),
     "keystore": ("keystore.put",),
     "key-manager": ("km.public_key", "km.derive_batch"),
 }
+
+#: Client-side counters the download pipeline must have populated.
+REQUIRED_CLIENT_COUNTERS = (
+    "client_downloads_total",
+    "client_download_bytes_total",
+    "chunk_cache_hits_total",
+    "chunk_cache_misses_total",
+)
+
+#: Per-stage restore-pipeline spans that must have recorded latencies.
+REQUIRED_CLIENT_SPANS = (
+    "download.cache",
+    "download.prefetch",
+    "download.decrypt",
+)
+
+
+def check_client(series: dict) -> list[str]:
+    """Problems in the client process's own exposition after downloads."""
+    problems: list[str] = []
+    for required in REQUIRED_CLIENT_COUNTERS:
+        value = series.get((required, frozenset()))
+        if value is None:
+            problems.append(f"client: missing series {required}")
+        elif value <= 0 and required != "chunk_cache_misses_total":
+            problems.append(f"client: {required} is {value}")
+    for span in REQUIRED_CLIENT_SPANS:
+        count = series.get(
+            ("span_seconds_count", frozenset({("span", span)})), 0.0
+        )
+        if count <= 0:
+            problems.append(f"client: no span_seconds samples for {span!r}")
+    return problems
 
 
 def check_node(node: str, text: str) -> list[str]:
@@ -81,7 +115,7 @@ def main() -> int:
     rng = HmacDrbg(b"metrics-gate")
     chunking = ChunkingSpec(method="fixed", avg_size=4096)
     with TcpCluster(num_data_servers=2, chunking=chunking, rng=rng) as cluster:
-        client = cluster.new_client("gate-user")
+        client = cluster.new_client("gate-user", chunk_cache_bytes=16 * 1024 * 1024)
         data = rng.random_bytes(128 * 4096)
         result = client.upload("gate-file", data)
         print(
@@ -89,11 +123,38 @@ def main() -> int:
             f"({result.key_round_trips} key RPC, "
             f"{result.store_round_trips} store RPCs)"
         )
+        # Two downloads: the first exercises prefetch/decrypt and fills
+        # the chunk cache, the second must hit it.
         if client.download("gate-file").data != data:
             print("FAIL: download mismatch", file=sys.stderr)
             return 1
+        warm = client.download("gate-file")
+        if warm.data != data:
+            print("FAIL: warm download mismatch", file=sys.stderr)
+            return 1
+        print(
+            f"downloaded {warm.size:,} bytes twice "
+            f"({warm.chunk_cache_hits} warm cache hits, "
+            f"{warm.fetch_batches} warm fetch batches)"
+        )
+        if warm.chunk_cache_hits < warm.chunk_count:
+            print(
+                f"FAIL: warm download hit the cache {warm.chunk_cache_hits} "
+                f"times for {warm.chunk_count} chunks",
+                file=sys.stderr,
+            )
+            return 1
 
         problems: list[str] = []
+        # The client's own series live in the process default registry;
+        # round-trip them through the exposition (the parser rejects
+        # NaN) before checking the download/cache catalog entries.
+        try:
+            client_series = parse_prometheus(render_prometheus(default_registry()))
+        except CorruptionError as exc:
+            problems.append(f"client: exposition rejected: {exc}")
+        else:
+            problems.extend(check_client(client_series))
         for node, text in cluster.scrape_all().items():
             node_problems = check_node(node, text)
             status = "FAIL" if node_problems else "ok"

@@ -163,6 +163,7 @@ def _build_client(args, org: OrgState) -> tuple[REEDClient, list[TcpConnection]]
         ),
         scheme=args.scheme,
         chunking=ChunkingSpec(avg_size=args.chunk_size),
+        chunk_cache_bytes=args.chunk_cache_bytes or None,
     )
     return client, connections
 
@@ -178,6 +179,12 @@ def _add_client_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scheme", default="enhanced", choices=["basic", "enhanced"])
     parser.add_argument("--chunk-size", type=int, default=8192)
     parser.add_argument("--key-bits", type=int, default=1024)
+    parser.add_argument(
+        "--chunk-cache-bytes",
+        type=int,
+        default=0,
+        help="client-side trimmed-package read cache budget (0 disables)",
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -267,10 +274,20 @@ def cmd_download(args) -> int:
     org = _load_org(args)
     client, connections = _build_client(args, org)
     try:
-        result = client.download(args.id)
-        with open(args.out, "wb") as handle:
-            handle.write(result.data)
-        print(f"downloaded {args.id!r}: {len(result.data):,} bytes -> {args.out}")
+        # Streams through the restore pipeline: memory stays bounded by
+        # pipeline_depth fetch windows regardless of file size, and an
+        # aborted download leaves no partial file behind.
+        result = client.download_path(args.id, args.out)
+        cache_note = (
+            f", {result.chunk_cache_hits} cache hits"
+            if result.chunk_cache_hits
+            else ""
+        )
+        print(
+            f"downloaded {args.id!r}: {result.size:,} bytes -> {args.out} "
+            f"({result.chunk_count} chunks, "
+            f"{result.store_round_trips} store RPCs{cache_note})"
+        )
         return 0
     finally:
         for conn in connections:
@@ -405,6 +422,26 @@ def cmd_top(args) -> int:
             if errors:
                 line += f"  {errors:.0f} errors"
             print(line)
+        # Client-side restore pipeline, when the endpoint exposes it:
+        # chunk-cache efficiency plus per-stage download span latencies.
+        hits = value("chunk_cache_hits_total")
+        misses = value("chunk_cache_misses_total")
+        if hits is not None or misses is not None:
+            lookups = (hits or 0) + (misses or 0)
+            rate = (hits or 0) / lookups * 100 if lookups else 0.0
+            print(
+                f"  chunk cache: {hits or 0:.0f} hits / {lookups:.0f} lookups "
+                f"({rate:.1f}%), {value('chunk_cache_bytes') or 0:,.0f} bytes "
+                f"resident"
+            )
+        for span in ("download.cache", "download.prefetch", "download.decrypt"):
+            total = value("span_seconds_sum", span=span)
+            calls = value("span_seconds_count", span=span)
+            if total is not None and calls:
+                print(
+                    f"  {span:<28} {calls:>8.0f} spans  "
+                    f"{total / calls * 1000:>9.3f} ms/span"
+                )
     return 0
 
 

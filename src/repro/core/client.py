@@ -23,14 +23,16 @@ caching (in :class:`~repro.mle.server_aided.ServerAidedKeyClient`),
 from __future__ import annotations
 
 import contextvars
+import os
 from collections import deque
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.abe.cpabe import abe_decrypt, abe_encrypt, PrivateAccessKey
 from repro.chunking.chunker import Chunk, ChunkingSpec, chunk_stream
 from repro.core import envelopes
+from repro.core.chunkcache import ChunkCache
 from repro.core.parallel import ChunkTransformPool, default_worker_count
 from repro.core.policy import FilePolicy
 from repro.core.rekey import RekeyResult, RevocationMode
@@ -103,6 +105,30 @@ class DownloadResult:
     data: bytes
     chunk_count: int
     key_version: int
+    #: Plaintext bytes restored.  Equals ``len(data)`` for in-memory
+    #: downloads; streaming surfaces (:meth:`REEDClient.download_to`,
+    #: :meth:`REEDClient.download_path`) leave ``data`` empty and report
+    #: the byte count here.
+    size: int = 0
+    #: Storage-layer round trips this download issued.
+    store_round_trips: int = 0
+    #: Fetch windows that actually hit the storage layer (a fully cached
+    #: window costs zero).
+    fetch_batches: int = 0
+    #: Trimmed packages served from the client-side chunk cache.
+    chunk_cache_hits: int = 0
+    #: Trimmed packages that had to be fetched from storage.
+    chunk_cache_misses: int = 0
+
+
+@dataclass
+class _DownloadStats:
+    """Mutable bag the restore generator fills in as it runs."""
+
+    chunk_count: int = 0
+    key_version: int = 0
+    size: int = 0
+    fetch_batches: int = 0
 
 
 class REEDClient:
@@ -134,6 +160,8 @@ class REEDClient:
         pipeline_depth: int = 2,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        chunk_cache: ChunkCache | None = None,
+        chunk_cache_bytes: int | None = None,
     ) -> None:
         # ``encryption_workers`` is the configured name; ``encryption_threads``
         # survives as a back-compat alias.  Unset -> one worker per CPU
@@ -207,6 +235,13 @@ class REEDClient:
             "client_rekeys_total", "Rekey operations, by revocation mode.",
             labelnames=("mode",),
         )
+        #: Optional client-side read cache of trimmed packages (see
+        #: :mod:`repro.core.chunkcache`).  Pass a :class:`ChunkCache` to
+        #: share one cache across clients, or ``chunk_cache_bytes`` to
+        #: give this client its own.
+        if chunk_cache is None and chunk_cache_bytes is not None:
+            chunk_cache = ChunkCache(chunk_cache_bytes, metrics=self.metrics)
+        self.chunk_cache = chunk_cache
 
     # ------------------------------------------------------------------
     # helpers
@@ -522,10 +557,34 @@ class REEDClient:
     # download
     # ------------------------------------------------------------------
 
-    def download(self, file_id: str, fetch_batch_chunks: int = 512) -> DownloadResult:
-        """Retrieve and decrypt a file; aborts on any tampered chunk."""
+    def _restore(
+        self,
+        file_id: str,
+        fetch_batch_chunks: int,
+        stats: _DownloadStats,
+        scope: obs_scope.AttributionScope,
+    ) -> Iterator[bytes]:
+        """The restore pipeline: yield verified plaintext chunks in order.
+
+        Stages, mirroring the upload pipeline in reverse:
+
+        1. **prefetch** (single worker thread) — cache lookup, then one
+           ``chunk_get_batch`` for the window's misses (the sharded
+           service scatter-gathers it across shards);
+        2. **decrypt** (caller thread) — CAONT inversion fanned out over
+           the process pool, then per-chunk length verification against
+           the recipe.
+
+        Up to ``pipeline_depth`` fetch windows are resident at once (one
+        decrypting plus ``pipeline_depth − 1`` in flight), which is what
+        bounds :meth:`download_path` memory.  Attribution runs through an
+        explicit scope (``obs_scope.using``) rather than the usual
+        context manager because a ContextVar set inside a generator
+        leaks into the caller between yields; no ``using`` block and no
+        tracer span straddles a ``yield``.
+        """
         tracer = self.tracer
-        with tracer.span("download"):
+        with obs_scope.using(scope):
             with tracer.span("download.keystate"):
                 record = self.keystore.get(file_id)
                 state = self._open_key_state(record)
@@ -541,49 +600,251 @@ class REEDClient:
             file_key = self._file_key_at(record, state, recipe.key_version)
             with tracer.span("download.stub"):
                 stubs = decrypt_stub_file(
-                    file_key, self.storage.stub_get(file_id), cipher=self.scheme.cipher
+                    file_key,
+                    self.storage.stub_get(file_id),
+                    cipher=self.scheme.cipher,
                 )
-            if len(stubs) != recipe.chunk_count:
-                raise IntegrityError(
-                    f"stub file holds {len(stubs)} stubs but the recipe lists "
-                    f"{recipe.chunk_count} chunks"
-                )
-            scheme = self.scheme
-            if recipe.scheme != scheme.name:
-                scheme = get_scheme(recipe.scheme, cipher=self.scheme.cipher)
+        if len(stubs) != recipe.chunk_count:
+            raise IntegrityError(
+                f"stub file holds {len(stubs)} stubs but the recipe lists "
+                f"{recipe.chunk_count} chunks"
+            )
+        stats.chunk_count = recipe.chunk_count
+        stats.key_version = state.version
+        scheme = self.scheme
+        if recipe.scheme != scheme.name:
+            scheme = get_scheme(recipe.scheme, cipher=self.scheme.cipher)
+        # The transform pool is bound to the client's configured scheme;
+        # a recipe written under a different scheme decrypts in-process.
+        pooled = scheme is self.scheme
+        cache = self.chunk_cache
+        storage = self.storage
 
-            pieces: list[bytes] = []
-            for start in range(0, recipe.chunk_count, fetch_batch_chunks):
-                window = recipe.chunks[start : start + fetch_batch_chunks]
-                with tracer.span("download.fetch", chunks=len(window)):
-                    packages = self.storage.chunk_get_batch(
-                        [ref.fingerprint for ref in window]
+        def fetch_window(window: tuple[ChunkRef, ...]) -> list[bytes]:
+            """Stage 1: trimmed packages for one window, cache first.
+
+            Runs on the prefetch worker; ``using(scope)`` keeps cache and
+            round-trip counters attributed to this download.
+            """
+            with obs_scope.using(scope):
+                packages: list[bytes | None] = [None] * len(window)
+                misses: dict[bytes, list[int]] = {}
+                if cache is not None:
+                    with tracer.span("download.cache", chunks=len(window)):
+                        for position, ref in enumerate(window):
+                            data = cache.get(ref.fingerprint)
+                            if data is None:
+                                misses.setdefault(ref.fingerprint, []).append(
+                                    position
+                                )
+                            else:
+                                packages[position] = data
+                else:
+                    for position, ref in enumerate(window):
+                        misses.setdefault(ref.fingerprint, []).append(position)
+                if misses:
+                    unique = list(misses)
+                    with tracer.span("download.prefetch", chunks=len(unique)):
+                        fetched = storage.chunk_get_batch(unique)
+                    stats.fetch_batches += 1
+                    for fingerprint, data in zip(unique, fetched):
+                        for position in misses[fingerprint]:
+                            packages[position] = data
+                        if cache is not None:
+                            cache.put(fingerprint, data)
+                return packages
+
+        def decrypt_window(
+            start: int, window: tuple[ChunkRef, ...], packages: list[bytes]
+        ) -> list[bytes]:
+            """Stage 2: invert the scheme and verify lengths, in order."""
+            window_stubs = stubs[start : start + len(window)]
+            with obs_scope.using(scope), tracer.span(
+                "download.decrypt", chunks=len(window)
+            ):
+                if pooled:
+                    chunks = self._transform_pool.decrypt(
+                        list(packages), window_stubs
                     )
-                with tracer.span("download.decrypt", chunks=len(window)):
-                    for position, (ref, trimmed) in enumerate(zip(window, packages)):
-                        chunk = scheme.decrypt_chunk(trimmed, stubs[start + position])
-                        if len(chunk) != ref.length:
-                            raise IntegrityError(
-                                "decrypted chunk length disagrees with the recipe"
-                            )
-                        pieces.append(chunk)
+                else:
+                    chunks = [
+                        scheme.decrypt_chunk(trimmed, stub)
+                        for trimmed, stub in zip(packages, window_stubs)
+                    ]
+            for ref, chunk in zip(window, chunks):
+                if len(chunk) != ref.length:
+                    raise IntegrityError(
+                        "decrypted chunk length disagrees with the recipe"
+                    )
+            return chunks
+
+        windows = [
+            (start, recipe.chunks[start : start + fetch_batch_chunks])
+            for start in range(0, recipe.chunk_count, fetch_batch_chunks)
+        ]
+        total = 0
+        # One window decrypting on this thread plus (pipeline_depth − 1)
+        # in flight on the prefetch worker keeps exactly pipeline_depth
+        # windows resident — the documented memory bound.
+        max_in_flight = max(1, self.pipeline_depth - 1)
+        executor = (
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix="reed-download")
+            if self.pipeline_depth > 1 and len(windows) > 1
+            else None
+        )
+        in_flight: deque[tuple[int, tuple[ChunkRef, ...], Future]] = deque()
+        try:
+            if executor is None:
+                for start, window in windows:
+                    chunks = decrypt_window(start, window, fetch_window(window))
+                    for chunk in chunks:
+                        total += len(chunk)
+                        yield chunk
+            else:
+                pending = iter(windows)
+
+                def submit() -> None:
+                    item = next(pending, None)
+                    if item is not None:
+                        start, window = item
+                        in_flight.append(
+                            (start, window, executor.submit(fetch_window, window))
+                        )
+
+                while len(in_flight) < max_in_flight:
+                    before = len(in_flight)
+                    submit()
+                    if len(in_flight) == before:
+                        break
+                while in_flight:
+                    start, window, future = in_flight.popleft()
+                    packages = future.result()
+                    # Refill before decrypting so the fetch of window
+                    # N+1 overlaps the decrypt of window N.
+                    while len(in_flight) < max_in_flight:
+                        before = len(in_flight)
+                        submit()
+                        if len(in_flight) == before:
+                            break
+                    chunks = decrypt_window(start, window, packages)
+                    for chunk in chunks:
+                        total += len(chunk)
+                        yield chunk
+        finally:
+            while in_flight:
+                in_flight.popleft()[2].cancel()
+            if executor is not None:
+                executor.shutdown(wait=True)
+        if total != recipe.size:
+            raise IntegrityError("reassembled file size disagrees with the recipe")
+        stats.size = total
+
+    def download_iter(
+        self, file_id: str, fetch_batch_chunks: int = 512
+    ) -> Iterator[bytes]:
+        """Stream a file's verified plaintext chunks in recipe order.
+
+        Memory stays bounded by ``pipeline_depth × fetch_batch_chunks``
+        chunks regardless of file size.  Any integrity violation —
+        tampered package, wrong length, missing chunk — raises before
+        the offending chunk is yielded; a short final size raises after
+        the last chunk.
+        """
+        stats = _DownloadStats()
+        scope = obs_scope.AttributionScope(parent=obs_scope.current())
+        yield from self._restore(file_id, fetch_batch_chunks, stats, scope)
+
+    def _download_counters(
+        self,
+        scope: obs_scope.AttributionScope,
+        store_scoped: bool,
+        store_trips_before: int,
+    ) -> dict[str, int]:
+        return {
+            "store_round_trips": scope.get_int("store_round_trips")
+            if store_scoped
+            else getattr(self.storage, "round_trips", 0) - store_trips_before,
+            "chunk_cache_hits": scope.get_int("chunk_cache_hits"),
+            "chunk_cache_misses": scope.get_int("chunk_cache_misses"),
+        }
+
+    def download(self, file_id: str, fetch_batch_chunks: int = 512) -> DownloadResult:
+        """Retrieve and decrypt a file; aborts on any tampered chunk."""
+        tracer = self.tracer
+        stats = _DownloadStats()
+        scope = obs_scope.AttributionScope(parent=obs_scope.current())
+        store_scoped = getattr(self.storage, "supports_attribution", False)
+        store_trips_before = getattr(self.storage, "round_trips", 0)
+        with tracer.span("download"):
+            pieces = list(
+                self._restore(file_id, fetch_batch_chunks, stats, scope)
+            )
             data = b"".join(pieces)
-            if len(data) != recipe.size:
-                raise IntegrityError("reassembled file size disagrees with the recipe")
         self._m_downloads.inc()
         self._m_download_bytes.inc(len(data))
         return DownloadResult(
             file_id=file_id,
             data=data,
-            chunk_count=recipe.chunk_count,
-            key_version=state.version,
+            chunk_count=stats.chunk_count,
+            key_version=stats.key_version,
+            size=stats.size,
+            fetch_batches=stats.fetch_batches,
+            **self._download_counters(scope, store_scoped, store_trips_before),
         )
 
-    def download_path(self, file_id: str, path: str) -> DownloadResult:
-        """Download a file and write its contents to ``path``."""
-        result = self.download(file_id)
-        with open(path, "wb") as handle:
-            handle.write(result.data)
+    def download_to(
+        self, file_id: str, sink, fetch_batch_chunks: int = 512
+    ) -> DownloadResult:
+        """Stream a file into a writable ``sink`` (``write(bytes)``).
+
+        The streaming twin of :meth:`download`: same pipeline, same
+        integrity guarantees, but chunks are written out as they verify
+        instead of accumulating, so memory stays bounded by
+        ``pipeline_depth`` fetch windows.  ``data`` in the result is
+        empty; ``size`` reports the bytes written.
+        """
+        tracer = self.tracer
+        stats = _DownloadStats()
+        scope = obs_scope.AttributionScope(parent=obs_scope.current())
+        store_scoped = getattr(self.storage, "supports_attribution", False)
+        store_trips_before = getattr(self.storage, "round_trips", 0)
+        with tracer.span("download"):
+            for chunk in self._restore(file_id, fetch_batch_chunks, stats, scope):
+                sink.write(chunk)
+        self._m_downloads.inc()
+        self._m_download_bytes.inc(stats.size)
+        return DownloadResult(
+            file_id=file_id,
+            data=b"",
+            chunk_count=stats.chunk_count,
+            key_version=stats.key_version,
+            size=stats.size,
+            fetch_batches=stats.fetch_batches,
+            **self._download_counters(scope, store_scoped, store_trips_before),
+        )
+
+    def download_path(
+        self, file_id: str, path: str, fetch_batch_chunks: int = 512
+    ) -> DownloadResult:
+        """Download a file to ``path`` without materializing it in RAM.
+
+        Writes through :meth:`download_to` into ``path + ".part"`` and
+        renames into place only after the final size check passes, so an
+        aborted download never leaves a partial file at ``path``.
+        """
+        partial = path + ".part"
+        try:
+            with open(partial, "wb") as handle:
+                result = self.download_to(
+                    file_id, handle, fetch_batch_chunks=fetch_batch_chunks
+                )
+        except BaseException:
+            try:
+                os.remove(partial)
+            except OSError:
+                pass
+            raise
+        os.replace(partial, path)
         return result
 
     # ------------------------------------------------------------------

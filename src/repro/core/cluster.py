@@ -121,13 +121,22 @@ class TcpCluster:
         upload_batch_bytes: int | None = None,
         pipeline_depth: int = 2,
         encryption_workers: int | None = None,
+        chunk_cache_bytes: int | None = None,
+        fetch_workers: int | None = None,
     ) -> REEDClient:
-        """Enroll a user and build a client wired entirely over TCP."""
+        """Enroll a user and build a client wired entirely over TCP.
+
+        ``fetch_workers`` bounds the scatter-gather pool the client's
+        sharded storage uses for concurrent per-shard sub-fetches (1
+        forces serial fetches); ``chunk_cache_bytes`` enables the
+        client-side trimmed-package read cache.
+        """
         storage = ShardedStorageService(
             [
                 RemoteStorageService(self._connect(address))
                 for address in self.storage_addresses
-            ]
+            ],
+            fetch_workers=fetch_workers,
         )
         key_client = ServerAidedKeyClient(
             RemoteKeyManagerChannel(self._connect(self.key_manager_address)),
@@ -157,6 +166,7 @@ class TcpCluster:
             chunking=self.chunking,
             pipeline_depth=pipeline_depth,
             encryption_workers=encryption_workers,
+            chunk_cache_bytes=chunk_cache_bytes,
             rng=self._rng,
             **kwargs,
         )

@@ -76,6 +76,28 @@ def _encrypt_batch(
     return [scheme.encrypt_chunk(chunk, mle_key) for chunk, mle_key in pairs]
 
 
+def _decrypt_batch(
+    scheme_name: str,
+    cipher_name: str,
+    stub_size: int,
+    pairs: list[tuple[bytes, bytes]],
+) -> list[bytes]:
+    """Worker entry point: invert ``(trimmed_package, stub)`` pairs.
+
+    Integrity failures (tampered package) raise
+    :class:`~repro.util.errors.IntegrityError`, which pickles back to the
+    client intact.
+    """
+    spec = (scheme_name, cipher_name, stub_size)
+    scheme = _WORKER_SCHEMES.get(spec)
+    if scheme is None:
+        scheme = get_scheme(
+            scheme_name, cipher=get_cipher(cipher_name), stub_size=stub_size
+        )
+        _WORKER_SCHEMES[spec] = scheme
+    return [scheme.decrypt_chunk(trimmed, stub) for trimmed, stub in pairs]
+
+
 # -- client side -------------------------------------------------------------
 
 
@@ -220,3 +242,51 @@ class ChunkTransformPool:
             return self._encrypt_serial(chunks, mle_keys)
         self.parallel_batches += 1
         return [package for batch in results for package in batch]
+
+    def _decrypt_serial(
+        self, trimmed: list[bytes], stubs: list[bytes]
+    ) -> list[bytes]:
+        decrypt = self.scheme.decrypt_chunk
+        return [decrypt(package, stub) for package, stub in zip(trimmed, stubs)]
+
+    def decrypt(self, trimmed: list[bytes], stubs: list[bytes]) -> list[bytes]:
+        """Invert split packages back to plaintext chunks, preserving order.
+
+        Mirrors :meth:`encrypt`: serial below the parallel threshold,
+        contiguous spans per worker above it, futures consumed in
+        submission order so the earliest tampered chunk raises first —
+        the abort is deterministic regardless of worker scheduling.
+        """
+        if len(trimmed) != len(stubs):
+            raise ConfigurationError(
+                f"{len(trimmed)} trimmed packages but {len(stubs)} stubs"
+            )
+        total = sum(len(package) for package in trimmed)
+        if (
+            self.workers == 1
+            or len(trimmed) < 2
+            or (self._spec is not None and total < self.min_parallel_bytes)
+        ):
+            self.serial_batches += 1
+            return self._decrypt_serial(trimmed, stubs)
+        executor = self._get_executor()
+        if not self._executor_is_process:
+            self.parallel_batches += 1
+            return list(executor.map(self.scheme.decrypt_chunk, trimmed, stubs))
+        spec = self._spec
+        span = max(1, -(-len(trimmed) // self.workers))
+        futures = []
+        for start in range(0, len(trimmed), span):
+            pairs = list(
+                zip(trimmed[start : start + span], stubs[start : start + span])
+            )
+            futures.append(executor.submit(_decrypt_batch, *spec, pairs))
+        try:
+            results = [future.result() for future in futures]
+        except BrokenProcessPool:  # pragma: no cover - worker crash
+            self.close()
+            self._spec = None
+            self.serial_batches += 1
+            return self._decrypt_serial(trimmed, stubs)
+        self.parallel_batches += 1
+        return [chunk for batch in results for chunk in batch]

@@ -10,6 +10,9 @@ for tests, examples, and experiments) or **over TCP** (see
 
 from __future__ import annotations
 
+import contextvars
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.abe.cpabe import AttributeAuthority
@@ -31,7 +34,7 @@ from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.storage.backend import MemoryBackend
 from repro.storage.datastore import DataStore, DataStoreStats
 from repro.storage.keystore import KeyStore
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, NotFoundError
 
 #: RSA modulus size used by default in tests and experiments.  The paper
 #: uses 1024-bit RSA; 512 bits keeps in-process experiment setup fast
@@ -59,13 +62,23 @@ class ShardedStorageService:
         self,
         services: list[StorageService],
         metrics: MetricsRegistry | None = None,
+        fetch_workers: int | None = None,
     ) -> None:
         if not services:
             raise ConfigurationError("need at least one storage service")
         self._services = services
         #: Sub-service calls issued — each is one RPC round trip when the
-        #: services are remote stubs.
+        #: services are remote stubs.  Bumped from pool threads during
+        #: scatter-gather, hence the lock.
         self.round_trips = 0
+        self._trip_lock = threading.Lock()
+        if fetch_workers is None:
+            fetch_workers = min(len(services), 8)
+        if fetch_workers < 1:
+            raise ConfigurationError("need at least one fetch worker")
+        self.fetch_workers = fetch_workers
+        self._fetch_pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
         # Mirrored into the registry (process totals + per-shard routing)
         # and the active attribution scope (per-upload deltas).
         self.metrics = metrics if metrics is not None else default_registry()
@@ -80,10 +93,27 @@ class ShardedStorageService:
         )
 
     def _trip(self, shard: int) -> None:
-        self.round_trips += 1
+        with self._trip_lock:
+            self.round_trips += 1
         self._m_trips.inc()
         self._m_shard.labels(shard=str(shard)).inc()
         obs_scope.add("store_round_trips")
+
+    def _get_fetch_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._fetch_pool is None:
+                self._fetch_pool = ThreadPoolExecutor(
+                    max_workers=self.fetch_workers,
+                    thread_name_prefix="reed-fetch",
+                )
+            return self._fetch_pool
+
+    def close(self) -> None:
+        """Reap the scatter-gather pool; it restarts lazily on next use."""
+        with self._pool_lock:
+            pool, self._fetch_pool = self._fetch_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def _index_for(self, fingerprint: bytes) -> int:
         return int.from_bytes(fingerprint[:8], "big") % len(self._services)
@@ -142,15 +172,46 @@ class ShardedStorageService:
         return statuses
 
     def chunk_get_batch(self, fingerprints: list[bytes]) -> list[bytes]:
-        # Group by shard, fetch per shard, then restore request order.
+        # Scatter-gather: group by shard, issue all per-shard sub-fetches
+        # concurrently, then restore request order by position.  Counters
+        # and attribution scopes are preserved by running each sub-fetch
+        # under a copy of the caller's context.
         results: list[bytes | None] = [None] * len(fingerprints)
-        for index, positions in self._group_positions(fingerprints).items():
+        groups = self._group_positions(fingerprints)
+
+        def fetch(index: int, positions: list[int]) -> list[bytes]:
             self._trip(index)
-            fetched = self._services[index].chunk_get_batch(
+            return self._services[index].chunk_get_batch(
                 [fingerprints[p] for p in positions]
             )
-            for position, data in zip(positions, fetched):
-                results[position] = data
+
+        if len(groups) <= 1 or self.fetch_workers == 1:
+            for index, positions in groups.items():
+                for position, data in zip(positions, fetch(index, positions)):
+                    results[position] = data
+        else:
+            pool = self._get_fetch_pool()
+            ordered = list(groups.items())
+            futures = [
+                pool.submit(
+                    contextvars.copy_context().run, fetch, index, positions
+                )
+                for index, positions in ordered
+            ]
+            for (index, positions), future in zip(ordered, futures):
+                for position, data in zip(positions, future.result()):
+                    results[position] = data
+        missing = [
+            fingerprints[position]
+            for position, data in enumerate(results)
+            if data is None
+        ]
+        if missing:
+            shown = ", ".join(fp.hex() for fp in missing[:8])
+            suffix = "" if len(missing) <= 8 else f" (+{len(missing) - 8} more)"
+            raise NotFoundError(
+                f"{len(missing)} chunk(s) missing from storage: {shown}{suffix}"
+            )
         return [data for data in results if data is not None]
 
     def chunk_release_batch(self, fingerprints: list[bytes]) -> None:
@@ -236,6 +297,7 @@ class ReedSystem:
         scheme: str | None = None,
         encryption_threads: int | None = None,
         encryption_workers: int | None = None,
+        chunk_cache_bytes: int | None = None,
     ) -> REEDClient:
         """Enroll a user and build their client.
 
@@ -244,6 +306,8 @@ class ReedSystem:
         caching, mirroring the paper's cache on/off experiments).
         ``encryption_workers`` defaults to one worker per CPU (capped);
         ``encryption_threads`` is its back-compat alias.
+        ``chunk_cache_bytes`` enables the client-side trimmed-package
+        read cache (None disables it).
         """
         if owner and user_id in self._owners:
             raise ConfigurationError(f"user {user_id!r} already enrolled as owner")
@@ -271,6 +335,7 @@ class ReedSystem:
             chunking=self.chunking,
             encryption_threads=encryption_threads,
             encryption_workers=encryption_workers,
+            chunk_cache_bytes=chunk_cache_bytes,
             rng=self.rng,
         )
 

@@ -84,3 +84,23 @@ def attribution():
         yield scope
     finally:
         _CURRENT.reset(token)
+
+
+@contextmanager
+def using(scope: AttributionScope):
+    """Install an *existing* scope as the active one for a block.
+
+    :func:`attribution` covers the common case — one ``with`` block, one
+    operation.  Generator-driven pipelines cannot use it: a ContextVar
+    set inside a generator body leaks into whatever context the caller
+    resumes the generator from.  Such code creates the scope object
+    explicitly and wraps each contiguous (non-yielding) stretch of work
+    — including closures handed to worker threads — in ``using(scope)``,
+    so every increment lands in the operation's scope and nothing leaks
+    past a ``yield``.
+    """
+    token = _CURRENT.set(scope)
+    try:
+        yield scope
+    finally:
+        _CURRENT.reset(token)

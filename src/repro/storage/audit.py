@@ -202,8 +202,22 @@ class FileAuditor:
         root, fingerprints = entry
         challenge = make_challenge(file_id, len(fingerprints), sample_size, self._rng)
 
+        # One batched fetch for every sampled chunk (dedup repeats) —
+        # the audit costs one storage round trip instead of one per
+        # sampled fingerprint.
+        wanted: list[bytes] = []
+        seen: set[bytes] = set()
+        for position in challenge.positions:
+            fingerprint = fingerprints[position]
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                wanted.append(fingerprint)
+        fetched = dict(
+            zip(wanted, self._storage.chunk_get_batch(wanted))
+        ) if wanted else {}
+
         def fetch(fingerprint: bytes) -> bytes:
-            return self._storage.chunk_get_batch([fingerprint])[0]
+            return fetched[fingerprint]
 
         response = prove(challenge, fingerprints, fetch)
         verify(root, challenge, response)

@@ -115,6 +115,12 @@ class DataStore:
     def get_chunk(self, fingerprint: bytes) -> bytes:
         return self.containers.read(self.index.lookup(fingerprint))
 
+    def get_many(self, fingerprints: list[bytes]) -> list[bytes]:
+        """Read many chunks in order — one multi-chunk message of the
+        batched download protocol.  Raises on the first missing
+        fingerprint, like per-chunk reads."""
+        return [self.get_chunk(fp) for fp in fingerprints]
+
     def release_chunk(self, fingerprint: bytes) -> None:
         """Drop one reference; reclaims container space when possible.
 

@@ -10,8 +10,15 @@ recipes/stub files by file identifier.
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
 from repro.storage.datastore import DataStore, DataStoreStats
 from repro.util.errors import ConfigurationError
+
+#: Upper bound on the scatter-gather pool: reads fan out one task per
+#: shard touched, and more threads than shards never helps.
+DEFAULT_FETCH_WORKERS = 8
 
 
 class ShardedDataStore:
@@ -22,10 +29,19 @@ class ShardedDataStore:
     against each other exactly as with a single server.
     """
 
-    def __init__(self, shards: list[DataStore]) -> None:
+    def __init__(
+        self, shards: list[DataStore], fetch_workers: int | None = None
+    ) -> None:
         if not shards:
             raise ConfigurationError("need at least one data-store shard")
         self._shards = shards
+        if fetch_workers is None:
+            fetch_workers = min(len(shards), DEFAULT_FETCH_WORKERS)
+        if fetch_workers < 1:
+            raise ConfigurationError("need at least one fetch worker")
+        self.fetch_workers = fetch_workers
+        self._fetch_pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
 
     @property
     def shards(self) -> list[DataStore]:
@@ -84,6 +100,56 @@ class ShardedDataStore:
 
     def get_chunk(self, fingerprint: bytes) -> bytes:
         return self.shard_for_chunk(fingerprint).get_chunk(fingerprint)
+
+    def _get_fetch_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._fetch_pool is None:
+                self._fetch_pool = ThreadPoolExecutor(
+                    max_workers=self.fetch_workers,
+                    thread_name_prefix="shard-fetch",
+                )
+            return self._fetch_pool
+
+    def close(self) -> None:
+        """Reap the scatter-gather pool; it restarts lazily on next use."""
+        with self._pool_lock:
+            pool, self._fetch_pool = self._fetch_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def get_many(self, fingerprints: list[bytes]) -> list[bytes]:
+        """Read many chunks, sub-fetching the shards concurrently.
+
+        One ``get_many`` sub-batch per shard touched, issued in parallel
+        on a bounded pool (scatter), results restored to request order by
+        position (gather).  A missing fingerprint raises the shard's
+        :class:`~repro.util.errors.NotFoundError` — the first one in
+        shard-group order, deterministically.
+        """
+        groups: dict[int, list[int]] = {}
+        for position, fp in enumerate(fingerprints):
+            groups.setdefault(self.shard_index(fp), []).append(position)
+        results: list[bytes | None] = [None] * len(fingerprints)
+
+        def fetch(index: int, positions: list[int]) -> list[bytes]:
+            return self._shards[index].get_many(
+                [fingerprints[p] for p in positions]
+            )
+
+        ordered = list(groups.items())
+        if len(ordered) <= 1 or self.fetch_workers == 1:
+            answer_sets = [fetch(index, positions) for index, positions in ordered]
+        else:
+            pool = self._get_fetch_pool()
+            futures = [
+                pool.submit(fetch, index, positions)
+                for index, positions in ordered
+            ]
+            answer_sets = [future.result() for future in futures]
+        for (index, positions), answers in zip(ordered, answer_sets):
+            for position, data in zip(positions, answers):
+                results[position] = data
+        return [data for data in results if data is not None]
 
     def release_chunk(self, fingerprint: bytes) -> None:
         self.shard_for_chunk(fingerprint).release_chunk(fingerprint)

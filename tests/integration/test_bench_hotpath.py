@@ -18,7 +18,7 @@ REPO_ROOT = os.path.dirname(
 )
 BENCH = os.path.join(REPO_ROOT, "benchmarks", "bench_hotpath.py")
 
-EXPECTED_FAMILIES = {"chunking", "ctr", "caont", "upload", "upload_tcp"}
+EXPECTED_FAMILIES = {"chunking", "ctr", "caont", "upload", "upload_tcp", "download_tcp"}
 
 #: Per-family baseline row (the oracle each speedup is computed against).
 REFERENCE_ROWS = {
@@ -27,15 +27,25 @@ REFERENCE_ROWS = {
     "caont": "caont/reference",
     "upload": "upload/reference",
     "upload_tcp": "upload_tcp/per_chunk",
+    "download_tcp": "download_tcp/serial",
 }
 
 THROUGHPUT_KEYS = {"name", "bytes", "seconds", "mib_per_s"}
-#: The TCP scenario additionally records protocol round trips per layer.
+#: The TCP upload scenario additionally records round trips per layer.
 ROUND_TRIP_KEYS = THROUGHPUT_KEYS | {
     "chunks",
     "key_round_trips",
     "store_round_trips",
     "upload_batches",
+}
+#: The TCP download scenario records restore-pipeline counters instead.
+DOWNLOAD_KEYS = THROUGHPUT_KEYS | {
+    "chunks",
+    "store_round_trips",
+    "fetch_batches",
+    "chunk_cache_hits",
+    "chunk_cache_misses",
+    "cache_hit_rate",
 }
 
 
@@ -67,11 +77,12 @@ def test_quick_bench_runs_and_writes_valid_report(tmp_path):
     assert recorded == {r["name"] for r in report["results"]}
     assert isinstance(report["results"], list) and report["results"]
     for result in report["results"]:
-        expected_keys = (
-            ROUND_TRIP_KEYS
-            if result["name"].startswith("upload_tcp/")
-            else THROUGHPUT_KEYS
-        )
+        if result["name"].startswith("upload_tcp/"):
+            expected_keys = ROUND_TRIP_KEYS
+        elif result["name"].startswith("download_tcp/"):
+            expected_keys = DOWNLOAD_KEYS
+        else:
+            expected_keys = THROUGHPUT_KEYS
         assert set(result) == expected_keys
         assert result["bytes"] > 0
         assert result["seconds"] > 0
@@ -90,3 +101,17 @@ def test_quick_bench_runs_and_writes_valid_report(tmp_path):
     batched = by_name["upload_tcp/batched"]
     assert batched["key_round_trips"] < per_chunk["key_round_trips"]
     assert batched["store_round_trips"] < per_chunk["store_round_trips"]
+    # The restore pipeline's defining wins: the warm-cache pass serves
+    # every chunk locally (no chunk fetch RPCs at all), and every
+    # configuration restored bit-identical plaintext (the bench asserts
+    # the bytes itself and fails the subprocess otherwise).
+    serial_dl = by_name["download_tcp/serial"]
+    pipelined_dl = by_name["download_tcp/pipelined"]
+    assert serial_dl["store_round_trips"] >= serial_dl["chunks"]
+    assert pipelined_dl["store_round_trips"] < serial_dl["store_round_trips"]
+    assert pipelined_dl["fetch_batches"] < serial_dl["fetch_batches"]
+    cache_warm = by_name["download_tcp/cache_warm"]
+    assert cache_warm["fetch_batches"] == 0
+    assert cache_warm["chunk_cache_misses"] == 0
+    assert cache_warm["cache_hit_rate"] >= 0.9
+    assert cache_warm["chunk_cache_hits"] == cache_warm["chunks"]
