@@ -17,7 +17,12 @@ Measures the four layers the acceleration pass touches —
   cluster: serial fetch/decrypt vs. the parallel restore pipeline
   (shard scatter-gather + process-pool CAONT inversion + prefetch
   overlap), plus a warm-chunk-cache pass that serves every trimmed
-  package locally —
+  package locally;
+* **rekey_tcp** — active group rekey over a 4-shard localhost TCP
+  cluster: the serial per-file reference path (~5 round trips per
+  member file) vs. the batched rekey pipeline (one batch RPC per stage
+  per window plus parallel stub re-encryption), recording store and
+  keystore round trips alongside wall time —
 
 and writes machine-readable ``BENCH_hotpath.json`` at the repo root so
 future PRs can track the perf trajectory.  Run it directly::
@@ -370,6 +375,82 @@ def bench_download_tcp(file_bytes: int, repeats: int, seed: int) -> list[dict]:
     return results
 
 
+def bench_rekey_tcp(
+    group_files: int, file_bytes: int, batch_size: int, repeats: int, seed: int
+) -> list[dict]:
+    """Active group rekey over localhost TCP: serial vs. pipelined.
+
+    One owner builds a group of ``group_files`` member files on a
+    4-shard cluster, then revokes access twice per timed repeat style:
+
+    * ``serial`` — the per-file reference path: each member costs a
+      keystore get, a recipe get, a stub get, a stub put, a recipe put,
+      and a keystore put (~5 storage/keystore round trips per file);
+    * ``pipelined`` — the batched :class:`RekeyPipeline`: member files
+      travel in windows of ``batch_size``, one batch RPC per stage per
+      window, stub re-encryption fanned out across the rekey workers.
+
+    Every repeat performs a real ACTIVE rekey (key regression makes
+    them repeatable — each run just winds the group chain one version
+    further), so both rows pay identical crypto and differ only in
+    round-trip structure.  As with the other ``*_tcp`` families,
+    loopback RTT undersells the win; the latency-independent evidence
+    is the recorded ``store_round_trips`` / ``keystore_round_trips``.
+    """
+    from repro.chunking.chunker import ChunkingSpec
+    from repro.core.cluster import TcpCluster
+    from repro.core.groups import GroupManager
+    from repro.core.policy import FilePolicy
+    from repro.core.rekey import RevocationMode
+
+    rng = _seed_rng("bench-rekey-tcp", seed)
+    chunking = ChunkingSpec(method="fixed", avg_size=4096)
+    group_id = "bench-rekey-group"
+    policy = FilePolicy.for_users(["bench-rekey-owner", "bench-rekey-reader"])
+    results = []
+    with TcpCluster(num_data_servers=4, chunking=chunking, rng=rng) as cluster:
+        owner = cluster.new_client(
+            "bench-rekey-owner", rekey_batch_size=batch_size
+        )
+        groups = GroupManager(owner)
+        groups.create_group(group_id, policy)
+        for index in range(group_files):
+            groups.upload(
+                group_id, f"bench-rekey-{index}", rng.random_bytes(file_bytes)
+            )
+        for label, pipelined in (("serial", False), ("pipelined", True)):
+            state = {"last": None}
+
+            def run(pipelined=pipelined, state=state):
+                state["last"] = groups.rekey(
+                    group_id, policy, RevocationMode.ACTIVE, pipelined=pipelined
+                )
+
+            seconds = _time(run, repeats, f"rekey_tcp/{label}")
+            rekey = state["last"]
+            if rekey.files_rewrapped != group_files:
+                raise AssertionError(
+                    f"rekey_tcp/{label}: rewrapped {rekey.files_rewrapped} "
+                    f"of {group_files} member files"
+                )
+            results.append(
+                {
+                    "name": f"rekey_tcp/{label}",
+                    "bytes": rekey.stub_bytes_reencrypted,
+                    "seconds": seconds,
+                    "mib_per_s": _mib_per_s(rekey.stub_bytes_reencrypted, seconds),
+                    "files": rekey.files_rewrapped,
+                    "store_round_trips": rekey.store_round_trips,
+                    "keystore_round_trips": rekey.keystore_round_trips,
+                    "batches": rekey.batches,
+                    "workers": rekey.workers,
+                    "abe_operations": rekey.abe_operations,
+                }
+            )
+        owner.close()
+    return results
+
+
 def compute_speedups(results: list[dict]) -> dict[str, float]:
     """Accelerated-over-reference ratios per benchmark family."""
     by_name = {r["name"]: r for r in results}
@@ -381,6 +462,7 @@ def compute_speedups(results: list[dict]) -> dict[str, float]:
         ("upload", "upload/reference", ("upload/accelerated",)),
         ("upload_tcp", "upload_tcp/per_chunk", ("upload_tcp/batched",)),
         ("download_tcp", "download_tcp/serial", ("download_tcp/pipelined",)),
+        ("rekey_tcp", "rekey_tcp/serial", ("rekey_tcp/pipelined",)),
     )
     for family, ref_name, fast_names in pairs:
         ref = by_name.get(ref_name)
@@ -401,6 +483,7 @@ def run(quick: bool, seed: int = 0) -> dict:
         upload_bytes = 64 * 1024
         tcp_bytes = 64 * 1024
         download_bytes = 64 * 1024
+        rekey = (8, 8 * 1024, 4)  # files, bytes/file, pipeline batch size
         repeats = 1
     else:
         chunk_data = rng.random_bytes(4 * 1024 * 1024)
@@ -412,6 +495,9 @@ def run(quick: bool, seed: int = 0) -> dict:
         # serial row then pays one store round trip per chunk while the
         # pipeline pays a handful per file.
         download_bytes = 512 * 1024
+        # The ISSUE's acceptance scenario: a 64-file group over 4
+        # shards, rekeyed in windows of 16 (4 batches per stage).
+        rekey = (64, 16 * 1024, 16)
         repeats = 3
 
     results: list[dict] = []
@@ -421,6 +507,7 @@ def run(quick: bool, seed: int = 0) -> dict:
     results.extend(bench_upload(upload_bytes, repeats, seed))
     results.extend(bench_upload_tcp(tcp_bytes, repeats, seed))
     results.extend(bench_download_tcp(download_bytes, repeats, seed))
+    results.extend(bench_rekey_tcp(*rekey, repeats, seed))
     return {
         "schema": SCHEMA,
         "quick": quick,

@@ -24,6 +24,9 @@ sys.path.insert(
 
 from repro.chunking.chunker import ChunkingSpec  # noqa: E402
 from repro.core.cluster import TcpCluster  # noqa: E402
+from repro.core.groups import GroupManager  # noqa: E402
+from repro.core.policy import FilePolicy  # noqa: E402
+from repro.core.rekey import RevocationMode  # noqa: E402
 from repro.crypto.drbg import HmacDrbg  # noqa: E402
 from repro.obs.expo import parse_prometheus, render_prometheus  # noqa: E402
 from repro.obs.metrics import default_registry  # noqa: E402
@@ -44,9 +47,19 @@ REQUIRED_ON_EVERY_NODE = (
 REQUIRED_METHODS = {
     "storage-0": ("storage.put_many", "storage.flush", "storage.get"),
     "storage-1": ("storage.put_many", "storage.flush", "storage.get"),
-    "keystore": ("keystore.put",),
+    "keystore": ("keystore.put", "keystore.get_many", "keystore.put_many"),
     "key-manager": ("km.public_key", "km.derive_batch"),
 }
+
+#: Rekey batch RPCs that must have fired on at least one storage node.
+#: The sharded store only contacts shards that hold batch items, so a
+#: small group need not touch every shard — the union is the invariant.
+REQUIRED_ON_ANY_STORAGE = (
+    "storage.recipe_get_many",
+    "storage.recipe_put_many",
+    "storage.stub_get_many",
+    "storage.stub_put_many",
+)
 
 #: Client-side counters the download pipeline must have populated.
 REQUIRED_CLIENT_COUNTERS = (
@@ -56,11 +69,23 @@ REQUIRED_CLIENT_COUNTERS = (
     "chunk_cache_misses_total",
 )
 
-#: Per-stage restore-pipeline spans that must have recorded latencies.
+#: Rekey counters the group rekey must have populated (name, labels).
+REQUIRED_CLIENT_REKEY_SERIES = (
+    ("client_rekey_files_total", (("mode", "active"),)),
+    ("client_rekey_batches_total", ()),
+    ("client_rekey_stub_bytes_total", ()),
+)
+
+#: Per-stage restore- and rekey-pipeline spans that must have recorded
+#: latencies.
 REQUIRED_CLIENT_SPANS = (
     "download.cache",
     "download.prefetch",
     "download.decrypt",
+    "rekey.group",
+    "rekey.fetch",
+    "rekey.reencrypt",
+    "rekey.ship",
 )
 
 
@@ -73,6 +98,13 @@ def check_client(series: dict) -> list[str]:
             problems.append(f"client: missing series {required}")
         elif value <= 0 and required != "chunk_cache_misses_total":
             problems.append(f"client: {required} is {value}")
+    for name, labels in REQUIRED_CLIENT_REKEY_SERIES:
+        value = series.get((name, frozenset(labels)))
+        label_text = ",".join(f"{k}={v}" for k, v in labels)
+        if value is None:
+            problems.append(f"client: missing series {name}{{{label_text}}}")
+        elif value <= 0:
+            problems.append(f"client: {name}{{{label_text}}} is {value}")
     for span in REQUIRED_CLIENT_SPANS:
         count = series.get(
             ("span_seconds_count", frozenset({("span", span)})), 0.0
@@ -141,6 +173,34 @@ def main() -> int:
             print(
                 f"FAIL: warm download hit the cache {warm.chunk_cache_hits} "
                 f"times for {warm.chunk_count} chunks",
+                file=sys.stderr,
+            )
+            return 1
+
+        # A group rekey drives the batched rekey pipeline: keystore
+        # get_many/put_many, per-shard stub/recipe batch RPCs, and the
+        # client's rekey spans and counters.
+        groups = GroupManager(client)
+        groups.create_group(
+            "gate-group", FilePolicy.for_users(["gate-user", "gate-reader"])
+        )
+        for index in range(4):
+            groups.upload(
+                "gate-group", f"gate-member-{index}", rng.random_bytes(4 * 4096)
+            )
+        rekey = groups.revoke_users(
+            "gate-group", {"gate-reader"}, RevocationMode.ACTIVE
+        )
+        print(
+            f"rekeyed group of {rekey.files_rewrapped} files in "
+            f"{rekey.batches} batches ({rekey.store_round_trips} store + "
+            f"{rekey.keystore_round_trips} keystore round trips, "
+            f"{rekey.stub_bytes_reencrypted:,} stub bytes)"
+        )
+        if rekey.files_rewrapped != 4 or rekey.batches < 1:
+            print(
+                f"FAIL: group rekey rewrapped {rekey.files_rewrapped} files "
+                f"in {rekey.batches} batches",
                 file=sys.stderr,
             )
             return 1

@@ -164,6 +164,7 @@ def _build_client(args, org: OrgState) -> tuple[REEDClient, list[TcpConnection]]
         scheme=args.scheme,
         chunking=ChunkingSpec(avg_size=args.chunk_size),
         chunk_cache_bytes=args.chunk_cache_bytes or None,
+        rekey_workers=args.rekey_workers or None,
     )
     return client, connections
 
@@ -184,6 +185,13 @@ def _add_client_args(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=0,
         help="client-side trimmed-package read cache budget (0 disables)",
+    )
+    parser.add_argument(
+        "--rekey-workers",
+        type=int,
+        default=0,
+        help="stub re-encryption workers for batched rekeying "
+        "(0 = one per CPU, capped)",
     )
 
 
@@ -304,7 +312,9 @@ def cmd_revoke(args) -> int:
             f"rekeyed {args.id!r} ({mode.value}): key "
             f"v{result.old_key_version} -> v{result.new_key_version}, "
             f"new policy {result.new_policy_text}, "
-            f"{result.stub_bytes_reencrypted:,} stub bytes moved"
+            f"{result.stub_bytes_reencrypted:,} stub bytes moved, "
+            f"{result.store_round_trips} store + "
+            f"{result.keystore_round_trips} keystore round trips"
         )
         return 0
     finally:
@@ -340,7 +350,10 @@ def cmd_group(args) -> int:
                 f"group {args.group!r} rekeyed ({mode.value}): "
                 f"v{result.old_group_version} -> v{result.new_group_version}, "
                 f"{result.files_rewrapped} files re-wrapped with "
-                f"{result.abe_operations} policy encryption"
+                f"{result.abe_operations} policy encryption in "
+                f"{result.batches} pipeline batches "
+                f"({result.store_round_trips} store + "
+                f"{result.keystore_round_trips} keystore round trips)"
             )
         return 0
     finally:

@@ -33,12 +33,25 @@ from repro.abe.cpabe import abe_decrypt, abe_encrypt, PrivateAccessKey
 from repro.chunking.chunker import Chunk, ChunkingSpec, chunk_stream
 from repro.core import envelopes
 from repro.core.chunkcache import ChunkCache
-from repro.core.parallel import ChunkTransformPool, default_worker_count
+from repro.core.parallel import (
+    ChunkTransformPool,
+    StubRekeyPool,
+    default_worker_count,
+)
 from repro.core.policy import FilePolicy
-from repro.core.rekey import RekeyResult, RevocationMode
+from repro.core.rekey import RekeyManyResult, RekeyResult, RevocationMode
+from repro.core.rekeypipe import (
+    DEFAULT_REKEY_BATCH_SIZE,
+    FileRekeyPlan,
+    RekeyPipeline,
+)
 from repro.core.schemes import EncryptionScheme, SplitPackage, get_scheme
 from repro.core.server import StorageService
-from repro.core.stubs import decrypt_stub_file, encrypt_stub_file
+from repro.core.stubs import (
+    STUB_NONCE_SIZE,
+    decrypt_stub_file,
+    encrypt_stub_file,
+)
 from repro.crypto.cipher import SymmetricCipher
 from repro.crypto.drbg import SYSTEM_RANDOM, RandomSource
 from repro.crypto.rsa import RSAPublicKey
@@ -162,6 +175,8 @@ class REEDClient:
         tracer: Tracer | None = None,
         chunk_cache: ChunkCache | None = None,
         chunk_cache_bytes: int | None = None,
+        rekey_workers: int | None = None,
+        rekey_batch_size: int = DEFAULT_REKEY_BATCH_SIZE,
     ) -> None:
         # ``encryption_workers`` is the configured name; ``encryption_threads``
         # survives as a back-compat alias.  Unset -> one worker per CPU
@@ -200,6 +215,17 @@ class REEDClient:
         self._transform_pool = ChunkTransformPool(
             self.scheme, workers=encryption_workers
         )
+        if rekey_batch_size < 1:
+            raise ConfigurationError("rekey batch size must be at least 1")
+        #: Files per rekey-pipeline window — one batch RPC per stage per
+        #: window (see :mod:`repro.core.rekeypipe`).
+        self.rekey_batch_size = rekey_batch_size
+        self._stub_rekey_pool = StubRekeyPool(
+            cipher=self.scheme.cipher,
+            workers=rekey_workers,
+            default_stub_size=self.scheme.stub_size,
+        )
+        self.rekey_workers = self._stub_rekey_pool.workers
         self.rng = rng or SYSTEM_RANDOM
         #: When set, pathnames are obfuscated with this salt before they
         #: reach the recipe (paper Section IV-D: "we can obfuscate
@@ -234,6 +260,19 @@ class REEDClient:
         self._m_rekeys = self.metrics.counter(
             "client_rekeys_total", "Rekey operations, by revocation mode.",
             labelnames=("mode",),
+        )
+        self._m_rekey_files = self.metrics.counter(
+            "client_rekey_files_total",
+            "Files rekeyed (per file, including pipelined batches).",
+            labelnames=("mode",),
+        )
+        self._m_rekey_batches = self.metrics.counter(
+            "client_rekey_batches_total",
+            "Rekey pipeline windows shipped.",
+        )
+        self._m_rekey_stub_bytes = self.metrics.counter(
+            "client_rekey_stub_bytes_total",
+            "Stub-file bytes moved by active rekeys (down + up).",
         )
         #: Optional client-side read cache of trimmed packages (see
         #: :mod:`repro.core.chunkcache`).  Pass a :class:`ChunkCache` to
@@ -270,6 +309,7 @@ class REEDClient:
     def close(self) -> None:
         """Reap encryption worker processes (they restart lazily)."""
         self._transform_pool.close()
+        self._stub_rekey_pool.close()
 
     def _seal_key_state(
         self, file_id: str, state: KeyState, policy: FilePolicy
@@ -593,11 +633,14 @@ class REEDClient:
                 raise IntegrityError(
                     "stored metadata does not name the requested file"
                 )
-            if recipe.key_version > state.version:
+            if recipe.key_version > state.version and self.keyreg_owner is None:
+                # An interrupted active rekey commits its key state last,
+                # so the recipe can briefly run ahead; only the owner can
+                # wind forward to bridge the gap (``_stub_source_key``).
                 raise CorruptionError(
                     "recipe references a key version newer than the key state"
                 )
-            file_key = self._file_key_at(record, state, recipe.key_version)
+            file_key = self._stub_source_key(record, state, recipe.key_version)
             with tracer.span("download.stub"):
                 stubs = decrypt_stub_file(
                     file_key,
@@ -851,11 +894,27 @@ class REEDClient:
     # rekey
     # ------------------------------------------------------------------
 
+    def _stub_source_key(
+        self, record: KeyStateRecord, state: KeyState, version: int
+    ) -> bytes:
+        """File key for the stub file at ``version``, recovery-aware.
+
+        Normally ``version <= state.version`` and the member-side unwind
+        applies.  After an interrupted active rekey, though, the recipe
+        can be *ahead* of the stored key state (stub + recipe shipped,
+        key state not yet committed); the owner's deterministic wind
+        re-derives the very same forward key, so the retry converges.
+        """
+        if version <= state.version:
+            return self._file_key_at(record, state, version)
+        return self._require_owner().wind_to(state, version).derive_key()
+
     def rekey(
         self,
         file_id: str,
         new_policy: FilePolicy,
         mode: RevocationMode = RevocationMode.LAZY,
+        _record: KeyStateRecord | None = None,
     ) -> RekeyResult:
         """Renew a file's key state under ``new_policy``.
 
@@ -864,35 +923,41 @@ class REEDClient:
         :attr:`RevocationMode.ACTIVE`, additionally download the stub
         file, re-encrypt it under the new file key, re-upload it, and
         bump the recipe's key version.
+
+        The new key state commits *last* (after the stub file and the
+        recipe): a crash mid-rekey leaves the old record in place, so
+        the file stays readable and a retried rekey converges — the
+        owner's wind is deterministic and the stub re-encryption falls
+        back to the new key if the old one no longer opens the stub
+        file.  ``_record`` lets callers that already fetched the current
+        key-state record (``revoke_users``) skip the second fetch.
         """
         tracer = self.tracer
-        with tracer.span("rekey", mode=mode.value):
+        store_scoped = getattr(self.storage, "supports_attribution", False)
+        key_scoped = getattr(self.keystore, "supports_attribution", False)
+        store_trips_before = getattr(self.storage, "round_trips", 0)
+        key_trips_before = getattr(self.keystore, "round_trips", 0)
+        with obs_scope.attribution() as scope, tracer.span("rekey", mode=mode.value):
             owner = self._require_owner()
             with tracer.span("rekey.wind"):
-                record = self.keystore.get(file_id)
+                record = (
+                    _record if _record is not None else self.keystore.get(file_id)
+                )
                 old_state = self._open_key_state(record)
                 new_state = owner.wind(old_state)
-                self.keystore.put(
-                    self._seal_key_state(file_id, new_state, new_policy)
-                )
+                new_record = self._seal_key_state(file_id, new_state, new_policy)
 
             stub_bytes = 0
             if mode is RevocationMode.ACTIVE:
                 with tracer.span("rekey.stub_reencrypt"):
                     recipe = FileRecipe.decode(self.storage.recipe_get(file_id))
-                    old_file_key = self._file_key_at(
+                    old_file_key = self._stub_source_key(
                         record, old_state, recipe.key_version
                     )
                     stub_file = self.storage.stub_get(file_id)
-                    stubs = decrypt_stub_file(
-                        old_file_key, stub_file, cipher=self.scheme.cipher
-                    )
-                    new_stub_file = encrypt_stub_file(
-                        new_state.derive_key(),
-                        stubs,
-                        stub_size=len(stubs[0]) if stubs else self.scheme.stub_size,
-                        cipher=self.scheme.cipher,
-                        rng=self.rng,
+                    nonce = self.rng.random_bytes(STUB_NONCE_SIZE)
+                    (new_stub_file,) = self._stub_rekey_pool.reencrypt(
+                        [(stub_file, old_file_key, new_state.derive_key(), nonce)]
                     )
                     self.storage.stub_put(file_id, new_stub_file)
                     stub_bytes = len(stub_file) + len(new_stub_file)
@@ -906,7 +971,12 @@ class REEDClient:
                     )
                     self.storage.recipe_put(file_id, updated.encode())
 
+            with tracer.span("rekey.keystate"):
+                self.keystore.put(new_record)
+
         self._m_rekeys.labels(mode=mode.value).inc()
+        self._m_rekey_files.labels(mode=mode.value).inc()
+        self._m_rekey_stub_bytes.inc(stub_bytes)
         return RekeyResult(
             file_id=file_id,
             mode=mode,
@@ -914,6 +984,116 @@ class REEDClient:
             new_key_version=new_state.version,
             new_policy_text=new_policy.text,
             stub_bytes_reencrypted=stub_bytes,
+            store_round_trips=scope.get_int("store_round_trips")
+            if store_scoped
+            else getattr(self.storage, "round_trips", 0) - store_trips_before,
+            keystore_round_trips=scope.get_int("keystore_round_trips")
+            if key_scoped
+            else getattr(self.keystore, "round_trips", 0) - key_trips_before,
+        )
+
+    def rekey_many(
+        self,
+        file_ids: list[str],
+        new_policy: FilePolicy,
+        mode: RevocationMode = RevocationMode.LAZY,
+    ) -> RekeyManyResult:
+        """Rekey many files under one policy with batched, pipelined RPCs.
+
+        The fleet-scale form of :meth:`rekey`: files move through the
+        :class:`~repro.core.rekeypipe.RekeyPipeline` in windows of
+        :attr:`rekey_batch_size`, with one batch RPC per stage per
+        window instead of ~5 round trips per file, stub re-encryption
+        fanned out across :attr:`rekey_workers`, and up to
+        :attr:`pipeline_depth` windows in flight.  Output is
+        bit-identical to calling :meth:`rekey` per file in order (every
+        random draw happens on this thread in file order), key states
+        still commit last within each window, and the first failing file
+        aborts the run deterministically — no window after the failing
+        one ships anything.
+        """
+        owner = self._require_owner()
+        active = mode is RevocationMode.ACTIVE
+
+        def plan_file(
+            file_id: str,
+            record: KeyStateRecord,
+            recipe_bytes: bytes | None,
+            stub_file: bytes | None,
+        ) -> FileRekeyPlan:
+            old_state = self._open_key_state(record)
+            new_state = owner.wind(old_state)
+            plan = FileRekeyPlan(
+                file_id=file_id,
+                new_record=self._seal_key_state(file_id, new_state, new_policy),
+                old_key_version=old_state.version,
+                new_key_version=new_state.version,
+            )
+            if active:
+                recipe = FileRecipe.decode(recipe_bytes)
+                plan.stub_file = stub_file
+                plan.old_file_key = self._stub_source_key(
+                    record, old_state, recipe.key_version
+                )
+                plan.new_file_key = new_state.derive_key()
+                plan.nonce = self.rng.random_bytes(STUB_NONCE_SIZE)
+                plan.updated_recipe = FileRecipe(
+                    file_id=recipe.file_id,
+                    pathname=recipe.pathname,
+                    size=recipe.size,
+                    scheme=recipe.scheme,
+                    key_version=new_state.version,
+                    chunks=recipe.chunks,
+                ).encode()
+            return plan
+
+        pipeline = RekeyPipeline(
+            self.storage,
+            self.keystore,
+            plan_file,
+            self.tracer,
+            stub_pool=self._stub_rekey_pool,
+            active=active,
+            batch_size=self.rekey_batch_size,
+            pipeline_depth=self.pipeline_depth,
+        )
+        store_scoped = getattr(self.storage, "supports_attribution", False)
+        key_scoped = getattr(self.keystore, "supports_attribution", False)
+        store_trips_before = getattr(self.storage, "round_trips", 0)
+        key_trips_before = getattr(self.keystore, "round_trips", 0)
+        with obs_scope.attribution() as scope, self.tracer.span(
+            "rekey.pipeline", mode=mode.value, files=len(file_ids)
+        ):
+            stats = pipeline.run(list(file_ids))
+
+        self._m_rekeys.labels(mode=mode.value).inc(stats.files)
+        self._m_rekey_files.labels(mode=mode.value).inc(stats.files)
+        self._m_rekey_batches.inc(stats.batches)
+        self._m_rekey_stub_bytes.inc(stats.stub_bytes)
+        results = tuple(
+            RekeyResult(
+                file_id=file_id,
+                mode=mode,
+                old_key_version=old_version,
+                new_key_version=new_version,
+                new_policy_text=new_policy.text,
+                stub_bytes_reencrypted=moved,
+            )
+            for file_id, old_version, new_version, moved in stats.shipped
+        )
+        return RekeyManyResult(
+            mode=mode,
+            new_policy_text=new_policy.text,
+            results=results,
+            stub_bytes_reencrypted=stats.stub_bytes,
+            store_round_trips=scope.get_int("store_round_trips")
+            if store_scoped
+            else getattr(self.storage, "round_trips", 0) - store_trips_before,
+            keystore_round_trips=scope.get_int("keystore_round_trips")
+            if key_scoped
+            else getattr(self.keystore, "round_trips", 0) - key_trips_before,
+            batches=stats.batches,
+            workers=self.rekey_workers if active else 0,
         )
 
     def revoke_users(
@@ -925,16 +1105,68 @@ class REEDClient:
         """Convenience: rekey with the current policy minus ``revoked``."""
         record = self.keystore.get(file_id)
         current = FilePolicy.parse(record.policy_text)
-        return self.rekey(file_id, current.without_users(revoked), mode)
+        return self.rekey(
+            file_id, current.without_users(revoked), mode, _record=record
+        )
 
     # ------------------------------------------------------------------
     # delete
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _check_items(results: list) -> None:
+        """Raise the first per-item error of a batch reply, in order."""
+        for status in results:
+            if isinstance(status, Exception):
+                raise status
+
     def delete(self, file_id: str) -> None:
-        """Remove a file: release its chunks and drop its metadata."""
+        """Remove a file: release its chunks and drop its metadata.
+
+        Metadata removal rides the batch messages when the service
+        offers them — one ``meta_delete_many`` (stub + recipe in a
+        single round trip) plus one ``keystore.delete_many`` instead of
+        three serial RPCs.
+        """
         recipe = FileRecipe.decode(self.storage.recipe_get(file_id))
         self.storage.chunk_release_batch([ref.fingerprint for ref in recipe.chunks])
-        self.storage.stub_delete(file_id)
-        self.storage.recipe_delete(file_id)
-        self.keystore.delete(file_id)
+        meta_delete_many = getattr(self.storage, "meta_delete_many", None)
+        if meta_delete_many is not None:
+            self._check_items(meta_delete_many([file_id]))
+        else:
+            self.storage.stub_delete(file_id)
+            self.storage.recipe_delete(file_id)
+        key_delete_many = getattr(self.keystore, "delete_many", None)
+        if key_delete_many is not None:
+            self._check_items(key_delete_many([file_id]))
+        else:
+            self.keystore.delete(file_id)
+
+    def delete_many(self, file_ids: list[str]) -> None:
+        """Remove several files with batched metadata round trips."""
+        recipe_get_many = getattr(self.storage, "recipe_get_many", None)
+        if recipe_get_many is not None:
+            recipes = recipe_get_many(list(file_ids))
+        else:
+            recipes = [self.storage.recipe_get(file_id) for file_id in file_ids]
+        self._check_items(recipes)
+        fingerprints = [
+            ref.fingerprint
+            for blob in recipes
+            for ref in FileRecipe.decode(blob).chunks
+        ]
+        if fingerprints:
+            self.storage.chunk_release_batch(fingerprints)
+        meta_delete_many = getattr(self.storage, "meta_delete_many", None)
+        if meta_delete_many is not None:
+            self._check_items(meta_delete_many(list(file_ids)))
+        else:
+            for file_id in file_ids:
+                self.storage.stub_delete(file_id)
+                self.storage.recipe_delete(file_id)
+        key_delete_many = getattr(self.keystore, "delete_many", None)
+        if key_delete_many is not None:
+            self._check_items(key_delete_many(list(file_ids)))
+        else:
+            for file_id in file_ids:
+                self.keystore.delete(file_id)

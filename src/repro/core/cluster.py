@@ -123,13 +123,16 @@ class TcpCluster:
         encryption_workers: int | None = None,
         chunk_cache_bytes: int | None = None,
         fetch_workers: int | None = None,
+        rekey_workers: int | None = None,
+        rekey_batch_size: int | None = None,
     ) -> REEDClient:
         """Enroll a user and build a client wired entirely over TCP.
 
         ``fetch_workers`` bounds the scatter-gather pool the client's
         sharded storage uses for concurrent per-shard sub-fetches (1
         forces serial fetches); ``chunk_cache_bytes`` enables the
-        client-side trimmed-package read cache.
+        client-side trimmed-package read cache; ``rekey_workers`` /
+        ``rekey_batch_size`` size the batched rekeying pipeline.
         """
         storage = ShardedStorageService(
             [
@@ -154,6 +157,8 @@ class TcpCluster:
         kwargs = {}
         if upload_batch_bytes is not None:
             kwargs["upload_batch_bytes"] = upload_batch_bytes
+        if rekey_batch_size is not None:
+            kwargs["rekey_batch_size"] = rekey_batch_size
         return REEDClient(
             user_id=user_id,
             key_client=key_client,
@@ -167,6 +172,7 @@ class TcpCluster:
             pipeline_depth=pipeline_depth,
             encryption_workers=encryption_workers,
             chunk_cache_bytes=chunk_cache_bytes,
+            rekey_workers=rekey_workers,
             rng=self._rng,
             **kwargs,
         )

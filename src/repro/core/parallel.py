@@ -30,9 +30,10 @@ import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
-from repro.core.schemes import EncryptionScheme, SplitPackage, get_scheme
-from repro.crypto.cipher import get_cipher
-from repro.util.errors import ConfigurationError
+from repro.core.schemes import STUB_SIZE, EncryptionScheme, SplitPackage, get_scheme
+from repro.core.stubs import decrypt_stub_file, encrypt_stub_file
+from repro.crypto.cipher import SymmetricCipher, get_cipher
+from repro.util.errors import ConfigurationError, IntegrityError
 
 #: Upper bound on the default worker count: chunk transforms saturate
 #: memory bandwidth well before this many cores help.
@@ -96,6 +97,53 @@ def _decrypt_batch(
         )
         _WORKER_SCHEMES[spec] = scheme
     return [scheme.decrypt_chunk(trimmed, stub) for trimmed, stub in pairs]
+
+
+#: Per-process cipher cache for the stub-rekey worker entry point.
+_WORKER_CIPHERS: dict[str, SymmetricCipher] = {}
+
+
+def _reencrypt_one_stub_file(
+    cipher: SymmetricCipher,
+    stub_file: bytes,
+    old_key: bytes,
+    new_key: bytes,
+    nonce: bytes,
+    default_stub_size: int,
+) -> bytes:
+    """Decrypt one stub file and re-encrypt it with the given nonce.
+
+    If the old key no longer opens the stub file, the new key is tried:
+    an interrupted earlier rekey may have shipped this stub file already
+    (key state commits last), and the owner's deterministic wind
+    re-derives the very same new key on retry.
+    """
+    try:
+        stubs = decrypt_stub_file(old_key, stub_file, cipher=cipher)
+    except IntegrityError:
+        if new_key == old_key:
+            raise
+        stubs = decrypt_stub_file(new_key, stub_file, cipher=cipher)
+    stub_size = len(stubs[0]) if stubs else default_stub_size
+    return encrypt_stub_file(
+        new_key, stubs, stub_size=stub_size, cipher=cipher, nonce=nonce
+    )
+
+
+def _reencrypt_stub_batch(
+    cipher_name: str,
+    default_stub_size: int,
+    items: list[tuple[bytes, bytes, bytes, bytes]],
+) -> list[bytes]:
+    """Worker entry point: ``(stub_file, old_key, new_key, nonce)`` items."""
+    cipher = _WORKER_CIPHERS.get(cipher_name)
+    if cipher is None:
+        cipher = get_cipher(cipher_name)
+        _WORKER_CIPHERS[cipher_name] = cipher
+    return [
+        _reencrypt_one_stub_file(cipher, *item, default_stub_size)
+        for item in items
+    ]
 
 
 # -- client side -------------------------------------------------------------
@@ -290,3 +338,136 @@ class ChunkTransformPool:
             return self._decrypt_serial(trimmed, stubs)
         self.parallel_batches += 1
         return [chunk for batch in results for chunk in batch]
+
+
+class StubRekeyPool:
+    """Runs stub-file re-encryption over batches, in parallel when it pays.
+
+    The active-revocation hot path: each item is one whole stub file to
+    decrypt under the old file key and re-encrypt under the new one.
+    Nonces come from the caller (drawn on the client thread in file
+    order), so the output is bit-identical to the serial path no matter
+    how items are scheduled across workers.  Degrades exactly like
+    :class:`ChunkTransformPool`: serial below ``min_parallel_bytes`` or
+    for non-registry ciphers, threads when process pools are
+    unavailable, and a serial redo if the pool breaks mid-batch.
+    """
+
+    def __init__(
+        self,
+        cipher: SymmetricCipher | None = None,
+        workers: int | None = None,
+        use_processes: bool = True,
+        min_parallel_bytes: int = DEFAULT_MIN_PARALLEL_BYTES,
+        default_stub_size: int = STUB_SIZE,
+    ) -> None:
+        if workers is None:
+            workers = default_worker_count()
+        if workers < 1:
+            raise ConfigurationError("need at least one rekey worker")
+        self.cipher = cipher or get_cipher()
+        self.workers = workers
+        self.min_parallel_bytes = min_parallel_bytes
+        self.default_stub_size = default_stub_size
+        self._spec = self._cipher_spec(self.cipher) if use_processes else None
+        self._executor: Executor | None = None
+        self._executor_is_process = False
+        self.parallel_batches = 0
+        self.serial_batches = 0
+
+    @staticmethod
+    def _cipher_spec(cipher: SymmetricCipher) -> str | None:
+        """Registry name that rebuilds ``cipher`` in a fresh process."""
+        name = getattr(cipher, "name", None)
+        if not name:
+            return None
+        try:
+            rebuilt = get_cipher(name)
+        except ConfigurationError:
+            return None
+        if type(rebuilt) is not type(cipher):
+            return None
+        return name
+
+    def _get_executor(self) -> Executor:
+        if self._executor is None:
+            if self._spec is not None:
+                try:
+                    self._executor = _make_process_pool(self.workers)
+                    self._executor_is_process = True
+                except (NotImplementedError, OSError, PermissionError):
+                    self._spec = None
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(max_workers=self.workers)
+                self._executor_is_process = False
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down worker processes/threads; the pool restarts lazily."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "StubRekeyPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _reencrypt_serial(
+        self, items: list[tuple[bytes, bytes, bytes, bytes]]
+    ) -> list[bytes]:
+        return [
+            _reencrypt_one_stub_file(self.cipher, *item, self.default_stub_size)
+            for item in items
+        ]
+
+    def reencrypt(
+        self, items: list[tuple[bytes, bytes, bytes, bytes]]
+    ) -> list[bytes]:
+        """Re-encrypt ``(stub_file, old_key, new_key, nonce)`` items in order.
+
+        Futures are consumed in submission order, so the earliest failing
+        item raises first — the abort is deterministic regardless of
+        worker scheduling.
+        """
+        total = sum(len(stub_file) for stub_file, *_rest in items)
+        if (
+            self.workers == 1
+            or len(items) < 2
+            or (self._spec is not None and total < self.min_parallel_bytes)
+        ):
+            self.serial_batches += 1
+            return self._reencrypt_serial(items)
+        executor = self._get_executor()
+        if not self._executor_is_process:
+            self.parallel_batches += 1
+            return list(
+                executor.map(
+                    lambda item: _reencrypt_one_stub_file(
+                        self.cipher, *item, self.default_stub_size
+                    ),
+                    items,
+                )
+            )
+        spec = self._spec
+        span = max(1, -(-len(items) // self.workers))
+        futures = []
+        for start in range(0, len(items), span):
+            futures.append(
+                executor.submit(
+                    _reencrypt_stub_batch,
+                    spec,
+                    self.default_stub_size,
+                    items[start : start + span],
+                )
+            )
+        try:
+            results = [future.result() for future in futures]
+        except BrokenProcessPool:  # pragma: no cover - worker crash
+            self.close()
+            self._spec = None
+            self.serial_batches += 1
+            return self._reencrypt_serial(items)
+        self.parallel_batches += 1
+        return [stub_file for batch in results for stub_file in batch]

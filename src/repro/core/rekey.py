@@ -34,3 +34,43 @@ class RekeyResult:
     #: Bytes of stub file downloaded, re-encrypted, and re-uploaded
     #: (0 for lazy revocation).
     stub_bytes_reencrypted: int
+    #: Storage-layer round trips (batch RPCs to data servers) issued.
+    store_round_trips: int = 0
+    #: Key-store round trips issued.
+    keystore_round_trips: int = 0
+    #: Pipeline windows shipped (0 when the operation ran unbatched).
+    batches: int = 0
+    #: Stub re-encryption workers configured (0 when unbatched).
+    workers: int = 0
+
+
+@dataclass(frozen=True)
+class RekeyManyResult:
+    """What a batched rekey did (returned by ``REEDClient.rekey_many``).
+
+    ``results`` holds one :class:`RekeyResult` per file, in request
+    order; the top-level counters are operation-wide totals (the
+    per-file results carry only their own stub bytes).
+    """
+
+    mode: RevocationMode
+    new_policy_text: str
+    results: tuple[RekeyResult, ...] = ()
+    #: Stub bytes moved across all files (down + up).
+    stub_bytes_reencrypted: int = 0
+    #: Storage-layer round trips across all pipeline stages.
+    store_round_trips: int = 0
+    #: Key-store round trips across all pipeline stages.
+    keystore_round_trips: int = 0
+    #: Pipeline windows shipped (≈ ``ceil(files / batch_size)``).
+    batches: int = 0
+    #: Stub re-encryption workers configured.
+    workers: int = 0
+
+    @property
+    def files(self) -> int:
+        return len(self.results)
+
+    @property
+    def file_ids(self) -> tuple[str, ...]:
+        return tuple(result.file_id for result in self.results)

@@ -46,11 +46,25 @@ class StorageService(Protocol):
 
     def recipe_list(self) -> list[str]: ...
 
+    def recipe_put_many(
+        self, items: list[tuple[str, bytes]]
+    ) -> list[None | Exception]: ...
+
+    def recipe_get_many(self, file_ids: list[str]) -> list[bytes | Exception]: ...
+
     def stub_put(self, file_id: str, data: bytes) -> None: ...
 
     def stub_get(self, file_id: str) -> bytes: ...
 
     def stub_delete(self, file_id: str) -> None: ...
+
+    def stub_put_many(
+        self, items: list[tuple[str, bytes]]
+    ) -> list[None | Exception]: ...
+
+    def stub_get_many(self, file_ids: list[str]) -> list[bytes | Exception]: ...
+
+    def meta_delete_many(self, file_ids: list[str]) -> list[None | Exception]: ...
 
     def flush(self) -> None: ...
 
@@ -176,6 +190,68 @@ class REEDServer:
     def stub_delete(self, file_id: str) -> None:
         self.counters.requests += 1
         self.store.delete_stub_file(file_id)
+
+    # -- batched metadata (the rekeying pipeline's multi-file messages) -------
+
+    @staticmethod
+    def _per_item(fn, items) -> list:
+        """Apply ``fn`` per item, carrying failures as values.
+
+        Same contract as :meth:`chunk_put_many`: one missing or corrupt
+        file fails alone instead of aborting its whole batch, and the
+        wire layer ships the per-item errors back verbatim.
+        """
+        results = []
+        for item in items:
+            try:
+                results.append(fn(item))
+            except Exception as exc:  # noqa: BLE001 - carried per item
+                results.append(exc)
+        return results
+
+    def recipe_put_many(
+        self, items: list[tuple[str, bytes]]
+    ) -> list[None | Exception]:
+        self.counters.requests += 1
+        return self._per_item(
+            lambda item: self.store.put_recipe(item[0], item[1]), items
+        )
+
+    def recipe_get_many(self, file_ids: list[str]) -> list[bytes | Exception]:
+        self.counters.requests += 1
+        results = self._per_item(self.store.get_recipe, file_ids)
+        for data in results:
+            if not isinstance(data, Exception):
+                self.counters.bytes_sent += len(data)
+        return results
+
+    def stub_put_many(
+        self, items: list[tuple[str, bytes]]
+    ) -> list[None | Exception]:
+        self.counters.requests += 1
+        for _file_id, data in items:
+            self.counters.bytes_received += len(data)
+        return self._per_item(
+            lambda item: self.store.put_stub_file(item[0], item[1]), items
+        )
+
+    def stub_get_many(self, file_ids: list[str]) -> list[bytes | Exception]:
+        self.counters.requests += 1
+        results = self._per_item(self.store.get_stub_file, file_ids)
+        for data in results:
+            if not isinstance(data, Exception):
+                self.counters.bytes_sent += len(data)
+        return results
+
+    def meta_delete_many(self, file_ids: list[str]) -> list[None | Exception]:
+        """Drop a file's stub file *and* recipe in one message (delete path)."""
+        self.counters.requests += 1
+
+        def drop(file_id: str) -> None:
+            self.store.delete_stub_file(file_id)
+            self.store.delete_recipe(file_id)
+
+        return self._per_item(drop, file_ids)
 
     def flush(self) -> None:
         self.counters.requests += 1

@@ -21,12 +21,85 @@ from repro.core.server import REEDServer
 from repro.crypto.rsa import RSAPublicKey
 from repro.mle.keymanager import KeyManager
 from repro.net.rpc import RpcClient, ServiceRegistry, decode_error, encode_error
+from repro.obs import scope as obs_scope
 from repro.storage.keystore import KeyStateRecord, KeyStore
 from repro.util.codec import Decoder, Encoder
 
 #: Per-item status codes used by batch responses (``storage.put_many``):
 #: the item deduplicated, stored new bytes, or failed with a wire error.
 ITEM_DUP, ITEM_NEW, ITEM_ERROR = 0, 1, 2
+
+#: Generic per-item success for batch messages whose items carry no
+#: dup/new distinction (metadata puts/gets/deletes).
+ITEM_OK = 0
+
+
+def _encode_item_acks(results: list) -> bytes:
+    """Encode write/delete batch results: per item, OK or a wire error."""
+    enc = Encoder().uint(len(results))
+    for status in results:
+        if isinstance(status, Exception):
+            enc.uint(ITEM_ERROR).blob(encode_error(status))
+        else:
+            enc.uint(ITEM_OK)
+    return enc.done()
+
+
+def _decode_item_acks(payload: bytes) -> list[None | Exception]:
+    dec = Decoder(payload)
+    results: list[None | Exception] = []
+    for _ in range(dec.uint()):
+        if dec.uint() == ITEM_ERROR:
+            results.append(decode_error(dec.blob()))
+        else:
+            results.append(None)
+    dec.expect_end()
+    return results
+
+
+def _encode_item_blobs(results: list) -> bytes:
+    """Encode read batch results: per item, the blob or a wire error."""
+    enc = Encoder().uint(len(results))
+    for item in results:
+        if isinstance(item, Exception):
+            enc.uint(ITEM_ERROR).blob(encode_error(item))
+        else:
+            enc.uint(ITEM_OK).blob(item)
+    return enc.done()
+
+
+def _decode_item_blobs(payload: bytes) -> list[bytes | Exception]:
+    dec = Decoder(payload)
+    results: list[bytes | Exception] = []
+    for _ in range(dec.uint()):
+        if dec.uint() == ITEM_ERROR:
+            results.append(decode_error(dec.blob()))
+        else:
+            results.append(dec.blob())
+    dec.expect_end()
+    return results
+
+
+def _decode_named_blobs(payload: bytes) -> list[tuple[str, bytes]]:
+    dec = Decoder(payload)
+    items = [(dec.text(), dec.blob()) for _ in range(dec.uint())]
+    dec.expect_end()
+    return items
+
+
+def _encode_named_blobs(items: list[tuple[str, bytes]]) -> bytes:
+    enc = Encoder().uint(len(items))
+    for file_id, data in items:
+        enc.text(file_id).blob(data)
+    return enc.done()
+
+
+def _encode_ids(file_ids: list[str]) -> bytes:
+    return Encoder().list_of([fid.encode("utf-8") for fid in file_ids]).done()
+
+
+def _decode_ids(payload: bytes) -> list[str]:
+    return [blob.decode("utf-8") for blob in Decoder(payload).list_of()]
 
 # ---------------------------------------------------------------------------
 # Storage service
@@ -99,6 +172,25 @@ def register_storage_service(
         server.stub_delete(Decoder(payload).text())
         return b""
 
+    def recipe_put_many(payload: bytes) -> bytes:
+        return _encode_item_acks(
+            server.recipe_put_many(_decode_named_blobs(payload))
+        )
+
+    def recipe_get_many(payload: bytes) -> bytes:
+        return _encode_item_blobs(server.recipe_get_many(_decode_ids(payload)))
+
+    def stub_put_many(payload: bytes) -> bytes:
+        return _encode_item_acks(
+            server.stub_put_many(_decode_named_blobs(payload))
+        )
+
+    def stub_get_many(payload: bytes) -> bytes:
+        return _encode_item_blobs(server.stub_get_many(_decode_ids(payload)))
+
+    def meta_delete_many(payload: bytes) -> bytes:
+        return _encode_item_acks(server.meta_delete_many(_decode_ids(payload)))
+
     def flush(_payload: bytes) -> bytes:
         server.flush()
         return b""
@@ -118,6 +210,11 @@ def register_storage_service(
     registry.register(prefix + "stub_put", stub_put)
     registry.register(prefix + "stub_get", stub_get)
     registry.register(prefix + "stub_delete", stub_delete)
+    registry.register(prefix + "recipe_put_many", recipe_put_many)
+    registry.register(prefix + "recipe_get_many", recipe_get_many)
+    registry.register(prefix + "stub_put_many", stub_put_many)
+    registry.register(prefix + "stub_get_many", stub_get_many)
+    registry.register(prefix + "meta_delete_many", meta_delete_many)
     registry.register(prefix + "flush", flush)
 
 
@@ -202,6 +299,35 @@ class RemoteStorageService:
     def stub_delete(self, file_id: str) -> None:
         self._call("stub_delete", Encoder().text(file_id).done())
 
+    def recipe_put_many(
+        self, items: list[tuple[str, bytes]]
+    ) -> list[None | Exception]:
+        return _decode_item_acks(
+            self._call("recipe_put_many", _encode_named_blobs(items))
+        )
+
+    def recipe_get_many(self, file_ids: list[str]) -> list[bytes | Exception]:
+        return _decode_item_blobs(
+            self._call("recipe_get_many", _encode_ids(file_ids))
+        )
+
+    def stub_put_many(
+        self, items: list[tuple[str, bytes]]
+    ) -> list[None | Exception]:
+        return _decode_item_acks(
+            self._call("stub_put_many", _encode_named_blobs(items))
+        )
+
+    def stub_get_many(self, file_ids: list[str]) -> list[bytes | Exception]:
+        return _decode_item_blobs(
+            self._call("stub_get_many", _encode_ids(file_ids))
+        )
+
+    def meta_delete_many(self, file_ids: list[str]) -> list[None | Exception]:
+        return _decode_item_acks(
+            self._call("meta_delete_many", _encode_ids(file_ids))
+        )
+
     def flush(self) -> None:
         self._call("flush")
 
@@ -232,37 +358,96 @@ def register_keystate_service(
         names = [name.encode("utf-8") for name in keystore.list_files()]
         return Encoder().list_of(names).done()
 
+    def put_many(payload: bytes) -> bytes:
+        records = [
+            KeyStateRecord.decode(blob) for blob in Decoder(payload).list_of()
+        ]
+        return _encode_item_acks(keystore.put_many(records))
+
+    def get_many(payload: bytes) -> bytes:
+        results = keystore.get_many(_decode_ids(payload))
+        return _encode_item_blobs(
+            [
+                item if isinstance(item, Exception) else item.encode()
+                for item in results
+            ]
+        )
+
+    def delete_many(payload: bytes) -> bytes:
+        return _encode_item_acks(keystore.delete_many(_decode_ids(payload)))
+
     registry.register(prefix + "put", put)
     registry.register(prefix + "get", get)
     registry.register(prefix + "delete", delete)
     registry.register(prefix + "exists", exists)
     registry.register(prefix + "list", list_files)
+    registry.register(prefix + "put_many", put_many)
+    registry.register(prefix + "get_many", get_many)
+    registry.register(prefix + "delete_many", delete_many)
 
 
 class RemoteKeyStore:
-    """Client stub with the same interface as :class:`KeyStore`."""
+    """Client stub with the same interface as :class:`KeyStore`.
+
+    Round trips are counted per RPC and reported both through
+    :attr:`round_trips` and into the active attribution scope
+    (``keystore_round_trips``), so rekey results can report exact
+    key-store traffic per operation.
+    """
+
+    #: Round trips are reported through :mod:`repro.obs.scope`.
+    supports_attribution = True
 
     def __init__(self, rpc: RpcClient, prefix: str = "keystore.") -> None:
         self._rpc = rpc
         self._prefix = prefix
 
+    def _call(self, method: str, payload: bytes = b"") -> bytes:
+        obs_scope.add("keystore_round_trips")
+        return self._rpc.call(self._prefix + method, payload)
+
+    @property
+    def round_trips(self) -> int:
+        """RPC round trips issued by this stub (its client's call count)."""
+        return self._rpc.calls
+
     def put(self, record: KeyStateRecord) -> None:
-        self._rpc.call(self._prefix + "put", record.encode())
+        self._call("put", record.encode())
 
     def get(self, file_id: str) -> KeyStateRecord:
-        payload = self._rpc.call(self._prefix + "get", Encoder().text(file_id).done())
+        payload = self._call("get", Encoder().text(file_id).done())
         return KeyStateRecord.decode(payload)
 
     def delete(self, file_id: str) -> None:
-        self._rpc.call(self._prefix + "delete", Encoder().text(file_id).done())
+        self._call("delete", Encoder().text(file_id).done())
 
     def exists(self, file_id: str) -> bool:
-        payload = self._rpc.call(self._prefix + "exists", Encoder().text(file_id).done())
+        payload = self._call("exists", Encoder().text(file_id).done())
         return payload == b"\x01"
 
     def list_files(self) -> list[str]:
-        payload = self._rpc.call(self._prefix + "list")
+        payload = self._call("list")
         return [name.decode("utf-8") for name in Decoder(payload).list_of()]
+
+    def put_many(
+        self, records: list[KeyStateRecord]
+    ) -> list[None | Exception]:
+        payload = Encoder().list_of([r.encode() for r in records]).done()
+        return _decode_item_acks(self._call("put_many", payload))
+
+    def get_many(
+        self, file_ids: list[str]
+    ) -> list[KeyStateRecord | Exception]:
+        results = _decode_item_blobs(
+            self._call("get_many", _encode_ids(file_ids))
+        )
+        return [
+            item if isinstance(item, Exception) else KeyStateRecord.decode(item)
+            for item in results
+        ]
+
+    def delete_many(self, file_ids: list[str]) -> list[None | Exception]:
+        return _decode_item_acks(self._call("delete_many", _encode_ids(file_ids)))
 
 
 # ---------------------------------------------------------------------------

@@ -25,6 +25,10 @@ from repro.util.errors import ConfigurationError, IntegrityError
 _NONCE_SIZE = 16
 _MAC_SIZE = 32
 
+#: Public alias: callers that pre-draw stub-file nonces (the rekeying
+#: pipeline) need to know how many bytes to draw.
+STUB_NONCE_SIZE = _NONCE_SIZE
+
 
 def pack_stubs(stubs: list[bytes], stub_size: int = STUB_SIZE) -> bytes:
     """Concatenate per-chunk stubs into the plaintext stub-file body."""
@@ -54,11 +58,24 @@ def encrypt_stub_file(
     stub_size: int = STUB_SIZE,
     cipher: SymmetricCipher | None = None,
     rng: RandomSource | None = None,
+    nonce: bytes | None = None,
 ) -> bytes:
-    """Encrypt and authenticate a file's stubs under the file key."""
+    """Encrypt and authenticate a file's stubs under the file key.
+
+    ``nonce`` may be supplied by the caller (the rekeying pipeline draws
+    nonces on the client thread in file order, then fans the pure
+    re-encryption out to workers — that keeps pipelined output
+    bit-identical to the serial path); by default one is drawn from
+    ``rng``.
+    """
     cipher = cipher or get_cipher()
-    rng = rng or SYSTEM_RANDOM
-    nonce = rng.random_bytes(_NONCE_SIZE)
+    if nonce is None:
+        rng = rng or SYSTEM_RANDOM
+        nonce = rng.random_bytes(_NONCE_SIZE)
+    elif len(nonce) != _NONCE_SIZE:
+        raise ConfigurationError(
+            f"stub-file nonce must be {_NONCE_SIZE} bytes, got {len(nonce)}"
+        )
     body = cipher.encrypt(
         kdf(file_key, "stub-enc"), nonce[: cipher.nonce_size], pack_stubs(stubs, stub_size)
     )

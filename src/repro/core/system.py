@@ -252,6 +252,91 @@ class ShardedStorageService:
         self._trip(self._file_index(file_id))
         self._for_file(file_id).stub_delete(file_id)
 
+    # -- batched metadata (rekey/delete pipelines) ----------------------------
+
+    def _file_positions(self, file_ids: list[str]) -> dict[int, list[int]]:
+        groups: dict[int, list[int]] = {}
+        for position, file_id in enumerate(file_ids):
+            groups.setdefault(self._file_index(file_id), []).append(position)
+        return groups
+
+    def _scatter_meta_puts(
+        self, method: str, items: list[tuple[str, bytes]]
+    ) -> list[None | Exception]:
+        """One per-item-status sub-batch per shard touched, file-routed."""
+        statuses: list[None | Exception] = [None] * len(items)
+        groups = self._file_positions([file_id for file_id, _data in items])
+        for index, positions in groups.items():
+            self._trip(index)
+            answers = getattr(self._services[index], method)(
+                [items[p] for p in positions]
+            )
+            for position, status in zip(positions, answers):
+                statuses[position] = status
+        return statuses
+
+    def _scatter_meta_gets(
+        self, method: str, file_ids: list[str]
+    ) -> list[bytes | Exception]:
+        """Concurrent per-shard sub-fetches, like :meth:`chunk_get_batch`.
+
+        Per-item failures (missing file on one shard) come back in place;
+        they never abort the other shards' sub-batches.
+        """
+        results: list[bytes | Exception | None] = [None] * len(file_ids)
+        groups = self._file_positions(file_ids)
+
+        def fetch(index: int, positions: list[int]) -> list[bytes | Exception]:
+            self._trip(index)
+            return getattr(self._services[index], method)(
+                [file_ids[p] for p in positions]
+            )
+
+        if len(groups) <= 1 or self.fetch_workers == 1:
+            for index, positions in groups.items():
+                for position, data in zip(positions, fetch(index, positions)):
+                    results[position] = data
+        else:
+            pool = self._get_fetch_pool()
+            ordered = list(groups.items())
+            futures = [
+                pool.submit(
+                    contextvars.copy_context().run, fetch, index, positions
+                )
+                for index, positions in ordered
+            ]
+            for (index, positions), future in zip(ordered, futures):
+                for position, data in zip(positions, future.result()):
+                    results[position] = data
+        return results  # type: ignore[return-value]
+
+    def recipe_put_many(
+        self, items: list[tuple[str, bytes]]
+    ) -> list[None | Exception]:
+        return self._scatter_meta_puts("recipe_put_many", items)
+
+    def recipe_get_many(self, file_ids: list[str]) -> list[bytes | Exception]:
+        return self._scatter_meta_gets("recipe_get_many", file_ids)
+
+    def stub_put_many(
+        self, items: list[tuple[str, bytes]]
+    ) -> list[None | Exception]:
+        return self._scatter_meta_puts("stub_put_many", items)
+
+    def stub_get_many(self, file_ids: list[str]) -> list[bytes | Exception]:
+        return self._scatter_meta_gets("stub_get_many", file_ids)
+
+    def meta_delete_many(self, file_ids: list[str]) -> list[None | Exception]:
+        statuses: list[None | Exception] = [None] * len(file_ids)
+        for index, positions in self._file_positions(file_ids).items():
+            self._trip(index)
+            answers = self._services[index].meta_delete_many(
+                [file_ids[p] for p in positions]
+            )
+            for position, status in zip(positions, answers):
+                statuses[position] = status
+        return statuses
+
     def flush(self) -> None:
         for index, service in enumerate(self._services):
             self._trip(index)

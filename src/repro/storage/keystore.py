@@ -64,7 +64,14 @@ class KeyStateRecord:
 
 
 class KeyStore:
-    """Per-file key-state records over a blob backend."""
+    """Per-file key-state records over a blob backend.
+
+    The ``*_many`` variants carry *per-item* status — each item resolves
+    independently to its value (or ``None`` for writes) or to the
+    exception that failed it, so one bad record never poisons a batch.
+    They are what the batched key-state RPCs bind to
+    (:func:`repro.core.service.register_keystate_service`).
+    """
 
     def __init__(self, backend: BlobBackend | None = None) -> None:
         self.backend = backend if backend is not None else MemoryBackend()
@@ -77,6 +84,39 @@ class KeyStore:
 
     def delete(self, file_id: str) -> None:
         self.backend.delete(_KEYSTATE_PREFIX + file_id)
+
+    def put_many(
+        self, records: list[KeyStateRecord]
+    ) -> list[None | Exception]:
+        results: list[None | Exception] = []
+        for record in records:
+            try:
+                self.put(record)
+                results.append(None)
+            except Exception as exc:  # noqa: BLE001 - carried per item
+                results.append(exc)
+        return results
+
+    def get_many(
+        self, file_ids: list[str]
+    ) -> list[KeyStateRecord | Exception]:
+        results: list[KeyStateRecord | Exception] = []
+        for file_id in file_ids:
+            try:
+                results.append(self.get(file_id))
+            except Exception as exc:  # noqa: BLE001 - carried per item
+                results.append(exc)
+        return results
+
+    def delete_many(self, file_ids: list[str]) -> list[None | Exception]:
+        results: list[None | Exception] = []
+        for file_id in file_ids:
+            try:
+                self.delete(file_id)
+                results.append(None)
+            except Exception as exc:  # noqa: BLE001 - carried per item
+                results.append(exc)
+        return results
 
     def exists(self, file_id: str) -> bool:
         return self.backend.exists(_KEYSTATE_PREFIX + file_id)

@@ -18,7 +18,15 @@ REPO_ROOT = os.path.dirname(
 )
 BENCH = os.path.join(REPO_ROOT, "benchmarks", "bench_hotpath.py")
 
-EXPECTED_FAMILIES = {"chunking", "ctr", "caont", "upload", "upload_tcp", "download_tcp"}
+EXPECTED_FAMILIES = {
+    "chunking",
+    "ctr",
+    "caont",
+    "upload",
+    "upload_tcp",
+    "download_tcp",
+    "rekey_tcp",
+}
 
 #: Per-family baseline row (the oracle each speedup is computed against).
 REFERENCE_ROWS = {
@@ -28,6 +36,7 @@ REFERENCE_ROWS = {
     "upload": "upload/reference",
     "upload_tcp": "upload_tcp/per_chunk",
     "download_tcp": "download_tcp/serial",
+    "rekey_tcp": "rekey_tcp/serial",
 }
 
 THROUGHPUT_KEYS = {"name", "bytes", "seconds", "mib_per_s"}
@@ -46,6 +55,15 @@ DOWNLOAD_KEYS = THROUGHPUT_KEYS | {
     "chunk_cache_hits",
     "chunk_cache_misses",
     "cache_hit_rate",
+}
+#: The TCP rekey scenario records group-rekey pipeline counters.
+REKEY_KEYS = THROUGHPUT_KEYS | {
+    "files",
+    "store_round_trips",
+    "keystore_round_trips",
+    "batches",
+    "workers",
+    "abe_operations",
 }
 
 
@@ -81,6 +99,8 @@ def test_quick_bench_runs_and_writes_valid_report(tmp_path):
             expected_keys = ROUND_TRIP_KEYS
         elif result["name"].startswith("download_tcp/"):
             expected_keys = DOWNLOAD_KEYS
+        elif result["name"].startswith("rekey_tcp/"):
+            expected_keys = REKEY_KEYS
         else:
             expected_keys = THROUGHPUT_KEYS
         assert set(result) == expected_keys
@@ -115,3 +135,22 @@ def test_quick_bench_runs_and_writes_valid_report(tmp_path):
     assert cache_warm["chunk_cache_misses"] == 0
     assert cache_warm["cache_hit_rate"] >= 0.9
     assert cache_warm["chunk_cache_hits"] == cache_warm["chunks"]
+    # The rekey pipeline's defining win: the serial path pays ~3 keystore
+    # round trips per member file, the pipeline 2 per window (plus the
+    # group record's get/put).  Store round trips scatter per shard, so
+    # at quick scale (batch ~ shard count) they only must not regress.
+    serial_rk = by_name["rekey_tcp/serial"]
+    pipelined_rk = by_name["rekey_tcp/pipelined"]
+    assert serial_rk["files"] == pipelined_rk["files"] > 0
+    assert serial_rk["batches"] == 0
+    assert pipelined_rk["batches"] >= 1
+    assert serial_rk["keystore_round_trips"] >= 3 * serial_rk["files"]
+    assert (
+        pipelined_rk["keystore_round_trips"]
+        <= 2 + 2 * pipelined_rk["batches"]
+    )
+    assert pipelined_rk["keystore_round_trips"] < serial_rk["keystore_round_trips"]
+    assert pipelined_rk["store_round_trips"] <= serial_rk["store_round_trips"]
+    # Both rows re-encrypted the same stub bytes (identical crypto work).
+    assert serial_rk["bytes"] == pipelined_rk["bytes"] > 0
+    assert serial_rk["abe_operations"] == pipelined_rk["abe_operations"] == 1
