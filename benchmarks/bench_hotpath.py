@@ -22,7 +22,13 @@ Measures the four layers the acceleration pass touches —
   cluster: the serial per-file reference path (~5 round trips per
   member file) vs. the batched rekey pipeline (one batch RPC per stage
   per window plus parallel stub re-encryption), recording store and
-  keystore round trips alongside wall time —
+  keystore round trips alongside wall time;
+* **concurrent_tcp** — 100+ concurrent clients hammering ONE node with
+  latency-bound requests: the legacy thread-per-connection server
+  (16 workers, each owning a connection until its client hangs up) vs.
+  the asyncio-multiplexed server (connections decoupled from handler
+  threads), recording aggregate request throughput and the
+  per-client completion spread (the starvation signature) —
 
 and writes machine-readable ``BENCH_hotpath.json`` at the repo root so
 future PRs can track the perf trajectory.  Run it directly::
@@ -58,7 +64,7 @@ from repro.crypto.drbg import HmacDrbg  # noqa: E402
 from repro.obs.expo import parse_prometheus, render_prometheus  # noqa: E402
 from repro.obs.metrics import MetricsRegistry  # noqa: E402
 
-SCHEMA = "reed-bench-hotpath/2"
+SCHEMA = "reed-bench-hotpath/3"
 
 #: Every timed repeat lands in ``bench_seconds{bench=...}`` here, so the
 #: numbers the report prints are the same ones a scrape would export.
@@ -451,6 +457,135 @@ def bench_rekey_tcp(
     return results
 
 
+def bench_concurrent_tcp(
+    clients: int, calls: int, delay_s: float, repeats: int, seed: int
+) -> list[dict]:
+    """100+ concurrent clients against ONE node: threaded vs. multiplexed.
+
+    Every client thread opens its own persistent connection and issues
+    ``calls`` latency-bound requests (the handler sleeps ``delay_s`` to
+    model backend/disk latency, releasing the GIL exactly like real I/O
+    does).  The two servers get identical hardware but embody the two
+    architectures:
+
+    * ``threaded`` — the legacy thread-per-connection server with the
+      default 16-worker pool: a worker *owns* a connection until its
+      client disconnects, so only 16 of the N clients make progress at
+      any moment and the rest starve in the accept queue (watch
+      ``client_spread_s``: the last client finishes a full pool-rotation
+      after the first);
+    * ``multiplexed`` — the asyncio server: all N connections stay live
+      on one event loop, requests dispatch to a bounded handler
+      executor as they arrive, responses return out of order.  Handler
+      threads are sized to the node (not to the connection count), so
+      aggregate throughput scales with handler parallelism instead of
+      being capped by connection ownership.
+
+    Reported ``seconds`` is the whole storm (connect + all requests +
+    disconnect for every client); ``requests_per_s`` is the aggregate
+    rate the node sustained; ``client_spread_s`` is last-client-done
+    minus first-client-done — flat for a fair scheduler, a full
+    rotation-length tail under connection ownership.
+    """
+    import threading
+
+    from repro.net.rpc import ServiceRegistry
+    from repro.net.tcp import TcpConnection, TcpServer, ThreadedTcpServer
+
+    payload = _seed_rng("bench-concurrent-tcp", seed).random_bytes(256)
+
+    def make_registry():
+        registry = ServiceRegistry()
+
+        def work(request: bytes) -> bytes:
+            time.sleep(delay_s)  # models backend latency; releases the GIL
+            return request
+
+        registry.register("storage.work", work)
+        return registry
+
+    def storm(address) -> tuple[float, float]:
+        """Run the full client storm; returns (seconds, completion spread)."""
+        barrier = threading.Barrier(clients + 1)
+        done: list[float] = []
+        errors: list[Exception] = []
+        lock = threading.Lock()
+
+        def one_client() -> None:
+            try:
+                connection = TcpConnection(*address)
+                try:
+                    client = connection.client()
+                    barrier.wait(timeout=30.0)
+                    for _ in range(calls):
+                        if client.call("storage.work", payload) != payload:
+                            raise AssertionError("payload corrupted in flight")
+                finally:
+                    connection.close()
+                with lock:
+                    done.append(time.perf_counter())
+            except Exception as exc:  # surfaced after the join below
+                with lock:
+                    errors.append(exc)
+                try:
+                    barrier.abort()
+                except threading.BrokenBarrierError:
+                    pass
+
+        threads = [threading.Thread(target=one_client) for _ in range(clients)]
+        for thread in threads:
+            thread.start()
+        barrier.wait(timeout=30.0)
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        elapsed = time.perf_counter() - start
+        if errors:
+            raise errors[0]
+        if len(done) != clients:
+            raise AssertionError(f"only {len(done)}/{clients} clients finished")
+        return elapsed, max(done) - min(done)
+
+    results = []
+    total_requests = clients * calls
+    total_bytes = total_requests * len(payload)
+    configs = (
+        # The legacy coupling: worker count == concurrently-served
+        # connections, at the old default pool size.
+        ("threaded", lambda: ThreadedTcpServer(make_registry())),
+        # Decoupled: the event loop holds every connection; the handler
+        # executor is sized for the node's latency-bound work.
+        ("multiplexed", lambda: TcpServer(make_registry(), max_workers=64)),
+    )
+    for label, make_server in configs:
+        state = {"spread": 0.0}
+        server = make_server()
+        server.start()
+        try:
+
+            def run(server=server, state=state):
+                _, state["spread"] = storm(server.address)
+
+            seconds = _time(run, repeats, f"concurrent_tcp/{label}")
+        finally:
+            server.stop(drain=True)
+        results.append(
+            {
+                "name": f"concurrent_tcp/{label}",
+                "bytes": total_bytes,
+                "seconds": seconds,
+                "mib_per_s": _mib_per_s(total_bytes, seconds),
+                "clients": clients,
+                "calls_per_client": calls,
+                "requests": total_requests,
+                "requests_per_s": round(total_requests / seconds, 1),
+                "handler_delay_ms": delay_s * 1000,
+                "client_spread_s": round(state["spread"], 4),
+            }
+        )
+    return results
+
+
 def compute_speedups(results: list[dict]) -> dict[str, float]:
     """Accelerated-over-reference ratios per benchmark family."""
     by_name = {r["name"]: r for r in results}
@@ -463,6 +598,11 @@ def compute_speedups(results: list[dict]) -> dict[str, float]:
         ("upload_tcp", "upload_tcp/per_chunk", ("upload_tcp/batched",)),
         ("download_tcp", "download_tcp/serial", ("download_tcp/pipelined",)),
         ("rekey_tcp", "rekey_tcp/serial", ("rekey_tcp/pipelined",)),
+        (
+            "concurrent_tcp",
+            "concurrent_tcp/threaded",
+            ("concurrent_tcp/multiplexed",),
+        ),
     )
     for family, ref_name, fast_names in pairs:
         ref = by_name.get(ref_name)
@@ -472,7 +612,7 @@ def compute_speedups(results: list[dict]) -> dict[str, float]:
     return speedups
 
 
-def run(quick: bool, seed: int = 0) -> dict:
+def run(quick: bool, seed: int = 0, only: list[str] | None = None) -> dict:
     global BENCH_METRICS
     BENCH_METRICS = MetricsRegistry()  # each run reports only its own repeats
     rng = _seed_rng("bench-hotpath", seed)
@@ -484,6 +624,7 @@ def run(quick: bool, seed: int = 0) -> dict:
         tcp_bytes = 64 * 1024
         download_bytes = 64 * 1024
         rekey = (8, 8 * 1024, 4)  # files, bytes/file, pipeline batch size
+        concurrent = (16, 4, 0.002)  # clients, calls/client, handler delay
         repeats = 1
     else:
         chunk_data = rng.random_bytes(4 * 1024 * 1024)
@@ -498,16 +639,41 @@ def run(quick: bool, seed: int = 0) -> dict:
         # The ISSUE's acceptance scenario: a 64-file group over 4
         # shards, rekeyed in windows of 16 (4 batches per stage).
         rekey = (64, 16 * 1024, 16)
+        # The acceptance scenario: 120 concurrent clients, each making
+        # 10 latency-bound (20 ms — think a disk seek or a backend hop)
+        # calls against ONE node.  The latency must dominate per-request
+        # CPU: every party here shares one interpreter, so sub-5ms
+        # handlers measure the GIL, not the transport.
+        concurrent = (120, 10, 0.02)
         repeats = 3
 
+    families: tuple[tuple[str, object], ...] = (
+        ("chunking", lambda: bench_chunking(chunk_data, repeats)),
+        ("ctr", lambda: bench_ctr(ctr_len, repeats)),
+        ("caont", lambda: bench_caont(*caont, repeats, seed)),
+        ("upload", lambda: bench_upload(upload_bytes, repeats, seed)),
+        ("upload_tcp", lambda: bench_upload_tcp(tcp_bytes, repeats, seed)),
+        (
+            "download_tcp",
+            lambda: bench_download_tcp(download_bytes, repeats, seed),
+        ),
+        ("rekey_tcp", lambda: bench_rekey_tcp(*rekey, repeats, seed)),
+        (
+            "concurrent_tcp",
+            lambda: bench_concurrent_tcp(*concurrent, repeats, seed),
+        ),
+    )
+    known = {name for name, _ in families}
+    for requested in only or []:
+        if requested not in known:
+            raise SystemExit(
+                f"unknown bench family {requested!r}; choose from {sorted(known)}"
+            )
     results: list[dict] = []
-    results.extend(bench_chunking(chunk_data, repeats))
-    results.extend(bench_ctr(ctr_len, repeats))
-    results.extend(bench_caont(*caont, repeats, seed))
-    results.extend(bench_upload(upload_bytes, repeats, seed))
-    results.extend(bench_upload_tcp(tcp_bytes, repeats, seed))
-    results.extend(bench_download_tcp(download_bytes, repeats, seed))
-    results.extend(bench_rekey_tcp(*rekey, repeats, seed))
+    for name, bench in families:
+        if only and name not in only:
+            continue
+        results.extend(bench())
     return {
         "schema": SCHEMA,
         "quick": quick,
@@ -559,12 +725,20 @@ def main(argv: list[str] | None = None) -> int:
         help="seed for every input byte stream (same seed, same bytes)",
     )
     parser.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="FAMILY",
+        help="run only this bench family (repeatable, e.g. "
+        "--only concurrent_tcp); default is every family",
+    )
+    parser.add_argument(
         "--out",
         default=os.path.join(REPO_ROOT, "BENCH_hotpath.json"),
         help="output JSON path (default: BENCH_hotpath.json at repo root)",
     )
     args = parser.parse_args(argv)
-    report = run(quick=args.quick or args.smoke, seed=args.seed)
+    report = run(quick=args.quick or args.smoke, seed=args.seed, only=args.only)
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")

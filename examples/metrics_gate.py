@@ -40,7 +40,23 @@ REQUIRED_ON_EVERY_NODE = (
     "tcp_in_flight_requests",
     "tcp_queue_depth",
     "tcp_max_workers",
+    "tcp_idle_drops_total",
+    "tcp_oversize_drops_total",
+    "aio_connection_window",
+    "aio_out_of_order_responses_total",
 )
+
+#: Transport gauges/counters that must read ZERO on a healthy node while
+#: it is being scraped: nothing stuck in flight or queued, no peer
+#: dropped for idling or oversized frames.  (The ``metrics`` scrape
+#: itself is in flight while the snapshot is taken, hence the allowance
+#: of 1 for ``tcp_in_flight_requests``.)
+HEALTHY_CEILINGS = {
+    "tcp_in_flight_requests": 1.0,
+    "tcp_queue_depth": 1.0,
+    "tcp_idle_drops_total": 0.0,
+    "tcp_oversize_drops_total": 0.0,
+}
 
 #: Per-node RPC methods whose request counters must have fired during
 #: the upload and the downloads (beyond the ``metrics`` scrape itself).
@@ -125,6 +141,12 @@ def check_node(node: str, text: str) -> list[str]:
     for required in REQUIRED_ON_EVERY_NODE:
         if required not in names:
             problems.append(f"{node}: missing series {required}")
+    for name, ceiling in HEALTHY_CEILINGS.items():
+        value = series.get((name, frozenset()))
+        if value is not None and value > ceiling:
+            problems.append(
+                f"{node}: {name} is {value} (healthy ceiling {ceiling})"
+            )
     for method in REQUIRED_METHODS.get(node, ()):
         key = ("rpc_requests_total", frozenset({("method", method)}))
         count = series.get(key, 0.0)
@@ -220,6 +242,34 @@ def main() -> int:
             status = "FAIL" if node_problems else "ok"
             print(f"scrape {node}: {len(text.splitlines())} lines [{status}]")
             problems.extend(node_problems)
+        servers = list(cluster._tcp_servers)
+
+    # After the drained stop: nothing may remain in flight on any node
+    # (the drain flushed every response), nothing dropped for idling,
+    # and no client call may still be awaiting a response.
+    for server in servers:
+        stats = server.stats()
+        if stats["in_flight_requests"] != 0:
+            problems.append(
+                f"post-drain: {stats['in_flight_requests']} requests "
+                f"still in flight on {server.address}"
+            )
+        if stats["idle_drops"] != 0:
+            problems.append(
+                f"post-drain: {stats['idle_drops']} idle drops on "
+                f"{server.address} (healthy runs drop nobody)"
+            )
+    client_in_flight = default_registry().gauge(
+        "tcp_client_in_flight_requests", ""
+    ).value
+    if client_in_flight != 0:
+        problems.append(
+            f"post-drain: client in-flight gauge reads {client_in_flight}"
+        )
+    print(
+        f"post-drain: {len(servers)} nodes idle, client in-flight gauge "
+        f"{client_in_flight:.0f}"
+    )
 
     if problems:
         for problem in problems:

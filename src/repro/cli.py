@@ -53,7 +53,12 @@ from repro.mle.cache import MLEKeyCache
 from repro.mle.keymanager import KeyManager
 from repro.mle.server_aided import ServerAidedKeyClient
 from repro.net.rpc import ServiceRegistry
-from repro.net.tcp import TcpConnection, TcpServer
+from repro.net.tcp import (
+    DEFAULT_CLIENT_WINDOW,
+    DEFAULT_IDLE_TIMEOUT,
+    TcpConnection,
+    TcpServer,
+)
 from repro.obs.expo import parse_prometheus
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.rpc import register_metrics, scrape
@@ -139,7 +144,12 @@ def _build_client(args, org: OrgState) -> tuple[REEDClient, list[TcpConnection]]
     connections: list[TcpConnection] = []
 
     def connect(endpoint: str):
-        conn = TcpConnection(*_parse_endpoint(endpoint))
+        conn = TcpConnection(
+            *_parse_endpoint(endpoint),
+            timeout=args.rpc_timeout,
+            max_in_flight=args.rpc_window,
+            auto_retry=not args.no_rpc_retry,
+        )
         connections.append(conn)
         return conn.client()
 
@@ -193,6 +203,24 @@ def _add_client_args(parser: argparse.ArgumentParser) -> None:
         help="stub re-encryption workers for batched rekeying "
         "(0 = one per CPU, capped)",
     )
+    parser.add_argument(
+        "--rpc-timeout",
+        type=float,
+        default=30.0,
+        help="per-call response timeout in seconds on each connection",
+    )
+    parser.add_argument(
+        "--rpc-window",
+        type=int,
+        default=DEFAULT_CLIENT_WINDOW,
+        help="max in-flight calls per multiplexed connection "
+        "(senders block when the window is full)",
+    )
+    parser.add_argument(
+        "--no-rpc-retry",
+        action="store_true",
+        help="disable transparent reconnect+retry of idempotent methods",
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -213,6 +241,7 @@ def start_service(
     host: str = "127.0.0.1",
     port: int = 0,
     data: str | None = None,
+    idle_timeout: float | None = DEFAULT_IDLE_TIMEOUT,
 ) -> TcpServer:
     """Start one REED service and return its (already listening) server.
 
@@ -232,14 +261,23 @@ def start_service(
         raise ConfigurationError(f"unknown service role {role!r}")
     # Every service is scrapeable over its own RPC port (`reed stats`).
     register_metrics(registry, metrics)
-    server = TcpServer(registry, host=host, port=port, metrics=metrics)
+    server = TcpServer(
+        registry, host=host, port=port, metrics=metrics, idle_timeout=idle_timeout
+    )
     server.start()
     return server
 
 
 def cmd_serve(args) -> int:
     org = _load_org(args)
-    server = start_service(args.role, org, args.host, args.port, args.data)
+    server = start_service(
+        args.role,
+        org,
+        args.host,
+        args.port,
+        args.data,
+        idle_timeout=args.idle_timeout or None,
+    )
     host, port = server.address
     print(f"{args.role} serving on {host}:{port}", flush=True)
     if args.once:  # test hook: do not block; the caller owns the lifetime
@@ -412,11 +450,15 @@ def cmd_top(args) -> int:
         queued = value("tcp_queue_depth")
         served = value("tcp_requests_total")
         if served is not None:
-            print(
+            line = (
                 f"  tcp: {served:.0f} served, "
                 f"{conns or 0:.0f} connections, "
                 f"{in_flight or 0:.0f} in flight, {queued or 0:.0f} queued"
             )
+            idle_drops = value("tcp_idle_drops_total")
+            if idle_drops:
+                line += f", {idle_drops:.0f} idle drops"
+            print(line)
         # Hottest methods: request count with mean handler latency drawn
         # from the same histogram a Prometheus scrape would see.
         methods: list[tuple[float, str]] = []
@@ -506,6 +548,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=0)
     serve.add_argument("--data", default=None, help="durable storage directory")
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=DEFAULT_IDLE_TIMEOUT,
+        help="drop connections idle for this many seconds (0 disables)",
+    )
     serve.add_argument(
         "--once", action="store_true", help=argparse.SUPPRESS
     )  # test hook: do not block

@@ -30,7 +30,15 @@ from repro.mle.cache import MLEKeyCache
 from repro.mle.keymanager import KeyManager
 from repro.mle.server_aided import DEFAULT_BATCH_SIZE, ServerAidedKeyClient
 from repro.net.rpc import ServiceRegistry
-from repro.net.tcp import DEFAULT_MAX_WORKERS, TcpConnection, TcpServer
+from repro.net.tcp import (
+    DEFAULT_CLIENT_WINDOW,
+    DEFAULT_CONNECTION_WINDOW,
+    DEFAULT_IDLE_TIMEOUT,
+    DEFAULT_MAX_WORKERS,
+    TcpConnection,
+    TcpServer,
+    ThreadedTcpServer,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.rpc import register_metrics, scrape
 from repro.storage.keystore import KeyStore
@@ -51,6 +59,13 @@ class TcpCluster:
         with TcpCluster(num_data_servers=2) as cluster:
             alice = cluster.new_client("alice")
             alice.upload("file", data)
+
+    ``transport`` selects the server generation: ``"aio"`` (default) is
+    the asyncio-multiplexed :class:`TcpServer`; ``"threaded"`` is the
+    legacy thread-per-connection :class:`ThreadedTcpServer` kept for
+    benchmarking.  ``idle_timeout`` / ``connection_window`` tune the aio
+    servers' dead-peer drop and per-connection request window;
+    ``client_window`` bounds in-flight calls per client connection.
     """
 
     def __init__(
@@ -62,9 +77,17 @@ class TcpCluster:
         key_batch_size: int = DEFAULT_BATCH_SIZE,
         rng: RandomSource | None = None,
         max_workers: int = DEFAULT_MAX_WORKERS,
+        transport: str = "aio",
+        idle_timeout: float | None = DEFAULT_IDLE_TIMEOUT,
+        connection_window: int = DEFAULT_CONNECTION_WINDOW,
+        client_window: int = DEFAULT_CLIENT_WINDOW,
     ) -> None:
         if num_data_servers < 1:
             raise ConfigurationError("need at least one data server")
+        if transport not in ("aio", "threaded"):
+            raise ConfigurationError(
+                f"unknown transport {transport!r}: expected 'aio' or 'threaded'"
+            )
         self._rng = rng or SYSTEM_RANDOM
         self.scheme = scheme
         self.chunking = chunking
@@ -75,7 +98,9 @@ class TcpCluster:
         self.keystore = KeyStore()
         self._keyreg_bits = key_bits
         self._owners: dict[str, KeyRegressionOwner] = {}
-        self._tcp_servers: list[TcpServer] = []
+        self._transport = transport
+        self._client_window = client_window
+        self._tcp_servers: list[TcpServer | ThreadedTcpServer] = []
         self._connections: list[TcpConnection] = []
         #: Per-node metrics registries keyed by node name
         #: (``storage-0`` … ``keystore`` / ``key-manager``).  Each node's
@@ -89,7 +114,18 @@ class TcpCluster:
             registry = ServiceRegistry(metrics=metrics)
             register(registry, obj)
             register_metrics(registry, metrics)
-            server = TcpServer(registry, max_workers=max_workers, metrics=metrics)
+            if transport == "aio":
+                server = TcpServer(
+                    registry,
+                    max_workers=max_workers,
+                    metrics=metrics,
+                    idle_timeout=idle_timeout,
+                    connection_window=connection_window,
+                )
+            else:
+                server = ThreadedTcpServer(
+                    registry, max_workers=max_workers, metrics=metrics
+                )
             server.start()
             self._tcp_servers.append(server)
             return server.address
@@ -108,7 +144,7 @@ class TcpCluster:
     # ------------------------------------------------------------------
 
     def _connect(self, address: tuple[str, int]):
-        connection = TcpConnection(*address)
+        connection = TcpConnection(*address, max_in_flight=self._client_window)
         self._connections.append(connection)
         return connection.client()
 

@@ -14,7 +14,8 @@ use it directly in-process, or behind RPC via
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import Protocol
 
 from repro.crypto.hashing import fingerprint as _fingerprint
@@ -71,7 +72,13 @@ class StorageService(Protocol):
 
 @dataclass
 class ServerCounters:
-    """Per-server request accounting (used by the evaluation harness)."""
+    """Per-server request accounting (used by the evaluation harness).
+
+    Handlers run concurrently — the multiplexed transport dispatches
+    even same-connection requests in parallel — so bumps go through
+    :meth:`add`, which is atomic; plain ``+=`` on the fields would lose
+    increments under contention.
+    """
 
     put_batches: int = 0
     get_batches: int = 0
@@ -80,6 +87,15 @@ class ServerCounters:
     #: Batch-level service calls received — one per round trip in a
     #: networked deployment (the in-process equivalent of an RPC count).
     requests: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add(self, **deltas: int) -> None:
+        """Atomically bump named counters (``add(requests=1)``)."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
 
 
 class REEDServer:
@@ -97,7 +113,7 @@ class REEDServer:
     # -- chunks ---------------------------------------------------------------
 
     def chunk_exists_batch(self, fingerprints: list[bytes]) -> list[bool]:
-        self.counters.requests += 1
+        self.counters.add(requests=1)
         return self.store.has_many(fingerprints)
 
     def chunk_put_batch(self, chunks: list[tuple[bytes, bytes]]) -> int:
@@ -107,17 +123,17 @@ class REEDServer:
         a malicious or buggy client must not be able to poison another
         user's chunk under a false fingerprint.
         """
-        self.counters.requests += 1
+        self.counters.add(requests=1)
         new = 0
         for fp, data in chunks:
-            self.counters.bytes_received += len(data)
+            self.counters.add(bytes_received=len(data))
             if _fingerprint(data) != fp:
                 raise IntegrityError(
                     "uploaded chunk does not match its declared fingerprint"
                 )
             if self.store.put_chunk(fp, data):
                 new += 1
-        self.counters.put_batches += 1
+        self.counters.add(put_batches=1)
         return new
 
     def chunk_put_many(
@@ -131,10 +147,10 @@ class REEDServer:
         chunk therefore fails alone instead of aborting its whole batch
         — the wire layer carries the per-item errors back verbatim.
         """
-        self.counters.requests += 1
+        self.counters.add(requests=1)
         results: list[bool | Exception] = []
         for fp, data in chunks:
-            self.counters.bytes_received += len(data)
+            self.counters.add(bytes_received=len(data))
             try:
                 if _fingerprint(data) != fp:
                     raise IntegrityError(
@@ -143,52 +159,52 @@ class REEDServer:
                 results.append(self.store.put_chunk(fp, data))
             except Exception as exc:  # noqa: BLE001 - carried per item
                 results.append(exc)
-        self.counters.put_batches += 1
+        self.counters.add(put_batches=1)
         return results
 
     def chunk_get_batch(self, fingerprints: list[bytes]) -> list[bytes]:
-        self.counters.requests += 1
+        self.counters.add(requests=1)
         # ``get_many`` lets a sharded store scatter-gather its shards
         # concurrently; a plain DataStore reads serially, same result.
         out = self.store.get_many(fingerprints)
         for data in out:
-            self.counters.bytes_sent += len(data)
-        self.counters.get_batches += 1
+            self.counters.add(bytes_sent=len(data))
+        self.counters.add(get_batches=1)
         return out
 
     def chunk_release_batch(self, fingerprints: list[bytes]) -> None:
-        self.counters.requests += 1
+        self.counters.add(requests=1)
         for fp in fingerprints:
             self.store.release_chunk(fp)
 
     # -- recipes / stub files ------------------------------------------------------
 
     def recipe_put(self, file_id: str, data: bytes) -> None:
-        self.counters.requests += 1
+        self.counters.add(requests=1)
         self.store.put_recipe(file_id, data)
 
     def recipe_get(self, file_id: str) -> bytes:
-        self.counters.requests += 1
+        self.counters.add(requests=1)
         return self.store.get_recipe(file_id)
 
     def recipe_delete(self, file_id: str) -> None:
-        self.counters.requests += 1
+        self.counters.add(requests=1)
         self.store.delete_recipe(file_id)
 
     def recipe_list(self) -> list[str]:
-        self.counters.requests += 1
+        self.counters.add(requests=1)
         return self.store.list_recipes()
 
     def stub_put(self, file_id: str, data: bytes) -> None:
-        self.counters.requests += 1
+        self.counters.add(requests=1)
         self.store.put_stub_file(file_id, data)
 
     def stub_get(self, file_id: str) -> bytes:
-        self.counters.requests += 1
+        self.counters.add(requests=1)
         return self.store.get_stub_file(file_id)
 
     def stub_delete(self, file_id: str) -> None:
-        self.counters.requests += 1
+        self.counters.add(requests=1)
         self.store.delete_stub_file(file_id)
 
     # -- batched metadata (the rekeying pipeline's multi-file messages) -------
@@ -212,40 +228,40 @@ class REEDServer:
     def recipe_put_many(
         self, items: list[tuple[str, bytes]]
     ) -> list[None | Exception]:
-        self.counters.requests += 1
+        self.counters.add(requests=1)
         return self._per_item(
             lambda item: self.store.put_recipe(item[0], item[1]), items
         )
 
     def recipe_get_many(self, file_ids: list[str]) -> list[bytes | Exception]:
-        self.counters.requests += 1
+        self.counters.add(requests=1)
         results = self._per_item(self.store.get_recipe, file_ids)
         for data in results:
             if not isinstance(data, Exception):
-                self.counters.bytes_sent += len(data)
+                self.counters.add(bytes_sent=len(data))
         return results
 
     def stub_put_many(
         self, items: list[tuple[str, bytes]]
     ) -> list[None | Exception]:
-        self.counters.requests += 1
+        self.counters.add(requests=1)
         for _file_id, data in items:
-            self.counters.bytes_received += len(data)
+            self.counters.add(bytes_received=len(data))
         return self._per_item(
             lambda item: self.store.put_stub_file(item[0], item[1]), items
         )
 
     def stub_get_many(self, file_ids: list[str]) -> list[bytes | Exception]:
-        self.counters.requests += 1
+        self.counters.add(requests=1)
         results = self._per_item(self.store.get_stub_file, file_ids)
         for data in results:
             if not isinstance(data, Exception):
-                self.counters.bytes_sent += len(data)
+                self.counters.add(bytes_sent=len(data))
         return results
 
     def meta_delete_many(self, file_ids: list[str]) -> list[None | Exception]:
         """Drop a file's stub file *and* recipe in one message (delete path)."""
-        self.counters.requests += 1
+        self.counters.add(requests=1)
 
         def drop(file_id: str) -> None:
             self.store.delete_stub_file(file_id)
@@ -254,7 +270,7 @@ class REEDServer:
         return self._per_item(drop, file_ids)
 
     def flush(self) -> None:
-        self.counters.requests += 1
+        self.counters.add(requests=1)
         self.store.flush()
 
     @property

@@ -1,7 +1,13 @@
 """Networking: message framing, RPC, loopback and TCP transports."""
 
+from repro.net.aio import AsyncTcpServer
 from repro.net.message import MAX_MESSAGE_BYTES, Message, frame, read_frame
-from repro.net.retry import RetryingRpcClient, RetryPolicy
+from repro.net.retry import (
+    IDEMPOTENT_METHOD_SUFFIXES,
+    RetryingRpcClient,
+    RetryPolicy,
+    is_idempotent_method,
+)
 from repro.net.rpc import (
     LoopbackTransport,
     RpcClient,
@@ -9,9 +15,11 @@ from repro.net.rpc import (
     decode_error,
     encode_error,
 )
-from repro.net.tcp import TcpConnection, TcpServer, connect
+from repro.net.tcp import TcpConnection, TcpServer, ThreadedTcpServer, connect
 
 __all__ = [
+    "AsyncTcpServer",
+    "IDEMPOTENT_METHOD_SUFFIXES",
     "LoopbackTransport",
     "MAX_MESSAGE_BYTES",
     "Message",
@@ -21,9 +29,11 @@ __all__ = [
     "ServiceRegistry",
     "TcpConnection",
     "TcpServer",
+    "ThreadedTcpServer",
     "connect",
     "decode_error",
     "encode_error",
     "frame",
+    "is_idempotent_method",
     "read_frame",
 ]

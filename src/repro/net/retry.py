@@ -26,6 +26,38 @@ from repro.util.errors import ConfigurationError, ProtocolError, ReproError
 #: Exception types considered transient (safe to retry).
 TRANSIENT_ERRORS: tuple[type[BaseException], ...] = (ProtocolError, OSError)
 
+#: Wire-method name suffixes (the part after the service prefix, e.g.
+#: ``storage.has_many`` → ``has_many``) that are safe to retry blind on a
+#: broken connection: pure reads plus side-effect-free info calls.  The
+#: deliberately-excluded deterministic writes (``put_many`` overwrites
+#: identically) would also be safe data-wise, but retrying them skews
+#: dedup/rate-limit accounting, so the transport only auto-retries these.
+IDEMPOTENT_METHOD_SUFFIXES: frozenset[str] = frozenset(
+    {
+        "exists",
+        "exists_batch",
+        "has_many",
+        "get",
+        "get_many",
+        "recipe_get",
+        "recipe_get_many",
+        "recipe_list",
+        "stub_get",
+        "stub_get_many",
+        "list",
+        "public_key",
+        "backoff_hint",
+        "info",
+        "metrics",
+    }
+)
+
+
+def is_idempotent_method(method: str) -> bool:
+    """True when ``method`` may be transparently retried after a
+    reconnect (see :data:`IDEMPOTENT_METHOD_SUFFIXES`)."""
+    return method.rsplit(".", 1)[-1] in IDEMPOTENT_METHOD_SUFFIXES
+
 
 class RetryPolicy:
     """Capped exponential backoff: ``base * 2^attempt``, up to ``cap``.
@@ -87,7 +119,10 @@ class RetryingRpcClient:
 
     ``reconnect`` (optional) is called between attempts to obtain a
     fresh underlying client — e.g. re-dialing a TCP connection after the
-    server came back.
+    server came back.  With ``idempotent_only=True`` only methods that
+    pass :func:`is_idempotent_method` are retried; anything else gets
+    exactly one attempt (a broken persistent connection then surfaces as
+    the original transport error instead of a blind re-send).
     """
 
     def __init__(
@@ -95,12 +130,16 @@ class RetryingRpcClient:
         client: RpcClient,
         policy: RetryPolicy | None = None,
         reconnect: Callable[[], RpcClient] | None = None,
+        idempotent_only: bool = False,
     ) -> None:
         self._client = client
         self._policy = policy or RetryPolicy()
         self._reconnect = reconnect
+        self._idempotent_only = idempotent_only
 
     def call(self, method: str, payload: bytes = b"") -> bytes:
+        if self._idempotent_only and not is_idempotent_method(method):
+            return self._client.call(method, payload)
         first = [True]
 
         def attempt() -> bytes:

@@ -203,10 +203,10 @@ class RpcClient:
         with self._lock:
             self._next_id += 1
             message_id = self._next_id
+            self.calls += 1
         request = Message(
             message_id=message_id, method=method, is_error=False, payload=payload
         )
-        self.calls += 1
         self._requests.labels(method=method).inc()
         self._request_bytes.labels(method=method).inc(len(payload))
         started = self._clock()
@@ -223,7 +223,8 @@ class RpcClient:
                 f"response id {response.message_id} does not match request {message_id}"
             )
         if response.is_error:
-            self.errors += 1
+            with self._lock:
+                self.errors += 1
             self._client_errors.labels(method=method).inc()
             raise decode_error(response.payload)
         self._response_bytes.labels(method=method).inc(len(response.payload))

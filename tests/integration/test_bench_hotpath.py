@@ -26,6 +26,7 @@ EXPECTED_FAMILIES = {
     "upload_tcp",
     "download_tcp",
     "rekey_tcp",
+    "concurrent_tcp",
 }
 
 #: Per-family baseline row (the oracle each speedup is computed against).
@@ -37,6 +38,7 @@ REFERENCE_ROWS = {
     "upload_tcp": "upload_tcp/per_chunk",
     "download_tcp": "download_tcp/serial",
     "rekey_tcp": "rekey_tcp/serial",
+    "concurrent_tcp": "concurrent_tcp/threaded",
 }
 
 THROUGHPUT_KEYS = {"name", "bytes", "seconds", "mib_per_s"}
@@ -65,6 +67,15 @@ REKEY_KEYS = THROUGHPUT_KEYS | {
     "workers",
     "abe_operations",
 }
+#: The concurrent-clients scenario records storm shape and fairness.
+CONCURRENT_KEYS = THROUGHPUT_KEYS | {
+    "clients",
+    "calls_per_client",
+    "requests",
+    "requests_per_s",
+    "handler_delay_ms",
+    "client_spread_s",
+}
 
 
 @pytest.mark.slow
@@ -85,7 +96,7 @@ def test_quick_bench_runs_and_writes_valid_report(tmp_path):
     assert "metrics snapshot: well-formed" in proc.stdout
 
     report = json.loads(out.read_text())
-    assert report["schema"] == "reed-bench-hotpath/2"
+    assert report["schema"] == "reed-bench-hotpath/3"
     assert report["quick"] is True
     assert report["seed"] == 3
     # Every reported row has its repeats recorded in the bench histogram
@@ -101,6 +112,8 @@ def test_quick_bench_runs_and_writes_valid_report(tmp_path):
             expected_keys = DOWNLOAD_KEYS
         elif result["name"].startswith("rekey_tcp/"):
             expected_keys = REKEY_KEYS
+        elif result["name"].startswith("concurrent_tcp/"):
+            expected_keys = CONCURRENT_KEYS
         else:
             expected_keys = THROUGHPUT_KEYS
         assert set(result) == expected_keys
@@ -154,3 +167,11 @@ def test_quick_bench_runs_and_writes_valid_report(tmp_path):
     # Both rows re-encrypted the same stub bytes (identical crypto work).
     assert serial_rk["bytes"] == pipelined_rk["bytes"] > 0
     assert serial_rk["abe_operations"] == pipelined_rk["abe_operations"] == 1
+    # The concurrent-clients storm: both transports served every request
+    # (quick scale is too small for a throughput assertion — the full
+    # run in BENCH_hotpath.json carries that evidence).
+    threaded = by_name["concurrent_tcp/threaded"]
+    multiplexed = by_name["concurrent_tcp/multiplexed"]
+    assert threaded["requests"] == multiplexed["requests"] > 0
+    assert threaded["clients"] == multiplexed["clients"]
+    assert multiplexed["requests_per_s"] > 0
