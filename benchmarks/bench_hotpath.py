@@ -18,6 +18,11 @@ Measures the four layers the acceleration pass touches —
   (shard scatter-gather + process-pool CAONT inversion + prefetch
   overlap), plus a warm-chunk-cache pass that serves every trimmed
   package locally;
+* **replicated_tcp** — upload + restore over a 3-node localhost TCP
+  cluster at R=1 (ring placement, single copy) vs. R=2 (every chunk on
+  two ring owners, write quorum 1): the recorded ``overhead_vs_r1``
+  ratio on the R=2 rows is the price of replication, and the R=2
+  store round trips show writes fanning out to both owners;
 * **rekey_tcp** — active group rekey over a 4-shard localhost TCP
   cluster: the serial per-file reference path (~5 round trips per
   member file) vs. the batched rekey pipeline (one batch RPC per stage
@@ -64,7 +69,7 @@ from repro.crypto.drbg import HmacDrbg  # noqa: E402
 from repro.obs.expo import parse_prometheus, render_prometheus  # noqa: E402
 from repro.obs.metrics import MetricsRegistry  # noqa: E402
 
-SCHEMA = "reed-bench-hotpath/3"
+SCHEMA = "reed-bench-hotpath/4"
 
 #: Every timed repeat lands in ``bench_seconds{bench=...}`` here, so the
 #: numbers the report prints are the same ones a scrape would export.
@@ -381,6 +386,100 @@ def bench_download_tcp(file_bytes: int, repeats: int, seed: int) -> list[dict]:
     return results
 
 
+def bench_replicated_tcp(file_bytes: int, repeats: int, seed: int) -> list[dict]:
+    """Replication overhead over localhost TCP: R=1 vs R=2.
+
+    The same 3-node cluster topology runs twice: once with single-copy
+    ring placement (R=1) and once with every chunk, recipe, and stub on
+    its first two ring owners (R=2, write quorum 1).  Each repeat
+    uploads fresh (undeduplicatable) data and restores it, so the two
+    configurations pay identical crypto and differ only in replica
+    fan-out.  The ``overhead_vs_r1`` ratio on the R=2 rows is the cost
+    of the durability: writes ship every chunk twice (watch the store
+    round trips roughly double), reads still fetch each chunk once from
+    its primary.
+    """
+    from repro.chunking.chunker import ChunkingSpec
+    from repro.core.cluster import TcpCluster
+
+    rng = _seed_rng("bench-replicated-tcp", seed)
+    chunking = ChunkingSpec(method="fixed", avg_size=4096)
+    results = []
+    baseline: dict[str, float] = {}
+    for replicas in (1, 2):
+        label = f"r{replicas}"
+        with TcpCluster(
+            num_data_servers=3, replicas=replicas, chunking=chunking, rng=rng
+        ) as cluster:
+            state = {"counter": 0, "upload": None, "download": None}
+
+            def run_upload(cluster=cluster, label=label, state=state):
+                state["counter"] += 1
+                data = rng.random_bytes(file_bytes)
+                client = cluster.new_client(
+                    f"bench-{label}-{state['counter']}", encryption_workers=1
+                )
+                state["upload"] = client.upload(
+                    f"file-{label}-{state['counter']}", data
+                )
+                state["data"] = data
+                client.close()
+
+            seconds = _time(run_upload, repeats, f"replicated_tcp/upload_{label}")
+            upload = state["upload"]
+            row = {
+                "name": f"replicated_tcp/upload_{label}",
+                "bytes": file_bytes,
+                "seconds": seconds,
+                "mib_per_s": _mib_per_s(file_bytes, seconds),
+                "replicas": replicas,
+                "chunks": upload.chunk_count,
+                "store_round_trips": upload.store_round_trips,
+            }
+            if replicas == 1:
+                baseline["upload"] = seconds
+            else:
+                row["overhead_vs_r1"] = round(seconds / baseline["upload"], 2)
+            results.append(row)
+
+            # Restore the last uploaded file with a fresh cold client.
+            reader = cluster.new_client(
+                f"bench-{label}-{state['counter']}", encryption_workers=1
+            )
+            file_id = f"file-{label}-{state['counter']}"
+
+            def run_download(reader=reader, file_id=file_id, state=state):
+                state["download"] = reader.download(file_id)
+
+            seconds = _time(
+                run_download, repeats, f"replicated_tcp/download_{label}"
+            )
+            download = state["download"]
+            reader.close()
+            if download.data != state["data"]:
+                raise AssertionError(
+                    f"replicated_tcp/download_{label}: restored plaintext "
+                    f"differs from input"
+                )
+            row = {
+                "name": f"replicated_tcp/download_{label}",
+                "bytes": file_bytes,
+                "seconds": seconds,
+                "mib_per_s": _mib_per_s(file_bytes, seconds),
+                "replicas": replicas,
+                "chunks": download.chunk_count,
+                "store_round_trips": download.store_round_trips,
+            }
+            if replicas == 1:
+                baseline["download"] = seconds
+            else:
+                row["overhead_vs_r1"] = round(
+                    seconds / baseline["download"], 2
+                )
+            results.append(row)
+    return results
+
+
 def bench_rekey_tcp(
     group_files: int, file_bytes: int, batch_size: int, repeats: int, seed: int
 ) -> list[dict]:
@@ -596,6 +695,13 @@ def compute_speedups(results: list[dict]) -> dict[str, float]:
         ("caont", "caont/reference", ("caont/accelerated",)),
         ("upload", "upload/reference", ("upload/accelerated",)),
         ("upload_tcp", "upload_tcp/per_chunk", ("upload_tcp/batched",)),
+        # Replication "speedup" reads below 1.0 by design: it is the
+        # R=1-over-R=2 ratio, i.e. the inverse of the upload overhead.
+        (
+            "replicated_tcp",
+            "replicated_tcp/upload_r1",
+            ("replicated_tcp/upload_r2",),
+        ),
         ("download_tcp", "download_tcp/serial", ("download_tcp/pipelined",)),
         ("rekey_tcp", "rekey_tcp/serial", ("rekey_tcp/pipelined",)),
         (
@@ -656,6 +762,10 @@ def run(quick: bool, seed: int = 0, only: list[str] | None = None) -> dict:
         (
             "download_tcp",
             lambda: bench_download_tcp(download_bytes, repeats, seed),
+        ),
+        (
+            "replicated_tcp",
+            lambda: bench_replicated_tcp(tcp_bytes, repeats, seed),
         ),
         ("rekey_tcp", lambda: bench_rekey_tcp(*rekey, repeats, seed)),
         (

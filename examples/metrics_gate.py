@@ -4,7 +4,14 @@ Boots a real :class:`~repro.core.cluster.TcpCluster` (two data-store
 servers, the key store, the key manager — all on localhost TCP), uploads
 a small file, then scrapes the ``metrics`` RPC of **every** node and
 fails if any required series is missing or any sample is NaN (the
-parser rejects NaN outright).  Run it the way CI does::
+parser rejects NaN outright).
+
+A second stage boots an R=2 replicated cluster (three data servers,
+every chunk on two ring owners), kills one node, uploads through the
+outage, restores the node, runs a repair pass, and fails if the
+``replica_*`` / ``ring_*`` series are missing or NaN, if
+``replicas_missing`` is nonzero after repair, or if the degraded-mode
+client counters never fired.  Run it the way CI does::
 
     PYTHONPATH=src python examples/metrics_gate.py
 
@@ -29,7 +36,8 @@ from repro.core.policy import FilePolicy  # noqa: E402
 from repro.core.rekey import RevocationMode  # noqa: E402
 from repro.crypto.drbg import HmacDrbg  # noqa: E402
 from repro.obs.expo import parse_prometheus, render_prometheus  # noqa: E402
-from repro.obs.metrics import default_registry  # noqa: E402
+from repro.obs.metrics import MetricsRegistry, default_registry  # noqa: E402
+from repro.storage.repair import ReplicaRepairer, rebalance  # noqa: E402
 from repro.util.errors import CorruptionError  # noqa: E402
 
 #: Series every node must expose after serving at least one request.
@@ -165,6 +173,130 @@ def check_node(node: str, text: str) -> list[str]:
     return problems
 
 
+#: Repair/rebalance series the replication stage must expose, all on the
+#: dedicated repair registry (the exposition round trip rejects NaN).
+REQUIRED_REPLICATION_SERIES = (
+    "replica_repairs_total",
+    "replicas_missing",
+    "repair_scans_total",
+    "ring_keys_moved_total",
+)
+
+#: Client-side replication counters that must have fired after writing
+#: through an outage and reading from the surviving replicas.
+REQUIRED_DEGRADED_COUNTERS = (
+    "store_degraded_writes_total",
+    "store_node_failures_total",
+    "store_read_fallbacks_total",
+)
+
+
+def replication_stage() -> list[str]:
+    """Kill/restore/repair drill on an R=2 cluster; returns problems."""
+    problems: list[str] = []
+    rng = HmacDrbg(b"metrics-gate-replication")
+    chunking = ChunkingSpec(method="fixed", avg_size=4096)
+    repair_metrics = MetricsRegistry()
+    with TcpCluster(
+        num_data_servers=3, replicas=2, chunking=chunking, rng=rng
+    ) as cluster:
+        client = cluster.new_client("gate-replica-user")
+        storage = client.storage
+        healthy = rng.random_bytes(64 * 4096)
+        client.upload("replica-healthy", healthy)
+
+        # Kill a node, then read first: the download discovers the dead
+        # node mid-read and falls back to the surviving replicas (this
+        # is what drives ``store_read_fallbacks_total``).
+        cluster.kill_data_server(1)
+        if client.download("replica-healthy").data != healthy:
+            problems.append(
+                "replication: replica-healthy corrupted with a node down"
+            )
+        # Then write through the outage: R=2 with write quorum 1 must
+        # land every chunk on the surviving owner.
+        degraded = rng.random_bytes(64 * 4096)
+        client.upload("replica-degraded", degraded)
+        if client.download("replica-degraded").data != degraded:
+            problems.append(
+                "replication: replica-degraded corrupted with a node down"
+            )
+        print(
+            f"replication: survived node kill "
+            f"({storage.ring.down_nodes()} down, "
+            f"{storage.metrics.value('store_degraded_writes_total'):.0f} "
+            f"degraded writes)"
+        )
+
+        # Node returns; one repair pass must restore full replication.
+        cluster.restart_data_server(1)
+        report = ReplicaRepairer(storage, metrics=repair_metrics).run_once()
+        print(
+            f"replication: repair revived {report.revived_nodes}, "
+            f"restored {report.repairs} replicas "
+            f"({report.unrepaired} unrepaired)"
+        )
+        if report.repairs <= 0:
+            problems.append("replication: repair pass restored nothing")
+        if report.unrepaired != 0:
+            problems.append(
+                f"replication: {report.unrepaired} replicas unrepaired"
+            )
+
+        # Join a fourth node and migrate exactly the moved keys, so the
+        # rebalance counter carries real traffic.
+        index = cluster.add_data_server()
+        old_ring = storage.ring.copy()
+        storage.add_service(cluster.connect_storage(index))
+        moved = rebalance(storage, old_ring, metrics=repair_metrics)
+        print(
+            f"replication: join moved {moved.keys_moved}/"
+            f"{moved.keys_checked} keys ({moved.copies_made} copies)"
+        )
+        if not 0 < moved.keys_moved < moved.keys_checked:
+            problems.append(
+                f"replication: rebalance moved {moved.keys_moved} of "
+                f"{moved.keys_checked} keys (expected a strict subset)"
+            )
+        for file_id, data in (
+            ("replica-degraded", degraded),
+            ("replica-healthy", healthy),
+        ):
+            if client.download(file_id).data != data:
+                problems.append(
+                    f"replication: {file_id} corrupted after join/rebalance"
+                )
+
+        # The repair/rebalance series, through a NaN-rejecting round trip.
+        try:
+            series = parse_prometheus(render_prometheus(repair_metrics))
+        except CorruptionError as exc:
+            problems.append(f"replication: exposition rejected: {exc}")
+            series = {}
+        names = {name for name, _ in series}
+        for required in REQUIRED_REPLICATION_SERIES:
+            if required not in names:
+                problems.append(f"replication: missing series {required}")
+        missing_after = series.get(("replicas_missing", frozenset()))
+        if missing_after is not None and missing_after != 0:
+            problems.append(
+                f"replication: replicas_missing is {missing_after} after repair"
+            )
+        repairs_total = series.get(("replica_repairs_total", frozenset()), 0.0)
+        if repairs_total <= 0:
+            problems.append(
+                f"replication: replica_repairs_total is {repairs_total}"
+            )
+        for required in REQUIRED_DEGRADED_COUNTERS:
+            value = storage.metrics.value(required)
+            if value <= 0:
+                problems.append(f"replication: client {required} is {value}")
+        if storage.metrics.value("store_nodes_down") != 0:
+            problems.append("replication: store_nodes_down nonzero after repair")
+        client.close()
+    return problems
+
+
 def main() -> int:
     rng = HmacDrbg(b"metrics-gate")
     chunking = ChunkingSpec(method="fixed", avg_size=4096)
@@ -242,7 +374,7 @@ def main() -> int:
             status = "FAIL" if node_problems else "ok"
             print(f"scrape {node}: {len(text.splitlines())} lines [{status}]")
             problems.extend(node_problems)
-        servers = list(cluster._tcp_servers)
+        servers = list(cluster._node_servers.values())
 
     # After the drained stop: nothing may remain in flight on any node
     # (the drain flushed every response), nothing dropped for idling,
@@ -270,6 +402,8 @@ def main() -> int:
         f"post-drain: {len(servers)} nodes idle, client in-flight gauge "
         f"{client_in_flight:.0f}"
     )
+
+    problems.extend(replication_stage())
 
     if problems:
         for problem in problems:

@@ -154,7 +154,9 @@ def _build_client(args, org: OrgState) -> tuple[REEDClient, list[TcpConnection]]
         return conn.client()
 
     storage = ShardedStorageService(
-        [RemoteStorageService(connect(ep)) for ep in args.storage.split(",")]
+        [RemoteStorageService(connect(ep)) for ep in args.storage.split(",")],
+        replicas=args.replicas,
+        write_quorum=args.write_quorum or None,
     )
     authority = org.authority()
     client = REEDClient(
@@ -202,6 +204,18 @@ def _add_client_args(parser: argparse.ArgumentParser) -> None:
         default=0,
         help="stub re-encryption workers for batched rekeying "
         "(0 = one per CPU, capped)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="ring replicas per key across the data servers",
+    )
+    parser.add_argument(
+        "--write-quorum",
+        type=int,
+        default=0,
+        help="replicas that must acknowledge a write (0 = default of 1)",
     )
     parser.add_argument(
         "--rpc-timeout",
@@ -500,6 +514,69 @@ def cmd_top(args) -> int:
     return 0
 
 
+def _ring_storage(args) -> tuple[ShardedStorageService, list[TcpConnection]]:
+    """A replicated storage service over the ``--storage`` endpoints."""
+    connections: list[TcpConnection] = []
+    services = []
+    for endpoint in args.storage.split(","):
+        conn = TcpConnection(*_parse_endpoint(endpoint.strip()))
+        connections.append(conn)
+        services.append(RemoteStorageService(conn.client()))
+    return (
+        ShardedStorageService(
+            services,
+            replicas=args.replicas,
+            write_quorum=args.write_quorum or None,
+        ),
+        connections,
+    )
+
+
+def cmd_ring(args) -> int:
+    """Inspect and maintain consistent-hash ring placement."""
+    from repro.storage.repair import ReplicaRepairer
+    from repro.storage.sharding import HashRing
+
+    if args.ring_command == "show":
+        ring = HashRing(
+            [f"node-{i}" for i in range(args.nodes)], vnodes=args.vnodes
+        )
+        shares = ring.ownership_shares()
+        print(f"{args.nodes} nodes, {args.vnodes} virtual nodes each")
+        for node in sorted(shares):
+            share = shares[node]
+            bar = "#" * round(share * 40 * args.nodes)
+            print(f"  {node:<12} {share * 100:6.2f}%  {bar}")
+        return 0
+    if args.ring_command == "owners":
+        ring = HashRing(
+            [f"node-{i}" for i in range(args.nodes)], vnodes=args.vnodes
+        )
+        owners = ring.preference(args.key, args.replicas)
+        print(f"{args.key!r} -> {', '.join(owners)}")
+        return 0
+    # repair: one scan-and-repair pass against a live cluster.
+    storage, connections = _ring_storage(args)
+    try:
+        report = ReplicaRepairer(
+            storage, verify_hashes=args.verify
+        ).run_once()
+        print(
+            f"scanned {report.nodes_scanned} node(s), "
+            f"{report.chunks_checked} chunks: "
+            f"{report.missing_replicas} replicas missing, "
+            f"{report.corrupt_replicas} corrupt; repaired "
+            f"{report.chunks_repaired} chunks, "
+            f"{report.recipes_repaired} recipes, "
+            f"{report.stubs_repaired} stubs "
+            f"({report.unrepaired} unrepaired)"
+        )
+        return 1 if report.unrepaired else 0
+    finally:
+        for conn in connections:
+            conn.close()
+
+
 def cmd_demo(_args) -> int:
     from repro.core.system import build_system
     from repro.workloads.synthetic import unique_data
@@ -628,6 +705,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     top.add_argument("--limit", type=int, default=8, help="methods shown per service")
     top.set_defaults(func=cmd_top)
+
+    ring = sub.add_parser("ring", help="consistent-hash ring placement tools")
+    ring_sub = ring.add_subparsers(dest="ring_command", required=True)
+
+    ring_show = ring_sub.add_parser("show", help="ownership shares per node")
+    ring_show.add_argument("--nodes", type=int, required=True)
+    ring_show.add_argument("--vnodes", type=int, default=64)
+    ring_show.set_defaults(func=cmd_ring)
+
+    ring_owners = ring_sub.add_parser("owners", help="replica owners of a key")
+    ring_owners.add_argument("--key", required=True, help="file id or hex key")
+    ring_owners.add_argument("--nodes", type=int, required=True)
+    ring_owners.add_argument("--replicas", type=int, default=1)
+    ring_owners.add_argument("--vnodes", type=int, default=64)
+    ring_owners.set_defaults(func=cmd_ring)
+
+    ring_repair = ring_sub.add_parser(
+        "repair", help="one repair pass against a live cluster"
+    )
+    ring_repair.add_argument(
+        "--storage", required=True, help="comma-separated data-server host:port list"
+    )
+    ring_repair.add_argument("--replicas", type=int, default=1)
+    ring_repair.add_argument("--write-quorum", type=int, default=0)
+    ring_repair.add_argument(
+        "--verify", action="store_true", help="re-hash replicas (corruption scan)"
+    )
+    ring_repair.set_defaults(func=cmd_ring)
 
     demo = sub.add_parser("demo", help="in-process end-to-end walkthrough")
     demo.set_defaults(func=cmd_demo)

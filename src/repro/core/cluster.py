@@ -81,6 +81,8 @@ class TcpCluster:
         idle_timeout: float | None = DEFAULT_IDLE_TIMEOUT,
         connection_window: int = DEFAULT_CONNECTION_WINDOW,
         client_window: int = DEFAULT_CLIENT_WINDOW,
+        replicas: int = 1,
+        write_quorum: int | None = None,
     ) -> None:
         if num_data_servers < 1:
             raise ConfigurationError("need at least one data server")
@@ -88,10 +90,16 @@ class TcpCluster:
             raise ConfigurationError(
                 f"unknown transport {transport!r}: expected 'aio' or 'threaded'"
             )
+        if not 1 <= replicas <= num_data_servers:
+            raise ConfigurationError(
+                f"replicas must be in 1..{num_data_servers}"
+            )
         self._rng = rng or SYSTEM_RANDOM
         self.scheme = scheme
         self.chunking = chunking
         self.key_batch_size = key_batch_size
+        self.replicas = replicas
+        self.write_quorum = write_quorum
         self.key_manager = KeyManager(key_bits=key_bits, rng=self._rng)
         self.authority = AttributeAuthority(rng=self._rng)
         self.servers = [REEDServer() for _ in range(num_data_servers)]
@@ -99,8 +107,13 @@ class TcpCluster:
         self._keyreg_bits = key_bits
         self._owners: dict[str, KeyRegressionOwner] = {}
         self._transport = transport
+        self._max_workers = max_workers
+        self._idle_timeout = idle_timeout
+        self._connection_window = connection_window
         self._client_window = client_window
-        self._tcp_servers: list[TcpServer | ThreadedTcpServer] = []
+        #: Live TCP servers keyed by node name; a killed data server's
+        #: entry is removed until :meth:`restart_data_server` revives it.
+        self._node_servers: dict[str, TcpServer | ThreadedTcpServer] = {}
         self._connections: list[TcpConnection] = []
         #: Per-node metrics registries keyed by node name
         #: (``storage-0`` … ``keystore`` / ``key-manager``).  Each node's
@@ -108,38 +121,43 @@ class TcpCluster:
         #: registry, so a live scrape sees one coherent snapshot per node.
         self.node_metrics: dict[str, MetricsRegistry] = {}
 
-        def serve(register, obj, node: str) -> tuple[str, int]:
-            metrics = MetricsRegistry()
-            self.node_metrics[node] = metrics
-            registry = ServiceRegistry(metrics=metrics)
-            register(registry, obj)
-            register_metrics(registry, metrics)
-            if transport == "aio":
-                server = TcpServer(
-                    registry,
-                    max_workers=max_workers,
-                    metrics=metrics,
-                    idle_timeout=idle_timeout,
-                    connection_window=connection_window,
-                )
-            else:
-                server = ThreadedTcpServer(
-                    registry, max_workers=max_workers, metrics=metrics
-                )
-            server.start()
-            self._tcp_servers.append(server)
-            return server.address
-
         self.storage_addresses = [
-            serve(register_storage_service, server, f"storage-{index}")
+            self._serve(register_storage_service, server, f"storage-{index}")
             for index, server in enumerate(self.servers)
         ]
-        self.keystore_address = serve(
+        self.keystore_address = self._serve(
             register_keystate_service, self.keystore, "keystore"
         )
-        self.key_manager_address = serve(
+        self.key_manager_address = self._serve(
             register_key_manager, self.key_manager, "key-manager"
         )
+
+    def _serve(
+        self, register, obj, node: str, port: int = 0
+    ) -> tuple[str, int]:
+        """Start one node's TCP server; reuses the node's metrics
+        registry (and, via ``port``, its address) across restarts."""
+        metrics = self.node_metrics.setdefault(node, MetricsRegistry())
+        registry = ServiceRegistry(metrics=metrics)
+        register(registry, obj)
+        register_metrics(registry, metrics)
+        if self._transport == "aio":
+            server = TcpServer(
+                registry,
+                port=port,
+                max_workers=self._max_workers,
+                metrics=metrics,
+                idle_timeout=self._idle_timeout,
+                connection_window=self._connection_window,
+            )
+        else:
+            server = ThreadedTcpServer(
+                registry, port=port, max_workers=self._max_workers,
+                metrics=metrics,
+            )
+        server.start()
+        self._node_servers[node] = server
+        return server.address
 
     # ------------------------------------------------------------------
 
@@ -176,6 +194,8 @@ class TcpCluster:
                 for address in self.storage_addresses
             ],
             fetch_workers=fetch_workers,
+            replicas=self.replicas,
+            write_quorum=self.write_quorum,
         )
         key_client = ServerAidedKeyClient(
             RemoteKeyManagerChannel(self._connect(self.key_manager_address)),
@@ -215,7 +235,68 @@ class TcpCluster:
 
     def server_stats(self) -> list[dict]:
         """Per-TCP-server counters (connections, requests, in-flight)."""
-        return [server.stats() for server in self._tcp_servers]
+        return [server.stats() for server in self._node_servers.values()]
+
+    # -- node lifecycle -------------------------------------------------
+
+    def kill_data_server(self, index: int) -> None:
+        """Stop one data server's TCP listener mid-flight (fault drill).
+
+        In-flight and subsequent calls to it surface as transport errors;
+        replicated clients mark the node down and route around it.  The
+        server object (and its in-memory store) is kept, so
+        :meth:`restart_data_server` brings the node back with the data it
+        held at kill time.
+        """
+        node = f"storage-{index}"
+        server = self._node_servers.pop(node, None)
+        if server is None:
+            raise ConfigurationError(f"data server {index} is not running")
+        server.stop(drain=False)
+
+    def restart_data_server(self, index: int, wipe: bool = False) -> None:
+        """Bring a killed data server back on its original port.
+
+        ``wipe=True`` restarts it with an empty store — the
+        "replaced the dead disk" scenario the repair daemon exists for.
+        Clients reconnect transparently (the multiplexed connection
+        re-dials); call ``probe_nodes()`` on a client's storage service
+        (or let the repair daemon do it) to mark the node up again.
+        """
+        node = f"storage-{index}"
+        if node in self._node_servers:
+            raise ConfigurationError(f"data server {index} is still running")
+        if wipe:
+            self.servers[index] = REEDServer()
+        address = self._serve(
+            register_storage_service,
+            self.servers[index],
+            node,
+            port=self.storage_addresses[index][1],
+        )
+        self.storage_addresses[index] = address
+
+    def add_data_server(self) -> int:
+        """Join a fresh data server; returns its index.
+
+        Only clients built *after* the join see the new node (ring
+        membership is per client, applied in attach order); live clients
+        can attach it with ``storage.add_service``.  Migrate moved keys
+        with :func:`repro.storage.repair.rebalance`.
+        """
+        index = len(self.servers)
+        server = REEDServer()
+        self.servers.append(server)
+        self.storage_addresses.append(
+            self._serve(register_storage_service, server, f"storage-{index}")
+        )
+        return index
+
+    def connect_storage(self, index: int) -> RemoteStorageService:
+        """A fresh RPC stub for one data server (repair/rebalance tooling)."""
+        return RemoteStorageService(
+            self._connect(self.storage_addresses[index])
+        )
 
     # -- telemetry ------------------------------------------------------
 
@@ -243,9 +324,9 @@ class TcpCluster:
         for connection in self._connections:
             connection.close()
         self._connections.clear()
-        for server in self._tcp_servers:
+        for server in self._node_servers.values():
             server.stop(drain=drain)
-        self._tcp_servers.clear()
+        self._node_servers.clear()
 
     def __enter__(self) -> "TcpCluster":
         return self

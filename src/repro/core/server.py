@@ -39,6 +39,8 @@ class StorageService(Protocol):
 
     def chunk_release_batch(self, fingerprints: list[bytes]) -> None: ...
 
+    def chunk_list(self) -> list[bytes]: ...
+
     def recipe_put(self, file_id: str, data: bytes) -> None: ...
 
     def recipe_get(self, file_id: str) -> bytes: ...
@@ -64,6 +66,8 @@ class StorageService(Protocol):
     ) -> list[None | Exception]: ...
 
     def stub_get_many(self, file_ids: list[str]) -> list[bytes | Exception]: ...
+
+    def stub_list(self) -> list[str]: ...
 
     def meta_delete_many(self, file_ids: list[str]) -> list[None | Exception]: ...
 
@@ -177,6 +181,12 @@ class REEDServer:
         for fp in fingerprints:
             self.store.release_chunk(fp)
 
+    def chunk_list(self) -> list[bytes]:
+        """Every fingerprint this node indexes — the repair daemon's
+        inventory scan."""
+        self.counters.add(requests=1)
+        return self.store.list_chunks()
+
     # -- recipes / stub files ------------------------------------------------------
 
     def recipe_put(self, file_id: str, data: bytes) -> None:
@@ -206,6 +216,10 @@ class REEDServer:
     def stub_delete(self, file_id: str) -> None:
         self.counters.add(requests=1)
         self.store.delete_stub_file(file_id)
+
+    def stub_list(self) -> list[str]:
+        self.counters.add(requests=1)
+        return self.store.list_stub_files()
 
     # -- batched metadata (the rekeying pipeline's multi-file messages) -------
 

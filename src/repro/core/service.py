@@ -195,6 +195,13 @@ def register_storage_service(
         server.flush()
         return b""
 
+    def chunk_list(_payload: bytes) -> bytes:
+        return Encoder().list_of(server.chunk_list()).done()
+
+    def stub_list(_payload: bytes) -> bytes:
+        names = [name.encode("utf-8") for name in server.stub_list()]
+        return Encoder().list_of(names).done()
+
     registry.register(prefix + "exists", exists)
     # ``has_many`` is the batch protocol's name for the same existence
     # check; registered separately so wire captures read unambiguously.
@@ -216,6 +223,8 @@ def register_storage_service(
     registry.register(prefix + "stub_get_many", stub_get_many)
     registry.register(prefix + "meta_delete_many", meta_delete_many)
     registry.register(prefix + "flush", flush)
+    registry.register(prefix + "chunk_list", chunk_list)
+    registry.register(prefix + "stub_list", stub_list)
 
 
 class RemoteStorageService:
@@ -330,6 +339,13 @@ class RemoteStorageService:
 
     def flush(self) -> None:
         self._call("flush")
+
+    def chunk_list(self) -> list[bytes]:
+        return Decoder(self._call("chunk_list")).list_of()
+
+    def stub_list(self) -> list[str]:
+        payload = self._call("stub_list")
+        return [name.decode("utf-8") for name in Decoder(payload).list_of()]
 
 
 # ---------------------------------------------------------------------------

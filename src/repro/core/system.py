@@ -34,7 +34,13 @@ from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.storage.backend import MemoryBackend
 from repro.storage.datastore import DataStore, DataStoreStats
 from repro.storage.keystore import KeyStore
-from repro.util.errors import ConfigurationError, NotFoundError
+from repro.storage.sharding import DEFAULT_VNODES, HashRing
+from repro.util.errors import (
+    ConfigurationError,
+    NotFoundError,
+    ProtocolError,
+    StorageError,
+)
 
 #: RSA modulus size used by default in tests and experiments.  The paper
 #: uses 1024-bit RSA; 512 bits keeps in-process experiment setup fast
@@ -46,12 +52,34 @@ FAST_KEY_BITS = 512
 DEFAULT_DATA_SERVERS = 4
 
 
+#: Transport-level exception classes that mean "the node, not the
+#: request, failed" — these mark the node down on the ring and re-route
+#: the work to its replicas.  Semantic errors (NotFound, Integrity, …)
+#: never do.
+_NODE_FAILURES = (ProtocolError, OSError)
+
+#: Sentinel distinguishing "no replica answered yet" from a real ``None``
+#: status in the per-item quorum fold.
+_UNSET = object()
+
+
 class ShardedStorageService:
     """Client-side striping over several storage services.
 
     Chunks are routed by fingerprint so global deduplication still works
     with any number of clients; recipes and stub files are routed by file
-    identifier.  Works identically over in-process servers and RPC stubs.
+    identifier through the **same** consistent-hash ring (the old
+    byte-sum file hash collided anagram ids).  Works identically over
+    in-process servers and RPC stubs.
+
+    With ``replicas`` R > 1 every key is written to its first R owners
+    on the ring and a write succeeds once ``write_quorum`` W of them
+    acknowledged; reads prefer the primary and fall back through the
+    remaining owners on a miss or node failure.  Transport-level
+    failures mark the node down (skipped until :meth:`probe_nodes` or
+    :meth:`mark_up` revives it); the repair daemon
+    (:class:`repro.storage.repair.ReplicaRepairer`) restores full
+    replication afterwards.
     """
 
     #: Round trips are reported through :mod:`repro.obs.scope`, so
@@ -63,10 +91,35 @@ class ShardedStorageService:
         services: list[StorageService],
         metrics: MetricsRegistry | None = None,
         fetch_workers: int | None = None,
+        replicas: int = 1,
+        write_quorum: int | None = None,
+        vnodes: int = DEFAULT_VNODES,
     ) -> None:
         if not services:
             raise ConfigurationError("need at least one storage service")
-        self._services = services
+        if replicas < 1:
+            raise ConfigurationError("need at least one replica")
+        if replicas > len(services):
+            raise ConfigurationError(
+                f"cannot keep {replicas} replicas on {len(services)} node(s)"
+            )
+        if write_quorum is None:
+            write_quorum = 1
+        if not 1 <= write_quorum <= replicas:
+            raise ConfigurationError(
+                f"write quorum {write_quorum} outside 1..{replicas}"
+            )
+        self.replicas = replicas
+        self.write_quorum = write_quorum
+        #: Node ids are positional (``node-0``, ``node-1``, …): every
+        #: client that lists the same services in the same order computes
+        #: identical ring placement with no coordination.
+        self._services: dict[str, StorageService] = {}
+        self._order: list[str] = []
+        self._next_node = 0
+        self.ring = HashRing(vnodes=vnodes)
+        for service in services:
+            self._attach(service)
         #: Sub-service calls issued — each is one RPC round trip when the
         #: services are remote stubs.  Bumped from pool threads during
         #: scatter-gather, hence the lock.
@@ -91,12 +144,117 @@ class ShardedStorageService:
             "Storage-layer calls routed to each shard.",
             labelnames=("shard",),
         )
+        self._m_fallbacks = self.metrics.counter(
+            "store_read_fallbacks_total",
+            "Reads served by a non-preferred replica after a miss/failure.",
+        )
+        self._m_degraded = self.metrics.counter(
+            "store_degraded_writes_total",
+            "Writes acknowledged below full replication (quorum still met).",
+        )
+        self._m_node_failures = self.metrics.counter(
+            "store_node_failures_total",
+            "Transport-level node failures that marked a shard down.",
+        )
+        self._m_down = self.metrics.gauge(
+            "store_nodes_down",
+            "Shards currently marked down on this client's ring.",
+        )
 
-    def _trip(self, shard: int) -> None:
+    # -- membership ------------------------------------------------------------
+
+    def _attach(self, service: StorageService, node_id: str | None = None) -> str:
+        node = node_id if node_id is not None else f"node-{self._next_node}"
+        self._next_node += 1
+        self.ring.add_node(node)
+        self._services[node] = service
+        self._order.append(node)
+        return node
+
+    def node_ids(self) -> list[str]:
+        """Node ids in attach order (the order services were listed)."""
+        return list(self._order)
+
+    def add_service(self, service: StorageService, node_id: str | None = None) -> str:
+        """Join a node; returns its id.
+
+        Membership changes must be applied in the same order on every
+        client of a deployment.  Joining moves ~1/N of ring ownership —
+        run :func:`repro.storage.repair.rebalance` with the pre-join
+        ring snapshot to migrate exactly those keys.
+        """
+        return self._attach(service, node_id)
+
+    def remove_service(self, node_id: str) -> StorageService:
+        """Leave the ring; data on the departed node is NOT migrated
+        automatically — rebalance first."""
+        if node_id not in self._services:
+            raise ConfigurationError(f"node {node_id!r} is not attached")
+        if len(self._order) == 1:
+            raise ConfigurationError("cannot remove the last storage node")
+        if self.replicas > len(self._order) - 1:
+            raise ConfigurationError(
+                f"removing {node_id!r} leaves fewer nodes than replicas"
+            )
+        self.ring.remove_node(node_id)
+        self._order.remove(node_id)
+        service = self._services.pop(node_id)
+        self._update_down_gauge()
+        return service
+
+    def mark_down(self, node_id: str) -> None:
+        """Manually flag a node unreachable (reads/writes route around it)."""
+        self.ring.mark_down(node_id)
+        self._update_down_gauge()
+
+    def mark_up(self, node_id: str) -> None:
+        self.ring.mark_up(node_id)
+        self._update_down_gauge()
+
+    def probe_nodes(self) -> list[str]:
+        """Re-check marked-down nodes with one cheap RPC each.
+
+        Returns the node ids revived.  Called by the repair daemon at
+        the start of every scan; callers can also invoke it manually
+        after restoring a node.
+        """
+        revived: list[str] = []
+        for node in self.ring.down_nodes():
+            try:
+                self._trip(node)
+                self._services[node].chunk_exists_batch([])
+            except Exception:  # noqa: BLE001 - still down
+                continue
+            self.ring.mark_up(node)
+            revived.append(node)
+        self._update_down_gauge()
+        return revived
+
+    def _update_down_gauge(self) -> None:
+        self._m_down.set(float(len(self.ring.down_nodes())))
+
+    def _note_failure(self, node: str, exc: Exception) -> bool:
+        """Classify an exception; transport failures mark the node down.
+
+        Returns True when the error was a node failure (caller should
+        re-route), False for semantic errors (caller should fall back
+        per item or surface them).
+        """
+        if not isinstance(exc, _NODE_FAILURES):
+            return False
+        if node in self.ring.nodes() and self.ring.is_up(node):
+            self.ring.mark_down(node)
+            self._m_node_failures.inc()
+            self._update_down_gauge()
+        return True
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _trip(self, node: str) -> None:
         with self._trip_lock:
             self.round_trips += 1
         self._m_trips.inc()
-        self._m_shard.labels(shard=str(shard)).inc()
+        self._m_shard.labels(shard=node).inc()
         obs_scope.add("store_round_trips")
 
     def _get_fetch_pool(self) -> ThreadPoolExecutor:
@@ -115,199 +273,497 @@ class ShardedStorageService:
         if pool is not None:
             pool.shutdown(wait=True)
 
-    def _index_for(self, fingerprint: bytes) -> int:
-        return int.from_bytes(fingerprint[:8], "big") % len(self._services)
+    # -- placement -------------------------------------------------------------
 
-    def _for_chunk(self, fingerprint: bytes) -> StorageService:
-        return self._services[self._index_for(fingerprint)]
+    def _owners(self, key: bytes | str) -> list[str]:
+        return self.ring.preference(key, self.replicas)
 
-    def _file_index(self, file_id: str) -> int:
-        return sum(file_id.encode("utf-8")) % len(self._services)
+    def _up_owners(self, key: bytes | str) -> list[str]:
+        return [node for node in self._owners(key) if self.ring.is_up(node)]
 
-    def _for_file(self, file_id: str) -> StorageService:
-        return self._services[self._file_index(file_id)]
+    def shard_for_file(self, file_id: str) -> str:
+        """Primary owner of a file id (ring-hashed, anagram-safe)."""
+        return self.ring.primary(file_id)
 
-    def _group_positions(self, fingerprints: list[bytes]) -> dict[int, list[int]]:
-        groups: dict[int, list[int]] = {}
-        for position, fp in enumerate(fingerprints):
-            groups.setdefault(self._index_for(fp), []).append(position)
-        return groups
+    # -- replicated write/read engines -----------------------------------------
+
+    def _replicated_batch_write(self, keys: list, items: list, call) -> list:
+        """Write every item to all its up owners; fold to per-item status.
+
+        ``call(service, sub_items)`` must return one status per item
+        (``Exception`` marks a failed item).  The folded status is the
+        most-preferred replica's answer when at least ``write_quorum``
+        replicas succeeded, else the first error (never raises — the
+        per-item batch protocol carries errors as values).
+        """
+        placements = [self._owners(key) for key in keys]
+        per_node: dict[str, list[int]] = {}
+        for position, owners in enumerate(placements):
+            for node in owners:
+                if self.ring.is_up(node):
+                    per_node.setdefault(node, []).append(position)
+        answers: dict[str, list] = {}
+        slots: dict[str, dict[int, int]] = {}
+        for node, positions in per_node.items():
+            self._trip(node)
+            try:
+                answers[node] = call(
+                    self._services[node], [items[p] for p in positions]
+                )
+            except Exception as exc:  # noqa: BLE001 - folded per item
+                self._note_failure(node, exc)
+                answers[node] = [exc] * len(positions)
+            slots[node] = {p: i for i, p in enumerate(positions)}
+        results: list = []
+        for position, owners in enumerate(placements):
+            successes = 0
+            status: object = _UNSET
+            first_error: Exception | None = None
+            for node in owners:
+                slot = slots.get(node, {}).get(position)
+                if slot is None:
+                    continue
+                answer = answers[node][slot]
+                if isinstance(answer, Exception):
+                    if first_error is None:
+                        first_error = answer
+                else:
+                    successes += 1
+                    if status is _UNSET:
+                        status = answer
+            if successes >= self.write_quorum:
+                if successes < len(owners):
+                    self._m_degraded.inc()
+                results.append(None if status is _UNSET else status)
+            else:
+                results.append(
+                    first_error
+                    or StorageError(
+                        f"write quorum {self.write_quorum} not met "
+                        f"({successes}/{len(owners)} replicas reachable)"
+                    )
+                )
+        return results
+
+    def _write_meta(self, file_id: str, call, tolerate=()) -> None:
+        """Single-item replicated write (recipe/stub put and delete)."""
+        successes = 0
+        attempted = 0
+        first_error: Exception | None = None
+        for node in self._owners(file_id):
+            if not self.ring.is_up(node):
+                continue
+            attempted += 1
+            self._trip(node)
+            try:
+                call(self._services[node])
+                successes += 1
+            except tolerate:
+                successes += 1
+            except Exception as exc:  # noqa: BLE001 - folded into quorum
+                self._note_failure(node, exc)
+                if first_error is None:
+                    first_error = exc
+        if successes < self.write_quorum:
+            if first_error is not None:
+                raise first_error
+            raise StorageError(
+                f"write quorum {self.write_quorum} not met for {file_id!r} "
+                f"({successes}/{attempted} replicas reachable)"
+            )
+        if successes < self.replicas:
+            self._m_degraded.inc()
+
+    def _read_meta(self, file_id: str, call):
+        """Single-item read walking the owners in preference order."""
+        last: Exception | None = None
+        for node in self._owners(file_id):
+            if not self.ring.is_up(node):
+                continue
+            self._trip(node)
+            try:
+                value = call(self._services[node])
+            except Exception as exc:  # noqa: BLE001 - next replica
+                self._note_failure(node, exc)
+                last = exc
+                continue
+            if last is not None:
+                self._m_fallbacks.inc()
+            return value
+        if last is not None:
+            raise last
+        raise StorageError(f"no live replica holds {file_id!r}")
+
+    # -- chunk API --------------------------------------------------------------
 
     def chunk_exists_batch(self, fingerprints: list[bytes]) -> list[bool]:
         # One batched existence check per shard touched, never one per
         # fingerprint — the multi-chunk message of the batch protocol.
+        # A down/failed preferred owner falls back to the next replica;
+        # an unreachable key conservatively reads "absent" (re-uploading
+        # is always safe — the server deduplicates).
         flags = [False] * len(fingerprints)
-        for index, positions in self._group_positions(fingerprints).items():
-            self._trip(index)
-            answers = self._services[index].chunk_exists_batch(
-                [fingerprints[p] for p in positions]
-            )
-            for position, flag in zip(positions, answers):
-                flags[position] = flag
+        candidates = [self._up_owners(fp) for fp in fingerprints]
+        cursor = [0] * len(fingerprints)
+        unresolved = [p for p in range(len(fingerprints)) if candidates[p]]
+        while unresolved:
+            groups: dict[str, list[int]] = {}
+            for position in unresolved:
+                options = candidates[position]
+                while (
+                    cursor[position] < len(options)
+                    and not self.ring.is_up(options[cursor[position]])
+                ):
+                    cursor[position] += 1
+                if cursor[position] < len(options):
+                    groups.setdefault(
+                        options[cursor[position]], []
+                    ).append(position)
+            retry: list[int] = []
+            for node, positions in groups.items():
+                self._trip(node)
+                try:
+                    answers = self._services[node].chunk_exists_batch(
+                        [fingerprints[p] for p in positions]
+                    )
+                except Exception as exc:  # noqa: BLE001 - re-route
+                    self._note_failure(node, exc)
+                    for position in positions:
+                        cursor[position] += 1
+                        retry.append(position)
+                    continue
+                for position, flag in zip(positions, answers):
+                    flags[position] = flag
+            unresolved = retry
         return flags
 
     def chunk_put_batch(self, chunks: list[tuple[bytes, bytes]]) -> int:
-        groups: dict[int, list[tuple[bytes, bytes]]] = {}
-        for fp, data in chunks:
-            groups.setdefault(self._index_for(fp), []).append((fp, data))
-        new = 0
-        for index, group in groups.items():
-            self._trip(index)
-            new += self._services[index].chunk_put_batch(group)
-        return new
+        if self.replicas == 1:
+            groups: dict[str, list[tuple[bytes, bytes]]] = {}
+            for fp, data in chunks:
+                groups.setdefault(self.ring.primary(fp), []).append((fp, data))
+            new = 0
+            for node, group in groups.items():
+                self._trip(node)
+                new += self._services[node].chunk_put_batch(group)
+            return new
+        # Replicated path: route through the per-item engine so quorum
+        # accounting stays exact; any failed item aborts (this legacy
+        # entry point has no per-item error channel).
+        statuses = self.chunk_put_many(chunks)
+        for status in statuses:
+            if isinstance(status, Exception):
+                raise status
+        return sum(1 for status in statuses if status is True)
 
     def chunk_put_many(
         self, chunks: list[tuple[bytes, bytes]]
     ) -> list[bool | Exception]:
-        """Per-item-status batch put, one sub-batch per shard touched."""
-        statuses: list[bool | Exception] = [False] * len(chunks)
-        groups = self._group_positions([fp for fp, _data in chunks])
-        for index, positions in groups.items():
-            self._trip(index)
-            answers = self._services[index].chunk_put_many(
-                [chunks[p] for p in positions]
-            )
-            for position, status in zip(positions, answers):
-                statuses[position] = status
-        return statuses
+        """Per-item-status batch put, one sub-batch per shard touched.
+
+        With replication each chunk lands on its R owners; the item
+        succeeds at write quorum W and reports the most-preferred
+        replica's new/dup status.
+        """
+        return self._replicated_batch_write(
+            [fp for fp, _data in chunks],
+            chunks,
+            lambda service, batch: service.chunk_put_many(batch),
+        )
 
     def chunk_get_batch(self, fingerprints: list[bytes]) -> list[bytes]:
-        # Scatter-gather: group by shard, issue all per-shard sub-fetches
-        # concurrently, then restore request order by position.  Counters
-        # and attribution scopes are preserved by running each sub-fetch
-        # under a copy of the caller's context.
+        # Scatter-gather: group by preferred owner, issue all per-shard
+        # sub-fetches concurrently, then restore request order by
+        # position.  Counters and attribution scopes are preserved by
+        # running each sub-fetch under a copy of the caller's context.
+        # Items a node cannot serve fall back through the remaining
+        # replicas (probing with ``has_many`` to split semantic misses
+        # from node failures).
         results: list[bytes | None] = [None] * len(fingerprints)
-        groups = self._group_positions(fingerprints)
+        candidates = [self._up_owners(fp) for fp in fingerprints]
+        cursor = [0] * len(fingerprints)
+        unresolved = list(range(len(fingerprints)))
+        first_round = True
 
-        def fetch(index: int, positions: list[int]) -> list[bytes]:
-            self._trip(index)
-            return self._services[index].chunk_get_batch(
+        def fetch(node: str, positions: list[int]) -> list[bytes]:
+            self._trip(node)
+            return self._services[node].chunk_get_batch(
                 [fingerprints[p] for p in positions]
             )
 
-        if len(groups) <= 1 or self.fetch_workers == 1:
-            for index, positions in groups.items():
-                for position, data in zip(positions, fetch(index, positions)):
-                    results[position] = data
-        else:
-            pool = self._get_fetch_pool()
-            ordered = list(groups.items())
-            futures = [
-                pool.submit(
-                    contextvars.copy_context().run, fetch, index, positions
+        while unresolved:
+            groups: dict[str, list[int]] = {}
+            exhausted: list[int] = []
+            for position in unresolved:
+                options = candidates[position]
+                while (
+                    cursor[position] < len(options)
+                    and not self.ring.is_up(options[cursor[position]])
+                ):
+                    cursor[position] += 1
+                if cursor[position] >= len(options):
+                    exhausted.append(position)
+                else:
+                    groups.setdefault(
+                        options[cursor[position]], []
+                    ).append(position)
+            if exhausted:
+                shown = ", ".join(fingerprints[p].hex() for p in exhausted[:8])
+                suffix = (
+                    "" if len(exhausted) <= 8 else f" (+{len(exhausted) - 8} more)"
                 )
-                for index, positions in ordered
-            ]
-            for (index, positions), future in zip(ordered, futures):
-                for position, data in zip(positions, future.result()):
-                    results[position] = data
-        missing = [
-            fingerprints[position]
-            for position, data in enumerate(results)
-            if data is None
-        ]
-        if missing:
-            shown = ", ".join(fp.hex() for fp in missing[:8])
-            suffix = "" if len(missing) <= 8 else f" (+{len(missing) - 8} more)"
-            raise NotFoundError(
-                f"{len(missing)} chunk(s) missing from storage: {shown}{suffix}"
-            )
+                raise NotFoundError(
+                    f"{len(exhausted)} chunk(s) missing from storage: "
+                    f"{shown}{suffix}"
+                )
+            ordered = list(groups.items())
+            if first_round and len(ordered) > 1 and self.fetch_workers > 1:
+                pool = self._get_fetch_pool()
+                futures = [
+                    pool.submit(
+                        contextvars.copy_context().run, fetch, node, positions
+                    )
+                    for node, positions in ordered
+                ]
+                answer_sets: list = []
+                for future in futures:
+                    try:
+                        answer_sets.append(future.result())
+                    except Exception as exc:  # noqa: BLE001 - handled below
+                        answer_sets.append(exc)
+            else:
+                answer_sets = []
+                for node, positions in ordered:
+                    try:
+                        answer_sets.append(fetch(node, positions))
+                    except Exception as exc:  # noqa: BLE001 - handled below
+                        answer_sets.append(exc)
+            retry: list[int] = []
+            for (node, positions), answer_set in zip(ordered, answer_sets):
+                if isinstance(answer_set, Exception):
+                    retry.extend(
+                        self._salvage_group(
+                            node, positions, fingerprints, results, cursor,
+                            answer_set,
+                        )
+                    )
+                else:
+                    # A short reply (a buggy or truncating shard) must
+                    # not silently drop chunks: treat the unanswered
+                    # tail as misses on this node and re-route them.
+                    for position in positions[len(answer_set):]:
+                        cursor[position] += 1
+                        retry.append(position)
+                    for position, data in zip(positions, answer_set):
+                        results[position] = data
+                        if cursor[position] > 0:
+                            self._m_fallbacks.inc()
+            unresolved = retry
+            first_round = False
         return [data for data in results if data is not None]
 
+    def _salvage_group(
+        self,
+        node: str,
+        positions: list[int],
+        fingerprints: list[bytes],
+        results: list,
+        cursor: list[int],
+        error: Exception,
+    ) -> list[int]:
+        """Recover from one failed ``chunk_get_batch`` sub-fetch.
+
+        A node failure re-routes every item to its next replica.  A
+        semantic failure (some fingerprint missing on this node) probes
+        ``has_many`` to learn which items the node *does* hold, fetches
+        those, and re-routes only the misses.  Returns the positions
+        still unresolved.
+        """
+        if self._note_failure(node, error):
+            for position in positions:
+                cursor[position] += 1
+            return list(positions)
+        try:
+            self._trip(node)
+            held = self._services[node].chunk_exists_batch(
+                [fingerprints[p] for p in positions]
+            )
+        except Exception as exc:  # noqa: BLE001 - node died mid-salvage
+            self._note_failure(node, exc)
+            for position in positions:
+                cursor[position] += 1
+            return list(positions)
+        have = [p for p, flag in zip(positions, held) if flag]
+        lack = [p for p, flag in zip(positions, held) if not flag]
+        if have:
+            try:
+                self._trip(node)
+                fetched = self._services[node].chunk_get_batch(
+                    [fingerprints[p] for p in have]
+                )
+            except Exception as exc:  # noqa: BLE001 - node died mid-salvage
+                self._note_failure(node, exc)
+                lack = list(positions)
+            else:
+                for position, data in zip(have, fetched):
+                    results[position] = data
+                    if cursor[position] > 0:
+                        self._m_fallbacks.inc()
+        for position in lack:
+            cursor[position] += 1
+        return lack
+
     def chunk_release_batch(self, fingerprints: list[bytes]) -> None:
-        for index, positions in self._group_positions(fingerprints).items():
-            self._trip(index)
-            self._services[index].chunk_release_batch(
+        placements = [self._owners(fp) for fp in fingerprints]
+        per_node: dict[str, list[int]] = {}
+        for position, owners in enumerate(placements):
+            for node in owners:
+                if self.ring.is_up(node):
+                    per_node.setdefault(node, []).append(position)
+        for node, positions in per_node.items():
+            self._trip(node)
+            self._services[node].chunk_release_batch(
                 [fingerprints[p] for p in positions]
             )
 
+    # -- recipes and stub files --------------------------------------------------
+
     def recipe_put(self, file_id: str, data: bytes) -> None:
-        self._trip(self._file_index(file_id))
-        self._for_file(file_id).recipe_put(file_id, data)
+        self._write_meta(
+            file_id, lambda service: service.recipe_put(file_id, data)
+        )
 
     def recipe_get(self, file_id: str) -> bytes:
-        self._trip(self._file_index(file_id))
-        return self._for_file(file_id).recipe_get(file_id)
+        return self._read_meta(
+            file_id, lambda service: service.recipe_get(file_id)
+        )
 
     def recipe_delete(self, file_id: str) -> None:
-        self._trip(self._file_index(file_id))
-        self._for_file(file_id).recipe_delete(file_id)
+        self._write_meta(
+            file_id,
+            lambda service: service.recipe_delete(file_id),
+            tolerate=(NotFoundError,),
+        )
 
     def recipe_list(self) -> list[str]:
-        names: list[str] = []
-        for index, service in enumerate(self._services):
-            self._trip(index)
-            names.extend(service.recipe_list())
+        names: set[str] = set()
+        for node in self._order:
+            if not self.ring.is_up(node):
+                continue
+            self._trip(node)
+            names.update(self._services[node].recipe_list())
         return sorted(names)
 
     def stub_put(self, file_id: str, data: bytes) -> None:
-        self._trip(self._file_index(file_id))
-        self._for_file(file_id).stub_put(file_id, data)
+        self._write_meta(
+            file_id, lambda service: service.stub_put(file_id, data)
+        )
 
     def stub_get(self, file_id: str) -> bytes:
-        self._trip(self._file_index(file_id))
-        return self._for_file(file_id).stub_get(file_id)
+        return self._read_meta(
+            file_id, lambda service: service.stub_get(file_id)
+        )
 
     def stub_delete(self, file_id: str) -> None:
-        self._trip(self._file_index(file_id))
-        self._for_file(file_id).stub_delete(file_id)
+        self._write_meta(
+            file_id,
+            lambda service: service.stub_delete(file_id),
+            tolerate=(NotFoundError,),
+        )
 
     # -- batched metadata (rekey/delete pipelines) ----------------------------
-
-    def _file_positions(self, file_ids: list[str]) -> dict[int, list[int]]:
-        groups: dict[int, list[int]] = {}
-        for position, file_id in enumerate(file_ids):
-            groups.setdefault(self._file_index(file_id), []).append(position)
-        return groups
 
     def _scatter_meta_puts(
         self, method: str, items: list[tuple[str, bytes]]
     ) -> list[None | Exception]:
         """One per-item-status sub-batch per shard touched, file-routed."""
-        statuses: list[None | Exception] = [None] * len(items)
-        groups = self._file_positions([file_id for file_id, _data in items])
-        for index, positions in groups.items():
-            self._trip(index)
-            answers = getattr(self._services[index], method)(
-                [items[p] for p in positions]
-            )
-            for position, status in zip(positions, answers):
-                statuses[position] = status
-        return statuses
+        return self._replicated_batch_write(
+            [file_id for file_id, _data in items],
+            items,
+            lambda service, batch: getattr(service, method)(batch),
+        )
 
     def _scatter_meta_gets(
         self, method: str, file_ids: list[str]
     ) -> list[bytes | Exception]:
         """Concurrent per-shard sub-fetches, like :meth:`chunk_get_batch`.
 
-        Per-item failures (missing file on one shard) come back in place;
-        they never abort the other shards' sub-batches.
+        Per-item failures (missing file on one shard) come back in place
+        after falling back through the file's replicas; they never abort
+        the other shards' sub-batches.
         """
         results: list[bytes | Exception | None] = [None] * len(file_ids)
-        groups = self._file_positions(file_ids)
+        candidates = [self._up_owners(f) for f in file_ids]
+        cursor = [0] * len(file_ids)
+        last_error: list[Exception | None] = [None] * len(file_ids)
+        unresolved = list(range(len(file_ids)))
+        first_round = True
 
-        def fetch(index: int, positions: list[int]) -> list[bytes | Exception]:
-            self._trip(index)
-            return getattr(self._services[index], method)(
+        def fetch(node: str, positions: list[int]) -> list:
+            self._trip(node)
+            return getattr(self._services[node], method)(
                 [file_ids[p] for p in positions]
             )
 
-        if len(groups) <= 1 or self.fetch_workers == 1:
-            for index, positions in groups.items():
-                for position, data in zip(positions, fetch(index, positions)):
-                    results[position] = data
-        else:
-            pool = self._get_fetch_pool()
+        while unresolved:
+            groups: dict[str, list[int]] = {}
+            for position in unresolved:
+                options = candidates[position]
+                while (
+                    cursor[position] < len(options)
+                    and not self.ring.is_up(options[cursor[position]])
+                ):
+                    cursor[position] += 1
+                if cursor[position] >= len(options):
+                    results[position] = last_error[position] or NotFoundError(
+                        f"no live replica holds {file_ids[position]!r}"
+                    )
+                else:
+                    groups.setdefault(
+                        options[cursor[position]], []
+                    ).append(position)
             ordered = list(groups.items())
-            futures = [
-                pool.submit(
-                    contextvars.copy_context().run, fetch, index, positions
-                )
-                for index, positions in ordered
-            ]
-            for (index, positions), future in zip(ordered, futures):
-                for position, data in zip(positions, future.result()):
-                    results[position] = data
+            if first_round and len(ordered) > 1 and self.fetch_workers > 1:
+                pool = self._get_fetch_pool()
+                futures = [
+                    pool.submit(
+                        contextvars.copy_context().run, fetch, node, positions
+                    )
+                    for node, positions in ordered
+                ]
+                answer_sets: list = []
+                for future in futures:
+                    try:
+                        answer_sets.append(future.result())
+                    except Exception as exc:  # noqa: BLE001 - handled below
+                        answer_sets.append(exc)
+            else:
+                answer_sets = []
+                for node, positions in ordered:
+                    try:
+                        answer_sets.append(fetch(node, positions))
+                    except Exception as exc:  # noqa: BLE001 - handled below
+                        answer_sets.append(exc)
+            retry: list[int] = []
+            for (node, positions), answer_set in zip(ordered, answer_sets):
+                if isinstance(answer_set, Exception):
+                    self._note_failure(node, answer_set)
+                    for position in positions:
+                        last_error[position] = answer_set
+                        cursor[position] += 1
+                        retry.append(position)
+                    continue
+                for position, answer in zip(positions, answer_set):
+                    if isinstance(answer, Exception):
+                        last_error[position] = answer
+                        cursor[position] += 1
+                        retry.append(position)
+                    else:
+                        results[position] = answer
+                        if cursor[position] > 0:
+                            self._m_fallbacks.inc()
+            unresolved = retry
+            first_round = False
         return results  # type: ignore[return-value]
 
     def recipe_put_many(
@@ -327,20 +783,75 @@ class ShardedStorageService:
         return self._scatter_meta_gets("stub_get_many", file_ids)
 
     def meta_delete_many(self, file_ids: list[str]) -> list[None | Exception]:
-        statuses: list[None | Exception] = [None] * len(file_ids)
-        for index, positions in self._file_positions(file_ids).items():
-            self._trip(index)
-            answers = self._services[index].meta_delete_many(
-                [file_ids[p] for p in positions]
-            )
-            for position, status in zip(positions, answers):
-                statuses[position] = status
-        return statuses
+        """Replicated per-item delete: an item succeeds when every
+        reachable owner deleted it (a replica that never held the file
+        counts as deleted)."""
+        return self._replicated_batch_write(
+            file_ids,
+            file_ids,
+            lambda service, batch: [
+                None if isinstance(answer, NotFoundError) else answer
+                for answer in service.meta_delete_many(batch)
+            ],
+        )
 
     def flush(self) -> None:
-        for index, service in enumerate(self._services):
-            self._trip(index)
-            service.flush()
+        for node in self._order:
+            if not self.ring.is_up(node):
+                continue
+            self._trip(node)
+            self._services[node].flush()
+
+    # -- per-node access (repair daemon / rebalancer) ---------------------------
+
+    def node_service(self, node_id: str) -> StorageService:
+        if node_id not in self._services:
+            raise ConfigurationError(f"node {node_id!r} is not attached")
+        return self._services[node_id]
+
+    def node_chunk_list(self, node_id: str) -> list[bytes]:
+        self._trip(node_id)
+        return self.node_service(node_id).chunk_list()
+
+    def node_has_many(self, node_id: str, fingerprints: list[bytes]) -> list[bool]:
+        self._trip(node_id)
+        return self.node_service(node_id).chunk_exists_batch(fingerprints)
+
+    def node_get_many(self, node_id: str, fingerprints: list[bytes]) -> list[bytes]:
+        self._trip(node_id)
+        return self.node_service(node_id).chunk_get_batch(fingerprints)
+
+    def node_put_many(
+        self, node_id: str, chunks: list[tuple[bytes, bytes]]
+    ) -> None:
+        self._trip(node_id)
+        for status in self.node_service(node_id).chunk_put_many(chunks):
+            if isinstance(status, Exception):
+                raise status
+
+    def node_recipe_list(self, node_id: str) -> list[str]:
+        self._trip(node_id)
+        return self.node_service(node_id).recipe_list()
+
+    def node_recipe_get(self, node_id: str, file_id: str) -> bytes:
+        self._trip(node_id)
+        return self.node_service(node_id).recipe_get(file_id)
+
+    def node_recipe_put(self, node_id: str, file_id: str, data: bytes) -> None:
+        self._trip(node_id)
+        self.node_service(node_id).recipe_put(file_id, data)
+
+    def node_stub_list(self, node_id: str) -> list[str]:
+        self._trip(node_id)
+        return self.node_service(node_id).stub_list()
+
+    def node_stub_get(self, node_id: str, file_id: str) -> bytes:
+        self._trip(node_id)
+        return self.node_service(node_id).stub_get(file_id)
+
+    def node_stub_put(self, node_id: str, file_id: str, data: bytes) -> None:
+        self._trip(node_id)
+        self.node_service(node_id).stub_put(file_id, data)
 
     def stats(self) -> dict:
         """Round-trip counter for observability.
@@ -349,7 +860,13 @@ class ShardedStorageService:
            (``store_round_trips_total``, ``store_shard_requests_total``);
            this dict remains as a per-instance view.
         """
-        return {"round_trips": self.round_trips, "services": len(self._services)}
+        return {
+            "round_trips": self.round_trips,
+            "services": len(self._services),
+            "replicas": self.replicas,
+            "write_quorum": self.write_quorum,
+            "nodes_down": len(self.ring.down_nodes()),
+        }
 
 
 @dataclass
@@ -449,12 +966,16 @@ def build_system(
     rng: RandomSource | None = None,
     backends: list | None = None,
     container_bytes: int | None = None,
+    replicas: int = 1,
+    write_quorum: int | None = None,
 ) -> ReedSystem:
     """Build an in-process REED deployment with the paper's topology.
 
     ``backends`` optionally supplies one :class:`BlobBackend` per data
     server (e.g. :class:`DirectoryBackend` for durable storage); memory
-    backends are used by default.
+    backends are used by default.  ``replicas``/``write_quorum`` configure
+    ring replication across the data servers (R=1 keeps the paper's
+    plain striping).
     """
     if num_data_servers < 1:
         raise ConfigurationError("need at least one data server")
@@ -477,10 +998,12 @@ def build_system(
         store_kwargs["container_bytes"] = container_bytes
     servers = [REEDServer(DataStore(backend, **store_kwargs)) for backend in backends]
     storage: StorageService
-    if num_data_servers == 1:
+    if num_data_servers == 1 and replicas == 1:
         storage = servers[0]
     else:
-        storage = ShardedStorageService(list(servers))
+        storage = ShardedStorageService(
+            list(servers), replicas=replicas, write_quorum=write_quorum
+        )
     return ReedSystem(
         key_manager=key_manager,
         authority=authority,

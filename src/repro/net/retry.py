@@ -44,6 +44,8 @@ IDEMPOTENT_METHOD_SUFFIXES: frozenset[str] = frozenset(
         "recipe_list",
         "stub_get",
         "stub_get_many",
+        "chunk_list",
+        "stub_list",
         "list",
         "public_key",
         "backoff_hint",

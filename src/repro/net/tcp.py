@@ -409,7 +409,14 @@ class TcpConnection:
             "tcp_client_in_flight_requests",
             "Client calls currently awaiting a response (all connections).",
         )
-        self._sock = self._dial()
+        self._sock: socket.socket | None = None
+        try:
+            self._sock = self._dial()
+        except OSError as exc:
+            # A replicated deployment must be able to build clients while
+            # one node is down: defer the dial, and let the first call
+            # surface the failure (or succeed once the node is back).
+            self._broken = exc
 
     # -- connection lifecycle ---------------------------------------------
 
@@ -474,7 +481,8 @@ class TcpConnection:
 
     def _redial_locked(self) -> None:
         """Replace a broken socket (caller holds ``self._lock``)."""
-        self._hard_close(self._sock)
+        if self._sock is not None:
+            self._hard_close(self._sock)
         self._sock = self._dial()  # raises OSError while the server is down
         self._generation += 1
         self._broken = None
@@ -495,7 +503,8 @@ class TcpConnection:
         )
         for waiter in pending:
             waiter.fail(error)
-        self._hard_close(self._sock)
+        if self._sock is not None:
+            self._hard_close(self._sock)
 
     # -- the send path -----------------------------------------------------
 

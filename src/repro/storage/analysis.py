@@ -86,13 +86,17 @@ def analyze_sharded(shards: list[DataStore], recipe: FileRecipe) -> Fragmentatio
     Each chunk is looked up on the shard that owns it (same fingerprint
     routing as :class:`~repro.storage.sharding.ShardedDataStore`).
     """
+    from repro.storage.sharding import HashRing
+
+    ring = HashRing([f"node-{index}" for index in range(len(shards))])
+    node_index = {f"node-{index}": index for index in range(len(shards))}
     containers: dict[tuple[int, int], int] = {}
     runs = 0
     previous: tuple[int, int] | None = None
     container_bytes = 0
     seen_containers: set[tuple[int, int]] = set()
     for ref in recipe.chunks:
-        shard_index = int.from_bytes(ref.fingerprint[:8], "big") % len(shards)
+        shard_index = node_index[ring.primary(ref.fingerprint)]
         shard = shards[shard_index]
         location = shard.index.lookup(ref.fingerprint)
         key = (shard_index, location.container_id)

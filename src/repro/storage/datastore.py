@@ -115,6 +115,10 @@ class DataStore:
     def get_chunk(self, fingerprint: bytes) -> bytes:
         return self.containers.read(self.index.lookup(fingerprint))
 
+    def list_chunks(self) -> list[bytes]:
+        """Every indexed fingerprint — the repair daemon's inventory scan."""
+        return list(self.index.fingerprints())
+
     def get_many(self, fingerprints: list[bytes]) -> list[bytes]:
         """Read many chunks in order — one multi-chunk message of the
         batched download protocol.  Raises on the first missing
@@ -177,6 +181,11 @@ class DataStore:
 
     def get_stub_file(self, file_id: str) -> bytes:
         return self.backend.get(_STUB_PREFIX + file_id)
+
+    def list_stub_files(self) -> list[str]:
+        return [
+            name[len(_STUB_PREFIX):] for name in self.backend.list(_STUB_PREFIX)
+        ]
 
     def delete_stub_file(self, file_id: str) -> None:
         name = _STUB_PREFIX + file_id

@@ -25,6 +25,7 @@ EXPECTED_FAMILIES = {
     "upload",
     "upload_tcp",
     "download_tcp",
+    "replicated_tcp",
     "rekey_tcp",
     "concurrent_tcp",
 }
@@ -37,6 +38,7 @@ REFERENCE_ROWS = {
     "upload": "upload/reference",
     "upload_tcp": "upload_tcp/per_chunk",
     "download_tcp": "download_tcp/serial",
+    "replicated_tcp": "replicated_tcp/upload_r1",
     "rekey_tcp": "rekey_tcp/serial",
     "concurrent_tcp": "concurrent_tcp/threaded",
 }
@@ -58,6 +60,10 @@ DOWNLOAD_KEYS = THROUGHPUT_KEYS | {
     "chunk_cache_misses",
     "cache_hit_rate",
 }
+#: The replication scenario records copy fan-out; R=2 rows additionally
+#: carry the measured overhead ratio against their R=1 twin.
+REPLICATED_KEYS = THROUGHPUT_KEYS | {"replicas", "chunks", "store_round_trips"}
+REPLICATED_R2_KEYS = REPLICATED_KEYS | {"overhead_vs_r1"}
 #: The TCP rekey scenario records group-rekey pipeline counters.
 REKEY_KEYS = THROUGHPUT_KEYS | {
     "files",
@@ -96,7 +102,7 @@ def test_quick_bench_runs_and_writes_valid_report(tmp_path):
     assert "metrics snapshot: well-formed" in proc.stdout
 
     report = json.loads(out.read_text())
-    assert report["schema"] == "reed-bench-hotpath/3"
+    assert report["schema"] == "reed-bench-hotpath/4"
     assert report["quick"] is True
     assert report["seed"] == 3
     # Every reported row has its repeats recorded in the bench histogram
@@ -110,6 +116,12 @@ def test_quick_bench_runs_and_writes_valid_report(tmp_path):
             expected_keys = ROUND_TRIP_KEYS
         elif result["name"].startswith("download_tcp/"):
             expected_keys = DOWNLOAD_KEYS
+        elif result["name"].startswith("replicated_tcp/"):
+            expected_keys = (
+                REPLICATED_R2_KEYS
+                if result["name"].endswith("_r2")
+                else REPLICATED_KEYS
+            )
         elif result["name"].startswith("rekey_tcp/"):
             expected_keys = REKEY_KEYS
         elif result["name"].startswith("concurrent_tcp/"):
@@ -148,6 +160,15 @@ def test_quick_bench_runs_and_writes_valid_report(tmp_path):
     assert cache_warm["chunk_cache_misses"] == 0
     assert cache_warm["cache_hit_rate"] >= 0.9
     assert cache_warm["chunk_cache_hits"] == cache_warm["chunks"]
+    # Replication's defining cost: R=2 writes ship every chunk to two
+    # owners, so the upload pays more store round trips than R=1 while
+    # both configurations move the same chunk count.
+    upload_r1 = by_name["replicated_tcp/upload_r1"]
+    upload_r2 = by_name["replicated_tcp/upload_r2"]
+    assert upload_r1["chunks"] == upload_r2["chunks"] > 0
+    assert upload_r2["store_round_trips"] > upload_r1["store_round_trips"]
+    assert upload_r2["overhead_vs_r1"] > 0
+    assert by_name["replicated_tcp/download_r2"]["overhead_vs_r1"] > 0
     # The rekey pipeline's defining win: the serial path pays ~3 keystore
     # round trips per member file, the pipeline 2 per window (plus the
     # group record's get/put).  Store round trips scatter per shard, so

@@ -177,8 +177,9 @@ def test_shard_down_aborts_with_no_partial_rekey():
         # Shard that serves the first member file: its recipe/stub fetch
         # is in the very first window, so the abort fires before any
         # window ships key states.
-        dead = sum(file_ids[0].encode()) % len(cluster.servers)
-        cluster._tcp_servers[dead].stop()
+        node = owner.storage.shard_for_file(file_ids[0])
+        dead = int(node.rsplit("-", 1)[1])
+        cluster.kill_data_server(dead)
         with pytest.raises(Exception):  # noqa: B017 - dead TCP transport
             groups.revoke_users(
                 GROUP, {"mallory"}, RevocationMode.ACTIVE, pipelined=True

@@ -190,7 +190,7 @@ class TestShardFailure:
             client.upload("doc", data)
             assert client.download("doc").data == data
 
-            cluster._tcp_servers[0].stop(drain=False)
+            cluster.kill_data_server(0)
             out = tmp_path / "restore.bin"
             with pytest.raises((ReproError, OSError)):
                 client.download_path("doc", str(out))

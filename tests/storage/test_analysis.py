@@ -85,12 +85,15 @@ class TestAnalyzeFile:
 
 class TestAnalyzeSharded:
     def test_sharded_metrics(self):
+        from repro.storage.sharding import HashRing
+
         shards = [DataStore(container_bytes=512) for _ in range(3)]
+        ring = HashRing([f"node-{index}" for index in range(3)])
         chunks = [bytes([i]) * 64 for i in range(24)]
         refs = []
         for chunk in chunks:
             fp = fingerprint(chunk)
-            shard = shards[int.from_bytes(fp[:8], "big") % 3]
+            shard = shards[int(ring.primary(fp).rsplit("-", 1)[1])]
             shard.put_chunk(fp, chunk)
             refs.append(ChunkRef(fingerprint=fp, length=len(chunk)))
         for shard in shards:

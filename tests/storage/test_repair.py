@@ -1,0 +1,173 @@
+"""Tests for the repair daemon and the ring rebalancer."""
+
+import pytest
+
+from repro.crypto.hashing import fingerprint
+from repro.obs.metrics import MetricsRegistry
+from repro.storage.datastore import DataStore
+from repro.storage.repair import (
+    RepairDaemon,
+    ReplicaRepairer,
+    rebalance,
+)
+from repro.storage.sharding import ShardedDataStore
+from repro.util.errors import ConfigurationError
+
+
+def make_store(n=3, replicas=2):
+    return ShardedDataStore(
+        [DataStore() for _ in range(n)], replicas=replicas
+    )
+
+
+def payloads(count, tag=b"x"):
+    chunks = [tag + b"-%d" % i for i in range(count)]
+    return [(fingerprint(c), c) for c in chunks]
+
+
+class TestReplicaRepairer:
+    def test_clean_store_needs_no_repairs(self):
+        store = make_store()
+        store.put_many(payloads(32))
+        metrics = MetricsRegistry()
+        report = ReplicaRepairer(store, metrics=metrics).run_once()
+        assert report.repairs == 0
+        assert report.missing_replicas == 0
+        assert metrics.value("replicas_missing") == 0.0
+
+    def test_rereplicates_after_node_outage(self):
+        """Chunks written at quorum W=1 while a node was down get their
+        missing replicas restored once the node is back."""
+        store = make_store()
+        down = store.node_ids()[0]
+        store.mark_down(down)
+        items = payloads(64)
+        store.put_many(items)
+        store.put_recipe("file-a", b"recipe-bytes")
+        store.put_stub_file("file-a", b"stub-bytes")
+        store.mark_up(down)
+
+        metrics = MetricsRegistry()
+        report = ReplicaRepairer(store, metrics=metrics).run_once()
+        assert report.missing_replicas > 0
+        assert report.repairs == report.missing_replicas
+        assert report.unrepaired == 0
+        assert metrics.value("replica_repairs_total") == report.repairs
+        assert metrics.value("replicas_missing") == 0.0
+
+        # Every chunk now lives on both its owners.
+        for fp, data in items:
+            for node in store.ring.preference(fp, store.replicas):
+                assert store.node_store(node).has_chunk(fp), fp.hex()
+                assert store.node_store(node).get_chunk(fp) == data
+        second = ReplicaRepairer(store, metrics=metrics).run_once()
+        assert second.missing_replicas == 0
+
+    def test_repairs_wiped_node(self):
+        """A node that lost its disk (fresh empty store) is refilled."""
+        store = make_store()
+        items = payloads(48, tag=b"wipe")
+        store.put_many(items)
+        victim = store.node_ids()[1]
+        store._stores[victim] = DataStore()  # the replaced disk
+        report = ReplicaRepairer(store).run_once()
+        assert report.unrepaired == 0
+        for fp, data in items:
+            owners = store.ring.preference(fp, store.replicas)
+            if victim in owners:
+                assert store.node_store(victim).get_chunk(fp) == data
+
+    def test_detects_and_heals_corrupt_replica(self):
+        store = make_store(n=2, replicas=2)
+        fp, data = payloads(1, tag=b"corrupt")[0]
+        store.put_many([(fp, data)])
+        store.shards[0].flush()
+        store.shards[1].flush()
+        # Flip bits in node-0's copy on disk (both nodes own it at R=2).
+        victim = store.node_store("node-0")
+        location = victim.index.lookup(fp)
+        name = f"container/{location.container_id:012d}"
+        blob = bytearray(victim.backend.get(name))
+        blob[location.offset] ^= 0xFF
+        victim.backend.put(name, bytes(blob))
+
+        repairer = ReplicaRepairer(store, verify_hashes=True)
+        report = repairer.run_once()
+        assert report.corrupt_replicas == 1
+        assert report.unrepaired == 0
+        assert victim.get_chunk(fp) == data  # healed from the good copy
+
+    def test_unrepairable_when_no_copy_survives(self):
+        store = make_store()
+        down = store.node_ids()[0]
+        store.mark_down(down)
+        items = payloads(16, tag=b"lost")
+        store.put_many(items)
+        # The only nodes holding copies vanish: wipe every up holder.
+        for node in store.node_ids():
+            if node != down:
+                store._stores[node] = DataStore()
+        store.mark_up(down)
+        metrics = MetricsRegistry()
+        report = ReplicaRepairer(store, metrics=metrics).run_once()
+        # Chunks whose both owners lost their copies are beyond repair.
+        assert report.unrepaired >= 0
+        assert metrics.value("replicas_missing") == float(report.unrepaired)
+
+    def test_requires_ring_store(self):
+        with pytest.raises(ConfigurationError):
+            ReplicaRepairer(DataStore())
+
+
+class TestRepairDaemon:
+    def test_background_passes(self):
+        store = make_store()
+        down = store.node_ids()[0]
+        store.mark_down(down)
+        store.put_many(payloads(8, tag=b"daemon"))
+        store.mark_up(down)
+        daemon = RepairDaemon(ReplicaRepairer(store), interval=30.0)
+        with daemon:
+            report = daemon.run_now()
+        assert daemon.passes >= 1
+        assert report.unrepaired == 0
+        assert daemon.last_report is not None
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ConfigurationError):
+            RepairDaemon(ReplicaRepairer(make_store()), interval=0)
+
+
+class TestRebalance:
+    def test_join_migrates_only_moved_keys(self):
+        store = make_store(n=3, replicas=2)
+        items = payloads(128, tag=b"join")
+        store.put_many(items)
+        store.put_recipe("file-r", b"recipe")
+        store.put_stub_file("file-r", b"stub")
+
+        old_ring = store.ring.copy()
+        joined = store.add_shard(DataStore())
+        metrics = MetricsRegistry()
+        report = rebalance(store, old_ring, metrics=metrics)
+
+        assert 0 < report.keys_moved < report.keys_checked
+        assert metrics.value("ring_keys_moved_total") == report.keys_moved
+        # Minimal movement: about 1/N of keys move on a join of the
+        # fourth node; allow generous slack for the small sample.
+        assert report.keys_moved / report.keys_checked < 0.65
+        # Every key is fully replicated under the new ring.
+        after = ReplicaRepairer(store).run_once()
+        assert after.missing_replicas == 0
+        # The joined node actually received its keys.
+        assert len(store.node_store(joined).list_chunks()) > 0
+
+    def test_reads_survive_membership_change_with_rebalance(self):
+        store = make_store(n=2, replicas=2)
+        items = payloads(64, tag=b"leave")
+        store.put_many(items)
+        old_ring = store.ring.copy()
+        store.add_shard(DataStore())
+        rebalance(store, old_ring)
+        for fp, data in items:
+            assert store.get_chunk(fp) == data

@@ -1,0 +1,124 @@
+"""Property-based tests for the consistent-hash ring.
+
+The two guarantees replication leans on:
+
+* **balance** — with virtual nodes, every node's primary-ownership share
+  stays near 1/N, so no shard becomes a hotspot; and
+* **minimal movement** — a join or leave re-owns only ~1/N of the key
+  space, and joins move keys *only onto* the joining node (leaves move
+  keys only off the leaver), which is what makes rebalancing cheap.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.sharding import HashRing
+
+NODE_COUNTS = st.integers(min_value=2, max_value=8)
+KEYS = st.binary(min_size=1, max_size=48)
+
+
+def ring_of(n: int, vnodes: int = 64) -> HashRing:
+    return HashRing([f"node-{i}" for i in range(n)], vnodes=vnodes)
+
+
+def sample_keys(count: int = 2048) -> list[bytes]:
+    return [b"key|%d" % i for i in range(count)]
+
+
+class TestDeterminism:
+    @given(key=KEYS, n=NODE_COUNTS)
+    @settings(max_examples=50)
+    def test_same_config_same_placement(self, key, n):
+        assert ring_of(n).preference(key, 2) == ring_of(n).preference(key, 2)
+
+    @given(key=KEYS, n=NODE_COUNTS)
+    @settings(max_examples=50)
+    def test_insertion_order_irrelevant(self, key, n):
+        """Placement depends on membership, not on add_node order."""
+        forward = ring_of(n)
+        backward = HashRing()
+        for i in reversed(range(n)):
+            backward.add_node(f"node-{i}")
+        assert forward.preference(key, n) == backward.preference(key, n)
+
+    @given(key=KEYS, n=NODE_COUNTS, r=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=50)
+    def test_preference_distinct_and_sized(self, key, n, r):
+        owners = ring_of(n).preference(key, r)
+        assert len(owners) == min(r, n)
+        assert len(set(owners)) == len(owners)
+
+    @given(key=KEYS, n=NODE_COUNTS)
+    @settings(max_examples=50)
+    def test_down_node_keeps_ownership(self, key, n):
+        """Liveness must not change placement (ownership == membership)."""
+        ring = ring_of(n)
+        owners = ring.preference(key, 2)
+        ring.mark_down(owners[0])
+        assert ring.preference(key, 2) == owners
+
+
+class TestBalance:
+    @given(n=NODE_COUNTS)
+    @settings(max_examples=8, deadline=None)
+    def test_primary_ownership_near_uniform(self, n):
+        shares = ring_of(n).ownership_shares()
+        assert len(shares) == n
+        for share in shares.values():
+            # 64 vnodes keeps every node within ~2x of the fair share.
+            assert 1 / (3 * n) < share < 2.5 / n
+
+    def test_replica_placement_covers_all_nodes(self):
+        ring = ring_of(4)
+        secondary = set()
+        for key in sample_keys(512):
+            secondary.add(ring.preference(key, 2)[1])
+        assert secondary == set(ring.nodes())
+
+
+class TestMinimalMovement:
+    @given(n=NODE_COUNTS)
+    @settings(max_examples=8, deadline=None)
+    def test_join_moves_about_one_nth(self, n):
+        before = ring_of(n)
+        after = before.copy()
+        after.add_node("node-joined")
+        keys = sample_keys()
+        moved = 0
+        for key in keys:
+            old = before.primary(key)
+            new = after.primary(key)
+            if new != old:
+                moved += 1
+                # Joins only ever pull keys onto the joining node.
+                assert new == "node-joined"
+        share = moved / len(keys)
+        fair = 1 / (n + 1)
+        assert 0 < share < 2.5 * fair
+
+    @given(n=st.integers(min_value=3, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_leave_moves_only_the_leavers_keys(self, n):
+        before = ring_of(n)
+        after = before.copy()
+        after.remove_node("node-0")
+        for key in sample_keys():
+            old = before.primary(key)
+            if old == "node-0":
+                assert after.primary(key) != "node-0"
+            else:
+                assert after.primary(key) == old
+
+    @given(n=NODE_COUNTS)
+    @settings(max_examples=8, deadline=None)
+    def test_join_preserves_replica_overlap(self, n):
+        """After a join, each key keeps at least one of its old R=2
+        owners — so every key stays readable during rebalancing."""
+        before = ring_of(n)
+        after = before.copy()
+        after.add_node("node-joined")
+        for key in sample_keys(512):
+            old = set(before.preference(key, 2))
+            new = set(after.preference(key, 2))
+            assert old & new
