@@ -21,7 +21,7 @@ from typing import Protocol
 from repro.crypto.hashing import fingerprint as _fingerprint
 from repro.storage.datastore import DataStore, DataStoreStats
 from repro.storage.sharding import ShardedDataStore
-from repro.util.errors import IntegrityError
+from repro.util.errors import IntegrityError, NotFoundError
 
 
 class StorageService(Protocol):
@@ -177,15 +177,39 @@ class REEDServer:
         return out
 
     def chunk_release_batch(self, fingerprints: list[bytes]) -> None:
+        """Drop one reference per fingerprint; releases are idempotent.
+
+        A fingerprint this node never held is tolerated per item rather
+        than aborting the batch: with replication a replica can lack an
+        under-replicated chunk (degraded write, post-wipe repair), and
+        its release must not block the releases that follow it.
+        """
         self.counters.add(requests=1)
         for fp in fingerprints:
-            self.store.release_chunk(fp)
+            try:
+                self.store.release_chunk(fp)
+            except NotFoundError:
+                continue
 
     def chunk_list(self) -> list[bytes]:
         """Every fingerprint this node indexes — the repair daemon's
         inventory scan."""
         self.counters.add(requests=1)
         return self.store.list_chunks()
+
+    def chunk_refcount_batch(self, fingerprints: list[bytes]) -> list[int]:
+        """Reference count per fingerprint (0 when not indexed).
+
+        Part of the repair surface, not the client protocol: the repair
+        daemon clones these counts onto re-replicated copies.
+        """
+        self.counters.add(requests=1)
+        return self.store.refcount_many(fingerprints)
+
+    def chunk_addref_batch(self, refs: list[tuple[bytes, int]]) -> None:
+        """Add extra references per ``(fingerprint, count)`` pair."""
+        self.counters.add(requests=1)
+        self.store.addref_many(refs)
 
     # -- recipes / stub files ------------------------------------------------------
 

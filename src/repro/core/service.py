@@ -144,6 +144,20 @@ def register_storage_service(
         server.chunk_release_batch(Decoder(payload).list_of())
         return b""
 
+    def refcounts(payload: bytes) -> bytes:
+        counts = server.chunk_refcount_batch(Decoder(payload).list_of())
+        enc = Encoder().uint(len(counts))
+        for count in counts:
+            enc.uint(count)
+        return enc.done()
+
+    def addref(payload: bytes) -> bytes:
+        dec = Decoder(payload)
+        refs = [(dec.blob(), dec.uint()) for _ in range(dec.uint())]
+        dec.expect_end()
+        server.chunk_addref_batch(refs)
+        return b""
+
     def recipe_put(payload: bytes) -> bytes:
         dec = Decoder(payload)
         server.recipe_put(dec.text(), dec.blob())
@@ -210,6 +224,8 @@ def register_storage_service(
     registry.register(prefix + "put_many", put_many)
     registry.register(prefix + "get", get)
     registry.register(prefix + "release", release)
+    registry.register(prefix + "refcounts", refcounts)
+    registry.register(prefix + "addref", addref)
     registry.register(prefix + "recipe_put", recipe_put)
     registry.register(prefix + "recipe_get", recipe_get)
     registry.register(prefix + "recipe_delete", recipe_delete)
@@ -285,6 +301,21 @@ class RemoteStorageService:
 
     def chunk_release_batch(self, fingerprints: list[bytes]) -> None:
         self._call("release", Encoder().list_of(fingerprints).done())
+
+    def chunk_refcount_batch(self, fingerprints: list[bytes]) -> list[int]:
+        payload = self._call(
+            "refcounts", Encoder().list_of(fingerprints).done()
+        )
+        dec = Decoder(payload)
+        counts = [dec.uint() for _ in range(dec.uint())]
+        dec.expect_end()
+        return counts
+
+    def chunk_addref_batch(self, refs: list[tuple[bytes, int]]) -> None:
+        enc = Encoder().uint(len(refs))
+        for fp, count in refs:
+            enc.blob(fp).uint(count)
+        self._call("addref", enc.done())
 
     def recipe_put(self, file_id: str, data: bytes) -> None:
         self._call("recipe_put", Encoder().text(file_id).blob(data).done())

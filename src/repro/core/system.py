@@ -614,16 +614,55 @@ class ShardedStorageService:
         return lack
 
     def chunk_release_batch(self, fingerprints: list[bytes]) -> None:
+        """Replicated release: every up owner drops one reference.
+
+        One node's failure never aborts the other owners' sub-batches.
+        A replica that never held a chunk (degraded write, or a wiped
+        node the repair daemon refilled) counts as released — the
+        server tolerates missing fingerprints item by item — and a
+        transport failure marks the node down and moves on; the
+        references it leaks are GC debt, not data loss.  A chunk raises
+        (after every node was attempted) only when fewer than
+        ``write_quorum`` owners acknowledged its release, mirroring the
+        in-process :meth:`ShardedDataStore.release_chunk` semantics.
+        """
         placements = [self._owners(fp) for fp in fingerprints]
         per_node: dict[str, list[int]] = {}
         for position, owners in enumerate(placements):
             for node in owners:
                 if self.ring.is_up(node):
                     per_node.setdefault(node, []).append(position)
+        successes = [0] * len(fingerprints)
+        errors: list[Exception | None] = [None] * len(fingerprints)
         for node, positions in per_node.items():
             self._trip(node)
-            self._services[node].chunk_release_batch(
-                [fingerprints[p] for p in positions]
+            try:
+                self._services[node].chunk_release_batch(
+                    [fingerprints[p] for p in positions]
+                )
+            except NotFoundError:
+                # A pre-tolerance server aborts its sub-batch at the
+                # first fingerprint it never held; everything it does
+                # hold before that point was released, and a missing
+                # replica needs no release — count the node as done.
+                pass
+            except Exception as exc:  # noqa: BLE001 - folded into quorum
+                self._note_failure(node, exc)
+                for position in positions:
+                    if errors[position] is None:
+                        errors[position] = exc
+                continue
+            for position in positions:
+                successes[position] += 1
+        for position, owners in enumerate(placements):
+            if successes[position] >= self.write_quorum:
+                if successes[position] < self.replicas:
+                    self._m_degraded.inc()
+                continue
+            raise errors[position] or StorageError(
+                f"write quorum {self.write_quorum} not met releasing "
+                f"{fingerprints[position].hex()} "
+                f"({successes[position]}/{len(owners)} replicas up)"
             )
 
     # -- recipes and stub files --------------------------------------------------
@@ -828,6 +867,16 @@ class ShardedStorageService:
         for status in self.node_service(node_id).chunk_put_many(chunks):
             if isinstance(status, Exception):
                 raise status
+
+    def node_refcounts(self, node_id: str, fingerprints: list[bytes]) -> list[int]:
+        self._trip(node_id)
+        return self.node_service(node_id).chunk_refcount_batch(fingerprints)
+
+    def node_addref_many(
+        self, node_id: str, refs: list[tuple[bytes, int]]
+    ) -> None:
+        self._trip(node_id)
+        self.node_service(node_id).chunk_addref_batch(refs)
 
     def node_recipe_list(self, node_id: str) -> list[str]:
         self._trip(node_id)

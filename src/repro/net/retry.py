@@ -45,6 +45,7 @@ IDEMPOTENT_METHOD_SUFFIXES: frozenset[str] = frozenset(
         "stub_get",
         "stub_get_many",
         "chunk_list",
+        "refcounts",
         "stub_list",
         "list",
         "public_key",

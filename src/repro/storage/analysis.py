@@ -80,25 +80,50 @@ def analyze_file(store: DataStore, recipe: FileRecipe) -> FragmentationReport:
     )
 
 
-def analyze_sharded(shards: list[DataStore], recipe: FileRecipe) -> FragmentationReport:
+def analyze_sharded(shards, recipe: FileRecipe) -> FragmentationReport:
     """Fragmentation metrics across a sharded deployment.
 
-    Each chunk is looked up on the shard that owns it (same fingerprint
-    routing as :class:`~repro.storage.sharding.ShardedDataStore`).
+    ``shards`` is either the
+    :class:`~repro.storage.sharding.ShardedDataStore` itself (preferred
+    — analysis then follows the store's real ring, node ids, and
+    replica placement) or a plain list of :class:`DataStore` shards,
+    assumed to be ring nodes ``node-0 .. node-(n-1)`` in order.  Each
+    chunk is attributed to the first node on its ring preference list
+    whose index holds it, so a replica that landed off-primary (a
+    degraded write, or placement not yet rebalanced) is still found
+    instead of raising.
     """
-    from repro.storage.sharding import HashRing
+    from repro.storage.sharding import HashRing, ShardedDataStore
 
-    ring = HashRing([f"node-{index}" for index in range(len(shards))])
-    node_index = {f"node-{index}": index for index in range(len(shards))}
+    if isinstance(shards, ShardedDataStore):
+        ring = shards.ring
+        node_ids = shards.node_ids()
+        stores = {node: shards.node_store(node) for node in node_ids}
+    else:
+        node_ids = [f"node-{index}" for index in range(len(shards))]
+        ring = HashRing(node_ids)
+        stores = dict(zip(node_ids, shards))
+    node_index = {node: index for index, node in enumerate(node_ids)}
     containers: dict[tuple[int, int], int] = {}
     runs = 0
     previous: tuple[int, int] | None = None
     container_bytes = 0
     seen_containers: set[tuple[int, int]] = set()
     for ref in recipe.chunks:
-        shard_index = node_index[ring.primary(ref.fingerprint)]
-        shard = shards[shard_index]
-        location = shard.index.lookup(ref.fingerprint)
+        shard = None
+        location = None
+        for node in ring.preference(ref.fingerprint, len(node_ids)):
+            try:
+                location = stores[node].index.lookup(ref.fingerprint)
+            except NotFoundError:
+                continue
+            shard = stores[node]
+            shard_index = node_index[node]
+            break
+        if location is None or shard is None:
+            raise NotFoundError(
+                f"chunk {ref.fingerprint.hex()} not indexed on any shard"
+            )
         key = (shard_index, location.container_id)
         containers[key] = containers.get(key, 0) + 1
         if key != previous:

@@ -125,6 +125,25 @@ class DataStore:
         fingerprint, like per-chunk reads."""
         return [self.get_chunk(fp) for fp in fingerprints]
 
+    def refcount_many(self, fingerprints: list[bytes]) -> list[int]:
+        """Reference count per fingerprint (0 when not indexed).
+
+        The repair daemon reads these so a re-replicated chunk can be
+        restored with the reference count of the copy it was cloned
+        from, not a bare refcount of 1.
+        """
+        return [self.index.refcount(fp) for fp in fingerprints]
+
+    def addref_many(self, refs: list[tuple[bytes, int]]) -> None:
+        """Add ``count`` extra references per ``(fingerprint, count)`` pair.
+
+        Raises :class:`~repro.util.errors.NotFoundError` on a
+        fingerprint this store does not index.
+        """
+        for fp, count in refs:
+            if count > 0:
+                self.index.addref(fp, count)
+
     def release_chunk(self, fingerprint: bytes) -> None:
         """Drop one reference; reclaims container space when possible.
 

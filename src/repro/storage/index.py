@@ -70,13 +70,19 @@ class FingerprintIndex:
                 )
             self._entries[fingerprint] = _IndexEntry(location=location, refcount=1)
 
-    def addref(self, fingerprint: bytes) -> None:
-        """Count one more reference to an existing chunk (dedup hit)."""
+    def addref(self, fingerprint: bytes, count: int = 1) -> None:
+        """Count ``count`` more references to an existing chunk.
+
+        ``count`` > 1 lets the repair path replay a source replica's
+        reference count onto a restored copy in one call.
+        """
+        if count < 1:
+            raise StorageError("reference count delta must be positive")
         with self._lock:
             entry = self._entries.get(fingerprint)
             if entry is None:
                 raise NotFoundError(f"fingerprint {fingerprint.hex()} not indexed")
-            entry.refcount += 1
+            entry.refcount += count
 
     def release(self, fingerprint: bytes) -> bool:
         """Drop one reference; returns True when the chunk became garbage."""

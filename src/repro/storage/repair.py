@@ -44,10 +44,34 @@ from dataclasses import dataclass, field
 from repro.crypto.hashing import fingerprint as _fingerprint
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.storage.fsck import fsck
-from repro.util.errors import ConfigurationError, NotFoundError
+from repro.util.errors import ConfigurationError, NotFoundError, ProtocolError
 
 #: Chunk copies per batched transfer (one ``get_many``/``put_many`` pair).
 REPAIR_BATCH = 128
+
+#: Exceptions that mean "the node, not the request, failed" — a node
+#: raising one mid-scan is marked down and skipped for the rest of the
+#: pass (same classification the client-side router uses).
+_TRANSPORT_FAILURES = (ProtocolError, OSError)
+
+
+def _replay_refcounts(store, source: str, target: str, batch: list[bytes]) -> None:
+    """Clone the source replica's reference counts onto fresh copies.
+
+    ``put`` lands a restored chunk with refcount 1 regardless of how
+    many files reference it; without the replay the first file delete
+    would garbage-collect the restored replica while other files still
+    point at it.  Stores lacking the refcount surface skip the replay —
+    the copied bytes are still correct, only delete bookkeeping degrades.
+    """
+    refcounts = getattr(store, "node_refcounts", None)
+    addref = getattr(store, "node_addref_many", None)
+    if refcounts is None or addref is None:
+        return
+    counts = refcounts(source, batch)
+    extra = [(fp, count - 1) for fp, count in zip(batch, counts) if count > 1]
+    if extra:
+        addref(target, extra)
 
 
 @dataclass
@@ -57,6 +81,9 @@ class RepairReport:
     nodes_scanned: int = 0
     #: Nodes revived by the pre-scan probe (previously marked down).
     revived_nodes: list[str] = field(default_factory=list)
+    #: Nodes that failed mid-scan and were excluded from this pass
+    #: (transport failures are also marked down on the ring).
+    failed_nodes: list[str] = field(default_factory=list)
     chunks_checked: int = 0
     #: (chunk, owner) pairs found lacking a replica before repair.
     missing_replicas: int = 0
@@ -89,8 +116,10 @@ class ReplicaRepairer:
 
     Works against anything exposing the per-node repair surface
     (``ring``, ``replicas``, ``node_ids``, ``node_chunk_list``,
-    ``node_has_many``, ``node_get_many``, ``node_put_many`` and the
-    recipe/stub equivalents) — both the in-process
+    ``node_has_many``, ``node_get_many``, ``node_put_many``, the
+    recipe/stub equivalents, and optionally
+    ``node_refcounts``/``node_addref_many`` for reference-count
+    replay) — both the in-process
     :class:`~repro.storage.sharding.ShardedDataStore` and the RPC-backed
     :class:`~repro.core.system.ShardedStorageService`.
     """
@@ -189,24 +218,56 @@ class ReplicaRepairer:
             purged.add(fp)
         return purged
 
+    def _exclude_node(self, node: str, exc: Exception, report: RepairReport) -> None:
+        """Drop a node that failed mid-scan from the rest of this pass.
+
+        A transport failure also marks it down on the ring (matching
+        the client router's classification) so it is neither counted as
+        a lacking owner nor targeted for copies until a later probe
+        revives it; the next pass retries either way.
+        """
+        report.failed_nodes.append(node)
+        if isinstance(exc, _TRANSPORT_FAILURES):
+            mark_down = getattr(self.store, "mark_down", None)
+            if mark_down is not None and self.store.ring.is_up(node):
+                mark_down(node)
+
+    def _owners_of(self, key, failed: set[str]) -> list[str]:
+        return [
+            node
+            for node in self.store.ring.preference(key, self.store.replicas)
+            if self.store.ring.is_up(node) and node not in failed
+        ]
+
     # -- the scan ---------------------------------------------------------------
 
     def run_once(self) -> RepairReport:
-        """One full scan-and-repair pass over chunks, recipes, and stubs."""
+        """One full scan-and-repair pass over chunks, recipes, and stubs.
+
+        A node failing mid-scan (e.g. dying between the liveness probe
+        and its inventory read) is excluded from the pass instead of
+        aborting it — see :meth:`_exclude_node`.
+        """
         report = RepairReport()
         probe = getattr(self.store, "probe_nodes", None)
         if probe is not None:
             report.revived_nodes = probe()
-        live = self._live_nodes()
-        report.nodes_scanned = len(live)
 
         # Chunk inventory: fingerprint -> nodes holding an intact copy.
         holders: dict[bytes, set[str]] = {}
-        for node in live:
-            inventory = self.store.node_chunk_list(node)
-            corrupt = (
-                self._corrupt_on(node, inventory) if self.verify_hashes else set()
-            )
+        live: list[str] = []
+        for node in self._live_nodes():
+            try:
+                inventory = self.store.node_chunk_list(node)
+                corrupt = (
+                    self._corrupt_on(node, inventory)
+                    if self.verify_hashes
+                    else set()
+                )
+            except Exception as exc:  # noqa: BLE001 - node died mid-scan
+                self._exclude_node(node, exc, report)
+                continue
+            live.append(node)
             if corrupt:
                 report.corrupt_replicas += len(corrupt)
                 self._purge_corrupt(node, corrupt)
@@ -215,16 +276,14 @@ class ReplicaRepairer:
                     holders.setdefault(fp, set()).add(node)
             for fp in corrupt:
                 holders.setdefault(fp, set())
+        report.nodes_scanned = len(live)
         report.chunks_checked = len(holders)
+        failed = set(report.failed_nodes)
 
         # Plan: target node -> source node -> fingerprints to copy.
         plans: dict[str, dict[str, list[bytes]]] = {}
         for fp, holding in holders.items():
-            owners = [
-                node
-                for node in self.store.ring.preference(fp, self.store.replicas)
-                if self.store.ring.is_up(node)
-            ]
+            owners = self._owners_of(fp, failed)
             lacking = [node for node in owners if node not in holding]
             if not lacking:
                 continue
@@ -245,6 +304,7 @@ class ReplicaRepairer:
                         self.store.node_put_many(
                             target, list(zip(batch, blobs))
                         )
+                        _replay_refcounts(self.store, source, target, batch)
                     except Exception:  # noqa: BLE001 - keep scanning
                         report.unrepaired += len(batch)
                         continue
@@ -273,17 +333,19 @@ class ReplicaRepairer:
         """Re-replicate one named-blob namespace (recipes or stub files)."""
         holders: dict[str, set[str]] = {}
         for node in live:
-            for file_id in list_fn(node):
+            if node in report.failed_nodes:
+                continue
+            try:
+                listing = list_fn(node)
+            except Exception as exc:  # noqa: BLE001 - node died mid-scan
+                self._exclude_node(node, exc, report)
+                continue
+            for file_id in listing:
                 holders.setdefault(file_id, set()).add(node)
+        failed = set(report.failed_nodes)
         repaired = 0
         for file_id, holding in holders.items():
-            owners = [
-                node
-                for node in self.store.ring.preference(
-                    file_id, self.store.replicas
-                )
-                if self.store.ring.is_up(node)
-            ]
+            owners = self._owners_of(file_id, failed)
             lacking = [node for node in owners if node not in holding]
             if not lacking:
                 continue
@@ -322,15 +384,31 @@ class RepairDaemon:
         self.repairer = repairer
         self.interval = interval
         self.last_report: RepairReport | None = None
+        #: Exception that aborted the most recent pass (None after a
+        #: pass completes) — the daemon's health surface.
+        self.last_error: Exception | None = None
         self.passes = 0
+        self.failed_passes = 0
+        self._m_scan_failures = repairer.metrics.counter(
+            "repair_scan_failures_total",
+            "Repair passes aborted by an unexpected error.",
+        )
         self._stop = threading.Event()
         self._wake = threading.Event()
         self._thread: threading.Thread | None = None
         self._lock = threading.Lock()
 
     def _loop(self) -> None:
+        # A failing pass must never kill the thread: a daemon that died
+        # silently looks healthy while the deployment stops self-healing.
+        # The error is recorded and the next interval retries.
         while not self._stop.is_set():
-            self.run_now()
+            try:
+                self.run_now()
+            except Exception as exc:  # noqa: BLE001 - keep the loop alive
+                self.last_error = exc
+                self.failed_passes += 1
+                self._m_scan_failures.inc()
             self._wake.wait(self.interval)
             self._wake.clear()
 
@@ -338,6 +416,7 @@ class RepairDaemon:
         with self._lock:
             report = self.repairer.run_once()
             self.last_report = report
+            self.last_error = None
             self.passes += 1
             return report
 
@@ -418,6 +497,7 @@ def rebalance(
                 batch = fps[start : start + REPAIR_BATCH]
                 blobs = store.node_get_many(source, batch)
                 store.node_put_many(target, list(zip(batch, blobs)))
+                _replay_refcounts(store, source, target, batch)
                 report.copies_made += len(batch)
 
     # Recipes and stub files.

@@ -388,19 +388,36 @@ class ShardedDataStore:
 
         Each shard sees one ``has_many`` sub-batch, so over RPC the cost
         is one message per *shard touched*, not one per fingerprint.
+        Like :meth:`has_chunk`, every up owner is consulted before a
+        fingerprint reads absent: a "no" (or a failure) on the preferred
+        replica falls back through the remaining owners, so a chunk that
+        landed only on a later replica (degraded write) is still found.
         """
         flags = [False] * len(fingerprints)
-        groups: dict[str, list[int]] = {}
-        for position, fp in enumerate(fingerprints):
-            up = self._up_owners(fp)
-            if up:
-                groups.setdefault(up[0], []).append(position)
-        for node, positions in groups.items():
-            answers = self._stores[node].has_many(
-                [fingerprints[p] for p in positions]
-            )
-            for position, flag in zip(positions, answers):
-                flags[position] = flag
+        candidates = [self._up_owners(fp) for fp in fingerprints]
+        cursor = [0] * len(fingerprints)
+        unresolved = [p for p in range(len(fingerprints)) if candidates[p]]
+        while unresolved:
+            groups: dict[str, list[int]] = {}
+            for position in unresolved:
+                groups.setdefault(
+                    candidates[position][cursor[position]], []
+                ).append(position)
+            retry: list[int] = []
+            for node, positions in groups.items():
+                try:
+                    answers = self._stores[node].has_many(
+                        [fingerprints[p] for p in positions]
+                    )
+                except Exception:  # noqa: BLE001 - ask the next replica
+                    answers = [False] * len(positions)
+                for position, flag in zip(positions, answers):
+                    if flag:
+                        flags[position] = True
+                    elif cursor[position] + 1 < len(candidates[position]):
+                        cursor[position] += 1
+                        retry.append(position)
+            unresolved = retry
         return flags
 
     def put_many(self, chunks: list[tuple[bytes, bytes]]) -> list[bool]:
@@ -567,6 +584,31 @@ class ShardedDataStore:
             tolerate=(NotFoundError,),
         )
 
+    def refcount_many(self, fingerprints: list[bytes]) -> list[int]:
+        """Highest per-replica reference count for each fingerprint.
+
+        Replicas can disagree after degraded writes or repairs; the
+        maximum is the count the repair path replays onto fresh copies.
+        """
+        counts = [0] * len(fingerprints)
+        for position, fp in enumerate(fingerprints):
+            for node in self._up_owners(fp):
+                counts[position] = max(
+                    counts[position], self._stores[node].index.refcount(fp)
+                )
+        return counts
+
+    def addref_many(self, refs: list[tuple[bytes, int]]) -> None:
+        """Add extra references on every up owner holding each chunk."""
+        for fp, count in refs:
+            if count < 1:
+                continue
+            for node in self._up_owners(fp):
+                try:
+                    self._stores[node].index.addref(fp, count)
+                except NotFoundError:
+                    continue  # replica never held it
+
     def flush(self) -> None:
         for node in self._order:
             if self.ring.is_up(node):
@@ -652,6 +694,12 @@ class ShardedDataStore:
         self, node_id: str, chunks: list[tuple[bytes, bytes]]
     ) -> None:
         self.node_store(node_id).put_many(chunks)
+
+    def node_refcounts(self, node_id: str, fingerprints: list[bytes]) -> list[int]:
+        return self.node_store(node_id).refcount_many(fingerprints)
+
+    def node_addref_many(self, node_id: str, refs: list[tuple[bytes, int]]) -> None:
+        self.node_store(node_id).addref_many(refs)
 
     def node_recipe_list(self, node_id: str) -> list[str]:
         return self.node_store(node_id).list_recipes()

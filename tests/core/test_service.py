@@ -50,6 +50,30 @@ class TestRemoteStorage:
         remote.chunk_release_batch([fp])
         assert remote.chunk_exists_batch([fp]) == [False]
 
+    def test_release_tolerates_missing_fingerprints(self, wired):
+        """A missing fingerprint mid-batch must not abort the releases
+        that follow it (replicated deletes hit this on owners that never
+        held an under-replicated chunk)."""
+        _server, _ks, _km, rpc = wired
+        remote = RemoteStorageService(rpc)
+        fp = fingerprint(b"held")
+        remote.chunk_put_batch([(fp, b"held")])
+        remote.chunk_release_batch([fingerprint(b"never-stored"), fp])
+        assert remote.chunk_exists_batch([fp]) == [False]
+
+    def test_refcount_roundtrip(self, wired):
+        _server, _ks, _km, rpc = wired
+        remote = RemoteStorageService(rpc)
+        fp = fingerprint(b"counted")
+        remote.chunk_put_batch([(fp, b"counted")])
+        remote.chunk_put_batch([(fp, b"counted")])  # dedup hit: refcount 2
+        missing = fingerprint(b"unknown")
+        assert remote.chunk_refcount_batch([fp, missing]) == [2, 0]
+        remote.chunk_addref_batch([(fp, 3)])
+        assert remote.chunk_refcount_batch([fp]) == [5]
+        with pytest.raises(NotFoundError):
+            remote.chunk_addref_batch([(missing, 1)])
+
     def test_recipes_and_stubs(self, wired):
         _server, _ks, _km, rpc = wired
         remote = RemoteStorageService(rpc)

@@ -7,7 +7,7 @@ from repro.core.system import ShardedStorageService, build_system
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.hashing import fingerprint
 from repro.storage.backend import DirectoryBackend
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, ProtocolError
 from repro.workloads.synthetic import unique_data
 
 
@@ -37,6 +37,52 @@ class TestShardedStorageService:
     def test_empty_rejected(self):
         with pytest.raises(ConfigurationError):
             ShardedStorageService([])
+
+
+class TestReplicatedRelease:
+    def test_release_tolerates_under_replicated_chunks(self):
+        """A chunk written at quorum while an owner was down must still
+        delete cleanly once that owner returns empty-handed."""
+        sharded = ShardedStorageService(
+            [REEDServer() for _ in range(3)], replicas=2
+        )
+        down = sharded.node_ids()[0]
+        sharded.mark_down(down)
+        chunks = [(fingerprint(b"rel-%d" % i), b"rel-%d" % i) for i in range(24)]
+        sharded.chunk_put_batch(chunks)
+        sharded.mark_up(down)
+        fps = [fp for fp, _ in chunks]
+        sharded.chunk_release_batch(fps)  # must not raise
+        assert sharded.chunk_exists_batch(fps) == [False] * len(fps)
+
+    def test_release_continues_past_node_failure(self):
+        """A node dying mid-delete leaks its references (GC debt) but
+        must not abort the releases on the surviving owners."""
+
+        class DeadService:
+            def __getattr__(self, name):
+                def dead(*args, **kwargs):
+                    raise ProtocolError("connection reset")
+
+                return dead
+
+        sharded = ShardedStorageService(
+            [REEDServer() for _ in range(3)], replicas=2
+        )
+        chunks = [(fingerprint(b"dd-%d" % i), b"dd-%d" % i) for i in range(24)]
+        sharded.chunk_put_batch(chunks)
+        victim = sharded.node_ids()[0]
+        survivors = {
+            node: sharded.node_service(node)
+            for node in sharded.node_ids()
+            if node != victim
+        }
+        sharded._services[victim] = DeadService()
+        fps = [fp for fp, _ in chunks]
+        sharded.chunk_release_batch(fps)  # quorum met on each live owner
+        assert not sharded.ring.is_up(victim)
+        for service in survivors.values():
+            assert service.chunk_exists_batch(fps) == [False] * len(fps)
 
 
 class TestBuildSystem:

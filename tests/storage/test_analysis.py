@@ -110,3 +110,57 @@ class TestAnalyzeSharded:
         assert report.chunk_count == 24
         assert report.containers_touched >= 3  # at least one per shard
         assert report.read_amplification >= 1.0
+
+    def test_accepts_store_and_finds_degraded_replicas(self):
+        """Passing the ShardedDataStore itself uses its real ring, and a
+        chunk that landed only on a non-primary owner is still found."""
+        from repro.storage.sharding import ShardedDataStore
+
+        store = ShardedDataStore(
+            [DataStore(container_bytes=512) for _ in range(3)], replicas=2
+        )
+        chunks = [bytes([i]) * 64 for i in range(16)]
+        refs = []
+        for chunk in chunks:
+            fp = fingerprint(chunk)
+            # Degraded write: only the secondary owner got a copy.
+            secondary = store.ring.preference(fp, 2)[1]
+            store.node_store(secondary).put_chunk(fp, chunk)
+            refs.append(ChunkRef(fingerprint=fp, length=len(chunk)))
+        store.flush()
+        recipe = FileRecipe(
+            file_id="degraded",
+            pathname="",
+            size=sum(len(c) for c in chunks),
+            scheme="enhanced",
+            key_version=0,
+            chunks=tuple(refs),
+        )
+        report = analyze_sharded(store, recipe)
+        assert report.chunk_count == 16
+        assert report.containers_touched >= 1
+
+    def test_custom_node_ids(self):
+        """Shards attached under custom node ids must not be
+        misattributed to positional ``node-{i}`` placement."""
+        from repro.storage.sharding import ShardedDataStore
+
+        store = ShardedDataStore([DataStore(), DataStore()])
+        store.add_shard(DataStore(), node_id="rack-b-7")
+        chunks = [bytes([i]) * 64 for i in range(16)]
+        refs = []
+        for chunk in chunks:
+            fp = fingerprint(chunk)
+            store.put_chunk(fp, chunk)
+            refs.append(ChunkRef(fingerprint=fp, length=len(chunk)))
+        store.flush()
+        recipe = FileRecipe(
+            file_id="custom-ids",
+            pathname="",
+            size=sum(len(c) for c in chunks),
+            scheme="enhanced",
+            key_version=0,
+            chunks=tuple(refs),
+        )
+        report = analyze_sharded(store, recipe)
+        assert report.chunk_count == 16

@@ -119,3 +119,30 @@ class TestShardedBatches:
     def test_empty_batches(self, sharded):
         assert sharded.has_many([]) == []
         assert sharded.put_many([]) == []
+
+    def test_has_many_falls_back_to_later_replica(self):
+        """A chunk that landed only on a non-primary owner (degraded
+        write) must read present, matching has_chunk."""
+        sharded = ShardedDataStore([DataStore() for _ in range(3)], replicas=2)
+        chunks = make_chunks(12, prefix=b"degraded")
+        for fp, data in chunks:
+            secondary = sharded.ring.preference(fp, 2)[1]
+            sharded.node_store(secondary).put_chunk(fp, data)
+        fps = [fp for fp, _ in chunks]
+        assert sharded.has_many(fps) == [True] * len(fps)
+        assert sharded.has_many(fps) == [sharded.has_chunk(fp) for fp in fps]
+
+    def test_has_many_routes_around_failing_shard(self):
+        """One shard raising must re-route its positions to the other
+        owners instead of propagating or reading false absences."""
+        sharded = ShardedDataStore([DataStore() for _ in range(3)], replicas=2)
+        chunks = make_chunks(12, prefix=b"broken")
+        sharded.put_many(chunks)
+        victim = sharded.node_store(sharded.node_ids()[0])
+
+        def boom(fingerprints):
+            raise OSError("disk gone")
+
+        victim.has_many = boom
+        fps = [fp for fp, _ in chunks]
+        assert sharded.has_many(fps) == [True] * len(fps)

@@ -1,5 +1,7 @@
 """Tests for the repair daemon and the ring rebalancer."""
 
+import time
+
 import pytest
 
 from repro.crypto.hashing import fingerprint
@@ -11,7 +13,7 @@ from repro.storage.repair import (
     rebalance,
 )
 from repro.storage.sharding import ShardedDataStore
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, ProtocolError
 
 
 def make_store(n=3, replicas=2):
@@ -114,6 +116,48 @@ class TestReplicaRepairer:
         assert report.unrepaired >= 0
         assert metrics.value("replicas_missing") == float(report.unrepaired)
 
+    def test_repair_replays_reference_counts(self):
+        """A restored replica carries the source's refcount: restoring
+        with refcount 1 would let the first file delete garbage-collect
+        a chunk other files still reference."""
+        store = make_store()
+        data = b"shared-by-three-files"
+        fp = fingerprint(data)
+        for _ in range(3):  # three files reference the chunk
+            store.put_chunk(fp, data)
+        victim = store.ring.preference(fp, store.replicas)[0]
+        store._stores[victim] = DataStore()  # the wiped disk
+        report = ReplicaRepairer(store, metrics=MetricsRegistry()).run_once()
+        assert report.chunks_repaired >= 1
+        assert store.node_store(victim).index.refcount(fp) == 3
+        # Two file deletes leave the third reference intact everywhere.
+        store.release_chunk(fp)
+        store.release_chunk(fp)
+        for node in store.ring.preference(fp, store.replicas):
+            assert store.node_store(node).has_chunk(fp)
+        store.release_chunk(fp)
+        assert not store.has_chunk(fp)
+
+    def test_run_once_excludes_node_dying_mid_scan(self):
+        """A node failing between the liveness probe and its inventory
+        read is dropped from the pass (and marked down on a transport
+        error) instead of aborting the whole scan."""
+        store = make_store()
+        store.put_many(payloads(24, tag=b"midscan"))
+        victim = store.node_ids()[1]
+        original = store.node_chunk_list
+
+        def flaky(node_id):
+            if node_id == victim:
+                raise ProtocolError("connection reset by peer")
+            return original(node_id)
+
+        store.node_chunk_list = flaky
+        report = ReplicaRepairer(store, metrics=MetricsRegistry()).run_once()
+        assert victim in report.failed_nodes
+        assert not store.ring.is_up(victim)
+        assert report.nodes_scanned == len(store.node_ids()) - 1
+
     def test_requires_ring_store(self):
         with pytest.raises(ConfigurationError):
             ReplicaRepairer(DataStore())
@@ -136,6 +180,26 @@ class TestRepairDaemon:
     def test_rejects_bad_interval(self):
         with pytest.raises(ConfigurationError):
             RepairDaemon(ReplicaRepairer(make_store()), interval=0)
+
+    def test_survives_failing_passes(self):
+        """A pass blowing up must not kill the daemon thread — the
+        self-healing loop records the error and retries next interval."""
+        repairer = ReplicaRepairer(make_store(), metrics=MetricsRegistry())
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise ProtocolError("node died mid-scan")
+
+        repairer.run_once = boom
+        daemon = RepairDaemon(repairer, interval=0.01)
+        with daemon:
+            deadline = time.time() + 5.0
+            while len(calls) < 2 and time.time() < deadline:
+                time.sleep(0.005)
+        assert len(calls) >= 2  # the loop outlived the first failure
+        assert daemon.failed_passes >= 2
+        assert isinstance(daemon.last_error, ProtocolError)
 
 
 class TestRebalance:
