@@ -69,7 +69,7 @@ from repro.crypto.drbg import HmacDrbg  # noqa: E402
 from repro.obs.expo import parse_prometheus, render_prometheus  # noqa: E402
 from repro.obs.metrics import MetricsRegistry  # noqa: E402
 
-SCHEMA = "reed-bench-hotpath/4"
+SCHEMA = "reed-bench-hotpath/5"
 
 #: Every timed repeat lands in ``bench_seconds{bench=...}`` here, so the
 #: numbers the report prints are the same ones a scrape would export.
@@ -119,6 +119,17 @@ def _time(fn, repeats: int, name: str) -> float:
         fn()
         child.observe(time.perf_counter() - start)
     return child.minimum
+
+
+def _quantiles(name: str) -> dict:
+    """p50/p99 of the repeats recorded for one benchmark row.
+
+    Interpolated from the ``bench_seconds{bench=name}`` histogram child
+    (clamped to the observed min/max, so few-repeat runs stay sane) —
+    the tail-latency companions to the best-of ``seconds`` value.
+    """
+    child = _bench_histogram().labels(bench=name)
+    return {"p50_s": child.quantile(0.5), "p99_s": child.quantile(0.99)}
 
 
 def bench_chunking(data: bytes, repeats: int) -> list[dict]:
@@ -299,6 +310,7 @@ def bench_upload_tcp(file_bytes: int, repeats: int, seed: int) -> list[dict]:
                     "key_round_trips": upload.key_round_trips,
                     "store_round_trips": upload.store_round_trips,
                     "upload_batches": upload.upload_batches,
+                    **_quantiles(f"upload_tcp/{label}"),
                 }
             )
     return results
@@ -380,6 +392,7 @@ def bench_download_tcp(file_bytes: int, repeats: int, seed: int) -> list[dict]:
                     "cache_hit_rate": round(download.chunk_cache_hits / lookups, 4)
                     if lookups
                     else 0.0,
+                    **_quantiles(f"download_tcp/{label}"),
                 }
             )
             client.close()
@@ -550,6 +563,7 @@ def bench_rekey_tcp(
                     "batches": rekey.batches,
                     "workers": rekey.workers,
                     "abe_operations": rekey.abe_operations,
+                    **_quantiles(f"rekey_tcp/{label}"),
                 }
             )
         owner.close()
@@ -812,6 +826,17 @@ def check_metrics_snapshot(report: dict) -> None:
         total = series.get(("bench_seconds_sum", frozenset({("bench", name)})))
         if total is None or total < result["seconds"] - 1e-9:
             raise AssertionError(f"bench_seconds_sum inconsistent for {name!r}")
+        if "p50_s" in result or "p99_s" in result:
+            p50, p99 = result.get("p50_s"), result.get("p99_s")
+            if p50 is None or p99 is None:
+                raise AssertionError(f"missing latency quantiles for {name!r}")
+            # seconds is the best-of (histogram minimum); the clamped
+            # bucket interpolation keeps p50 <= p99 within [min, max].
+            if not result["seconds"] - 1e-9 <= p50 <= p99 + 1e-9:
+                raise AssertionError(
+                    f"inconsistent quantiles for {name!r}: "
+                    f"min={result['seconds']} p50={p50} p99={p99}"
+                )
     snapshot = report["metrics"]
     if "bench_seconds" not in snapshot:
         raise AssertionError("metrics snapshot is missing bench_seconds")

@@ -29,6 +29,8 @@ Example session::
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import os
 import sys
 
@@ -59,9 +61,17 @@ from repro.net.tcp import (
     TcpConnection,
     TcpServer,
 )
-from repro.obs.expo import parse_prometheus
+from repro.obs.expo import parse_prometheus, quantile_from_cumulative
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.propagate import (
+    dump_tracer,
+    fetch_traces,
+    format_merged,
+    merge_traces,
+    register_traces,
+)
 from repro.obs.rpc import register_metrics, scrape
+from repro.obs.tracing import Tracer, default_tracer
 from repro.storage.backend import DirectoryBackend
 from repro.storage.datastore import DataStore
 from repro.storage.keystore import KeyStore
@@ -262,7 +272,8 @@ def start_service(
     Used by ``reed serve`` and directly by tests/embedding code.
     """
     metrics = MetricsRegistry()
-    registry = ServiceRegistry(metrics=metrics)
+    tracer = Tracer(metrics=metrics, node=role)
+    registry = ServiceRegistry(metrics=metrics, tracer=tracer)
     if role == "storage":
         store = DataStore(DirectoryBackend(data)) if data else DataStore()
         register_storage_service(registry, REEDServer(store))
@@ -273,8 +284,10 @@ def start_service(
         register_key_manager(registry, KeyManager(private_key=org.key_manager_key()))
     else:
         raise ConfigurationError(f"unknown service role {role!r}")
-    # Every service is scrapeable over its own RPC port (`reed stats`).
+    # Every service is scrapeable over its own RPC port (`reed stats`),
+    # and serves its trace-fragment ring (`reed trace` / `reed slow`).
     register_metrics(registry, metrics)
+    register_traces(registry, tracer)
     server = TcpServer(
         registry, host=host, port=port, metrics=metrics, idle_timeout=idle_timeout
     )
@@ -473,23 +486,54 @@ def cmd_top(args) -> int:
             if idle_drops:
                 line += f", {idle_drops:.0f} idle drops"
             print(line)
-        # Hottest methods: request count with mean handler latency drawn
-        # from the same histogram a Prometheus scrape would see.
-        methods: list[tuple[float, str]] = []
+        # Hottest methods: request count, mean, and p50/p99 handler
+        # latency — the quantiles interpolated from the same cumulative
+        # bucket series a Prometheus scrape would see.
+        def buckets_for(method: str) -> list[tuple[float, float]]:
+            pairs: list[tuple[float, float]] = []
+            for (name, labels), count in series.items():
+                if name != "rpc_handler_seconds_bucket":
+                    continue
+                label_map = dict(labels)
+                if label_map.get("method") != method or "le" not in label_map:
+                    continue
+                le = label_map["le"]
+                pairs.append((math.inf if le == "+Inf" else float(le), count))
+            return pairs
+
+        rows: list[dict] = []
         for (name, labels), count in series.items():
             if name != "rpc_requests_total":
                 continue
             method = dict(labels).get("method")
-            if method is not None:
-                methods.append((count, method))
-        for count, method in sorted(methods, reverse=True)[: args.limit]:
+            if method is None:
+                continue
             total = value("rpc_handler_seconds_sum", method=method)
             calls = value("rpc_handler_seconds_count", method=method)
-            mean_ms = (total / calls) * 1000 if total is not None and calls else 0.0
-            errors = value("rpc_errors_total", method=method) or 0
-            line = f"  {method:<28} {count:>8.0f} calls  {mean_ms:>9.3f} ms/call"
-            if errors:
-                line += f"  {errors:.0f} errors"
+            buckets = buckets_for(method)
+            p50 = quantile_from_cumulative(buckets, 0.5) if buckets else None
+            p99 = quantile_from_cumulative(buckets, 0.99) if buckets else None
+            rows.append(
+                {
+                    "method": method,
+                    "calls": count,
+                    "mean": (total / calls) * 1000
+                    if total is not None and calls
+                    else 0.0,
+                    "p50": (p50 or 0.0) * 1000,
+                    "p99": (p99 or 0.0) * 1000,
+                    "errors": value("rpc_errors_total", method=method) or 0,
+                }
+            )
+        rows.sort(key=lambda row: row[args.sort], reverse=True)
+        for row in rows[: args.limit]:
+            line = (
+                f"  {row['method']:<24} {row['calls']:>8.0f} calls  "
+                f"{row['mean']:>8.3f} mean  {row['p50']:>8.3f} p50  "
+                f"{row['p99']:>8.3f} p99 ms"
+            )
+            if row["errors"]:
+                line += f"  {row['errors']:.0f} errors"
             print(line)
         # Client-side restore pipeline, when the endpoint exposes it:
         # chunk-cache efficiency plus per-stage download span latencies.
@@ -511,6 +555,87 @@ def cmd_top(args) -> int:
                     f"  {span:<28} {calls:>8.0f} spans  "
                     f"{total / calls * 1000:>9.3f} ms/span"
                 )
+    return 0
+
+
+def _fetch_trace_dumps(
+    endpoints: str, trace_id: str | None = None
+) -> list[dict]:
+    """Pull every endpoint's trace dump over its ``traces`` RPC.
+
+    Endpoints that predate the traces method (or are unreachable) are
+    skipped with a note on stderr instead of failing the whole view.
+    """
+    dumps: list[dict] = []
+    for endpoint in endpoints.split(","):
+        endpoint = endpoint.strip()
+        conn = TcpConnection(*_parse_endpoint(endpoint))
+        try:
+            dump = fetch_traces(conn.client(), trace_id=trace_id)
+        except ReproError as exc:
+            print(f"note: {endpoint}: {exc}", file=sys.stderr)
+            continue
+        finally:
+            conn.close()
+        if not dump.get("node"):
+            dump["node"] = endpoint
+        dumps.append(dump)
+    return dumps
+
+
+def cmd_trace(args) -> int:
+    """Assemble and render distributed traces across the endpoints.
+
+    Fetches each node's trace-fragment ring, folds in this process's
+    own tracer (the client half, when the CLI runs in the same process
+    as the workload — integration tests, notebooks), and splices the
+    fragments into one tree per trace id.
+    """
+    dumps = _fetch_trace_dumps(args.endpoints, args.trace_id or None)
+    dumps.append(dump_tracer(default_tracer(), node="client"))
+    merged = merge_traces(dumps)
+    if args.trace_id:
+        merged = [
+            entry for entry in merged if entry["trace_id"] == args.trace_id
+        ]
+    if args.json:
+        print(json.dumps(merged, indent=2, sort_keys=True))
+        return 0
+    if not merged:
+        print("no traces")
+        return 1
+    for entry in merged[-args.limit :] if args.limit else merged:
+        print(f"trace {entry['trace_id']}  nodes: {', '.join(entry['nodes'])}")
+        if entry["root"] is not None:
+            print(format_merged(entry["root"], indent="  "))
+        for orphan in entry["orphans"]:
+            print("  -- orphan fragment (parent span not retained) --")
+            print(format_merged(orphan, indent="  "))
+    return 0
+
+
+def cmd_slow(args) -> int:
+    """Slowest sampled spans across the endpoints, worst first."""
+    dumps = _fetch_trace_dumps(args.endpoints)
+    dumps.append(dump_tracer(default_tracer(), node="client"))
+    entries = [entry for dump in dumps for entry in dump.get("slow", ())]
+    entries.sort(key=lambda entry: entry.get("duration") or 0.0, reverse=True)
+    entries = entries[: args.limit] if args.limit else entries
+    if args.json:
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    if not entries:
+        print("no slow spans")
+        return 0
+    for entry in entries:
+        line = (
+            f"{(entry.get('duration') or 0.0) * 1000:>10.3f} ms  "
+            f"{entry['name']:<28} @{entry.get('node') or '?':<12} "
+            f"trace={entry['trace_id']}"
+        )
+        if entry.get("error"):
+            line += f"  !{entry['error']}"
+        print(line)
     return 0
 
 
@@ -704,7 +829,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--endpoints", required=True, help="comma-separated host:port list"
     )
     top.add_argument("--limit", type=int, default=8, help="methods shown per service")
+    top.add_argument(
+        "--sort",
+        default="p99",
+        choices=["p99", "p50", "mean", "calls"],
+        help="method ranking column (default: p99 handler latency)",
+    )
     top.set_defaults(func=cmd_top)
+
+    trace = sub.add_parser(
+        "trace", help="assemble distributed traces across services"
+    )
+    trace.add_argument(
+        "--endpoints", required=True, help="comma-separated host:port list"
+    )
+    trace.add_argument(
+        "--trace-id", default=None, help="show only this trace"
+    )
+    trace.add_argument(
+        "--limit", type=int, default=4, help="most recent traces shown (0 = all)"
+    )
+    trace.add_argument(
+        "--json", action="store_true", help="emit merged trace trees as JSON"
+    )
+    trace.set_defaults(func=cmd_trace)
+
+    slow = sub.add_parser(
+        "slow", help="slowest sampled spans across services"
+    )
+    slow.add_argument(
+        "--endpoints", required=True, help="comma-separated host:port list"
+    )
+    slow.add_argument(
+        "--limit", type=int, default=20, help="entries shown (0 = all)"
+    )
+    slow.add_argument(
+        "--json", action="store_true", help="emit slow-span entries as JSON"
+    )
+    slow.set_defaults(func=cmd_slow)
 
     ring = sub.add_parser("ring", help="consistent-hash ring placement tools")
     ring_sub = ring.add_subparsers(dest="ring_command", required=True)

@@ -108,6 +108,10 @@ class UploadResult:
     store_round_trips: int = 0
     #: Upload batches shipped (chunk-put pipeline stages executed).
     upload_batches: int = 0
+    #: Distributed trace id of the upload's root span — feed it to
+    #: ``reed trace`` / :meth:`TcpCluster.merged_traces` to see the
+    #: cross-node tree this upload produced.
+    trace_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -132,6 +136,8 @@ class DownloadResult:
     chunk_cache_hits: int = 0
     #: Trimmed packages that had to be fetched from storage.
     chunk_cache_misses: int = 0
+    #: Distributed trace id of the download's root span.
+    trace_id: str = ""
 
 
 @dataclass
@@ -474,7 +480,7 @@ class REEDClient:
             else None
         )
         in_flight: deque[Future] = deque()
-        with obs_scope.attribution() as scope, tracer.span("upload"):
+        with obs_scope.attribution() as scope, tracer.span("upload") as root:
             try:
                 def dispatch(chunks: list[Chunk]) -> None:
                     nonlocal new_chunks, upload_batches
@@ -568,6 +574,7 @@ class REEDClient:
             if store_scoped
             else getattr(self.storage, "round_trips", 0) - store_trips_before,
             upload_batches=upload_batches,
+            trace_id=root.trace_id,
         )
 
     def upload_path(
@@ -818,7 +825,7 @@ class REEDClient:
         scope = obs_scope.AttributionScope(parent=obs_scope.current())
         store_scoped = getattr(self.storage, "supports_attribution", False)
         store_trips_before = getattr(self.storage, "round_trips", 0)
-        with tracer.span("download"):
+        with tracer.span("download") as root:
             pieces = list(
                 self._restore(file_id, fetch_batch_chunks, stats, scope)
             )
@@ -832,6 +839,7 @@ class REEDClient:
             key_version=stats.key_version,
             size=stats.size,
             fetch_batches=stats.fetch_batches,
+            trace_id=root.trace_id,
             **self._download_counters(scope, store_scoped, store_trips_before),
         )
 
@@ -851,7 +859,7 @@ class REEDClient:
         scope = obs_scope.AttributionScope(parent=obs_scope.current())
         store_scoped = getattr(self.storage, "supports_attribution", False)
         store_trips_before = getattr(self.storage, "round_trips", 0)
-        with tracer.span("download"):
+        with tracer.span("download") as root:
             for chunk in self._restore(file_id, fetch_batch_chunks, stats, scope):
                 sink.write(chunk)
         self._m_downloads.inc()
@@ -863,6 +871,7 @@ class REEDClient:
             key_version=stats.key_version,
             size=stats.size,
             fetch_batches=stats.fetch_batches,
+            trace_id=root.trace_id,
             **self._download_counters(scope, store_scoped, store_trips_before),
         )
 
@@ -937,7 +946,9 @@ class REEDClient:
         key_scoped = getattr(self.keystore, "supports_attribution", False)
         store_trips_before = getattr(self.storage, "round_trips", 0)
         key_trips_before = getattr(self.keystore, "round_trips", 0)
-        with obs_scope.attribution() as scope, tracer.span("rekey", mode=mode.value):
+        with obs_scope.attribution() as scope, tracer.span(
+            "rekey", mode=mode.value
+        ) as root:
             owner = self._require_owner()
             with tracer.span("rekey.wind"):
                 record = (
@@ -990,6 +1001,7 @@ class REEDClient:
             keystore_round_trips=scope.get_int("keystore_round_trips")
             if key_scoped
             else getattr(self.keystore, "round_trips", 0) - key_trips_before,
+            trace_id=root.trace_id,
         )
 
     def rekey_many(
@@ -1063,7 +1075,7 @@ class REEDClient:
         key_trips_before = getattr(self.keystore, "round_trips", 0)
         with obs_scope.attribution() as scope, self.tracer.span(
             "rekey.pipeline", mode=mode.value, files=len(file_ids)
-        ):
+        ) as pipeline_root:
             stats = pipeline.run(list(file_ids))
 
         self._m_rekeys.labels(mode=mode.value).inc(stats.files)
@@ -1094,6 +1106,7 @@ class REEDClient:
             else getattr(self.keystore, "round_trips", 0) - key_trips_before,
             batches=stats.batches,
             workers=self.rekey_workers if active else 0,
+            trace_id=pipeline_root.trace_id,
         )
 
     def revoke_users(

@@ -40,7 +40,14 @@ from repro.net.tcp import (
     ThreadedTcpServer,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.propagate import (
+    dump_tracer,
+    fetch_traces,
+    merge_traces,
+    register_traces,
+)
 from repro.obs.rpc import register_metrics, scrape
+from repro.obs.tracing import Tracer, default_tracer
 from repro.storage.keystore import KeyStore
 from repro.util.errors import ConfigurationError
 
@@ -120,6 +127,10 @@ class TcpCluster:
         #: TcpServer, RPC dispatch, and ``metrics`` RPC method share its
         #: registry, so a live scrape sees one coherent snapshot per node.
         self.node_metrics: dict[str, MetricsRegistry] = {}
+        #: Per-node tracers keyed by node name.  Handler spans for
+        #: propagated trace contexts land here with the node name
+        #: attached; each node serves its ring over the ``traces`` RPC.
+        self.node_tracers: dict[str, Tracer] = {}
 
         self.storage_addresses = [
             self._serve(register_storage_service, server, f"storage-{index}")
@@ -138,9 +149,13 @@ class TcpCluster:
         """Start one node's TCP server; reuses the node's metrics
         registry (and, via ``port``, its address) across restarts."""
         metrics = self.node_metrics.setdefault(node, MetricsRegistry())
-        registry = ServiceRegistry(metrics=metrics)
+        tracer = self.node_tracers.setdefault(
+            node, Tracer(metrics=metrics, node=node)
+        )
+        registry = ServiceRegistry(metrics=metrics, tracer=tracer)
         register(registry, obj)
         register_metrics(registry, metrics)
+        register_traces(registry, tracer)
         if self._transport == "aio":
             server = TcpServer(
                 registry,
@@ -318,6 +333,42 @@ class TcpCluster:
     def scrape_all(self, fmt: str = "prometheus") -> dict[str, str]:
         """Live-scrape every node; node name → exposition text."""
         return {node: self.scrape_node(node, fmt) for node in self.node_addresses()}
+
+    def fetch_node_traces(
+        self, node: str, trace_id: str | None = None
+    ) -> dict:
+        """One node's trace dump over a real TCP ``traces`` RPC."""
+        address = self.node_addresses()[node]
+        return fetch_traces(self._connect(address), trace_id=trace_id)
+
+    def merged_traces(
+        self,
+        trace_id: str | None = None,
+        include_local: bool = True,
+        extra_dumps: list[dict] | None = None,
+    ) -> list[dict]:
+        """Assemble distributed traces across every node of the cluster.
+
+        Fetches each node's fragment ring over RPC and splices them into
+        one tree per trace id (see
+        :func:`repro.obs.propagate.merge_traces`).  ``include_local``
+        also folds in the process-default tracer — the client half of
+        the trace when the caller runs in this process; ``extra_dumps``
+        adds explicit tracer dumps (e.g. a client built with its own
+        metrics registry).
+        """
+        dumps = [
+            self.fetch_node_traces(node, trace_id=trace_id)
+            for node in self.node_addresses()
+        ]
+        if include_local:
+            dumps.append(dump_tracer(default_tracer(), node="client"))
+        if extra_dumps:
+            dumps.extend(extra_dumps)
+        merged = merge_traces(dumps)
+        if trace_id is not None:
+            merged = [entry for entry in merged if entry["trace_id"] == trace_id]
+        return merged
 
     def stop(self, drain: bool = True) -> None:
         """Close every client connection and stop every server."""

@@ -42,6 +42,10 @@ class RekeyResult:
     batches: int = 0
     #: Stub re-encryption workers configured (0 when unbatched).
     workers: int = 0
+    #: Distributed trace id of the rekey's root span ("" when unbatched
+    #: files ride a shared ``rekey_many`` trace — see
+    #: :class:`RekeyManyResult`).
+    trace_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -66,6 +70,8 @@ class RekeyManyResult:
     batches: int = 0
     #: Stub re-encryption workers configured.
     workers: int = 0
+    #: Distributed trace id of the shared ``rekey.pipeline`` root span.
+    trace_id: str = ""
 
     @property
     def files(self) -> int:

@@ -21,34 +21,55 @@ MAX_MESSAGE_BYTES = 64 * 1024 * 1024
 
 @dataclass(frozen=True)
 class Message:
-    """One framed RPC message."""
+    """One framed RPC message.
+
+    ``trace_id``/``parent_span_id`` carry distributed-tracing context
+    (see :mod:`repro.obs.propagate`).  They are encoded as *optional
+    trailing fields*: an untraced message (both empty — every response,
+    and every request from an uninstrumented caller) encodes to exactly
+    the original four-field wire format, and the decoder accepts such
+    old-format frames unchanged — peers that predate tracing interoperate
+    with peers that carry it.
+    """
 
     message_id: int
     method: str
     is_error: bool
     payload: bytes
+    trace_id: str = ""
+    parent_span_id: str = ""
 
     def encode(self) -> bytes:
-        return (
+        enc = (
             Encoder()
             .uint(self.message_id)
             .text(self.method)
             .boolean(self.is_error)
             .blob(self.payload)
-            .done()
         )
+        if self.trace_id or self.parent_span_id:
+            enc.text(self.trace_id).text(self.parent_span_id)
+        return enc.done()
 
     @classmethod
     def decode(cls, data: bytes) -> "Message":
         dec = Decoder(data)
-        msg = cls(
-            message_id=dec.uint(),
-            method=dec.text(),
-            is_error=dec.boolean(),
-            payload=dec.blob(),
-        )
+        message_id = dec.uint()
+        method = dec.text()
+        is_error = dec.boolean()
+        payload = dec.blob()
+        # Optional trailing trace context: absent on old-format frames.
+        trace_id = dec.text() if dec.remaining else ""
+        parent_span_id = dec.text() if dec.remaining else ""
         dec.expect_end()
-        return msg
+        return cls(
+            message_id=message_id,
+            method=method,
+            is_error=is_error,
+            payload=payload,
+            trace_id=trace_id,
+            parent_span_id=parent_span_id,
+        )
 
 
 def frame(data: bytes) -> bytes:

@@ -21,8 +21,11 @@ import threading
 import time
 from collections.abc import Callable
 
+from contextlib import nullcontext
+
 from repro.net.message import Message
 from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracing import Tracer, current_trace_context, default_tracer
 from repro.util import errors
 from repro.util.codec import Decoder, Encoder
 from repro.util.errors import ProtocolError, ReproError
@@ -74,9 +77,14 @@ class ServiceRegistry:
         self,
         metrics: MetricsRegistry | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        tracer: Tracer | None = None,
     ) -> None:
         self._handlers: dict[str, Handler] = {}
         self._clock = clock
+        #: Handler spans for propagated trace contexts land here; a
+        #: cluster injects the node's tracer so the span carries the
+        #: node name, otherwise the process default is used.
+        self._tracer = tracer
         self.metrics = metrics if metrics is not None else default_registry()
         self._requests = self.metrics.counter(
             "rpc_requests_total",
@@ -126,9 +134,20 @@ class ServiceRegistry:
                 is_error=True,
                 payload=encode_error(ProtocolError(f"unknown method {method!r}")),
             )
+        # A request carrying trace context gets a handler span continuing
+        # the caller's trace (the distributed half of the span tree);
+        # untraced requests stay span-free, exactly as before.
+        if request.trace_id:
+            tracer = self._tracer if self._tracer is not None else default_tracer()
+            span = tracer.remote_span(
+                f"rpc.{method}", request.trace_id, request.parent_span_id
+            )
+        else:
+            span = nullcontext()
         started = self._clock()
         try:
-            payload = handler(request.payload)
+            with span:
+                payload = handler(request.payload)
         except Exception as exc:  # noqa: BLE001 - faults must cross the wire
             self._handler_seconds.labels(method=method).observe(
                 self._clock() - started
@@ -204,8 +223,17 @@ class RpcClient:
             self._next_id += 1
             message_id = self._next_id
             self.calls += 1
+        # Stamp the active span's trace context (empty outside a span)
+        # onto the request, so the server's handler span joins this
+        # operation's trace.
+        trace_id, parent_span_id = current_trace_context()
         request = Message(
-            message_id=message_id, method=method, is_error=False, payload=payload
+            message_id=message_id,
+            method=method,
+            is_error=False,
+            payload=payload,
+            trace_id=trace_id,
+            parent_span_id=parent_span_id,
         )
         self._requests.labels(method=method).inc()
         self._request_bytes.labels(method=method).inc(len(payload))

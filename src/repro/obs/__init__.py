@@ -3,12 +3,18 @@
 Dependency-free metrics (:mod:`~repro.obs.metrics`), span tracing
 (:mod:`~repro.obs.tracing`), per-operation counter attribution
 (:mod:`~repro.obs.scope`), exposition renderers
-(:mod:`~repro.obs.expo`), and the ``metrics`` RPC binding
-(:mod:`~repro.obs.rpc`).  See ``docs/OBSERVABILITY.md`` for the metric
-catalog and label conventions.
+(:mod:`~repro.obs.expo`), the ``metrics`` RPC binding
+(:mod:`~repro.obs.rpc`), and cross-node trace propagation/assembly
+(:mod:`~repro.obs.propagate`).  See ``docs/OBSERVABILITY.md`` for the
+metric catalog and label conventions.
 """
 
-from repro.obs.expo import parse_prometheus, render_json, render_prometheus
+from repro.obs.expo import (
+    parse_prometheus,
+    quantile_from_cumulative,
+    render_json,
+    render_prometheus,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
@@ -20,11 +26,21 @@ from repro.obs.metrics import (
     default_registry,
     reset_default_registry,
 )
+from repro.obs.propagate import (
+    TRACES_METHOD,
+    dump_tracer,
+    fetch_traces,
+    find_trace,
+    format_merged,
+    merge_traces,
+    register_traces,
+)
 from repro.obs.scope import AttributionScope, attribution
 from repro.obs.tracing import (
     SPAN_HISTOGRAM,
     Span,
     Tracer,
+    current_trace_context,
     default_tracer,
     format_trace,
     reset_default_tracer,
@@ -34,6 +50,7 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
     "SPAN_HISTOGRAM",
+    "TRACES_METHOD",
     "AttributionScope",
     "Counter",
     "Gauge",
@@ -43,10 +60,18 @@ __all__ = [
     "Span",
     "Tracer",
     "attribution",
+    "current_trace_context",
     "default_registry",
     "default_tracer",
+    "dump_tracer",
+    "fetch_traces",
+    "find_trace",
+    "format_merged",
     "format_trace",
+    "merge_traces",
     "parse_prometheus",
+    "quantile_from_cumulative",
+    "register_traces",
     "render_json",
     "render_prometheus",
     "reset_default_registry",

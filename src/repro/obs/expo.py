@@ -84,6 +84,44 @@ def render_json(registry: MetricsRegistry, indent: int | None = None) -> str:
     return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
 
 
+def quantile_from_cumulative(
+    buckets: list[tuple[float, float]], q: float
+) -> float | None:
+    """Quantile estimate from cumulative ``_bucket`` samples.
+
+    ``buckets`` is ``(upper_bound, cumulative_count)`` pairs as a
+    Prometheus scrape reports them (the ``+Inf`` bucket included);
+    order does not matter.  Linear interpolation within the bucket that
+    contains the target rank — the scrape-side counterpart of
+    :meth:`repro.obs.metrics.Histogram.quantile` for consumers (like
+    ``reed top``) that only hold exposition text.  Returns ``None``
+    when there are no observations.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise CorruptionError(f"quantile {q!r} is not in [0, 1]")
+    ordered = sorted(buckets)
+    if not ordered:
+        return None
+    total = ordered[-1][1]
+    if total <= 0:
+        return None
+    rank = q * total
+    previous_bound = 0.0
+    previous_cumulative = 0.0
+    for bound, cumulative in ordered:
+        if cumulative > previous_cumulative and cumulative >= rank:
+            if math.isinf(bound):
+                # The rank falls in the overflow bucket: the last finite
+                # bound is the best (under)estimate available.
+                return previous_bound
+            fraction = (rank - previous_cumulative) / (
+                cumulative - previous_cumulative
+            )
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound, previous_cumulative = bound, cumulative
+    return previous_bound if not math.isinf(previous_bound) else None
+
+
 def _parse_label_block(block: str) -> dict[str, str]:
     labels: dict[str, str] = {}
     rest = block

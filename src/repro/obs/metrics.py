@@ -139,8 +139,43 @@ class Histogram:
                     self._counts[index] += 1
                     break
 
+    def _quantile_locked(self, q: float) -> float | None:
+        """Bucket-interpolated quantile estimate (caller holds the lock).
+
+        Standard Prometheus-style linear interpolation inside the bucket
+        that contains the target rank, improved by the tracked exact
+        ``min``/``max``: estimates are clamped into ``[min, max]`` and
+        ranks landing in the overflow (+Inf) bucket return ``max``
+        instead of an unbounded guess.
+        """
+        if self._count == 0:
+            return None
+        rank = q * self._count
+        cumulative = 0
+        lower = 0.0
+        for bound, count in zip(self.buckets, self._counts):
+            if count and cumulative + count >= rank:
+                fraction = (rank - cumulative) / count
+                estimate = lower + (bound - lower) * fraction
+                return min(max(estimate, self._min), self._max)
+            cumulative += count
+            lower = bound
+        return self._max  # rank fell in the +Inf overflow bucket
+
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) of observations.
+
+        ``None`` on an empty histogram.  See :meth:`_quantile_locked`
+        for the interpolation rules.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile {q!r} is not in [0, 1]")
+        with self._lock:
+            return self._quantile_locked(q)
+
     def snapshot(self) -> dict:
-        """One consistent view: counts per bucket, count, sum, min, max."""
+        """One consistent view: counts per bucket, count, sum, min, max,
+        and the p50/p95/p99 estimates the SLO tooling gates on."""
         with self._lock:
             return {
                 "buckets": {
@@ -151,6 +186,9 @@ class Histogram:
                 "sum": self._sum,
                 "min": None if self._count == 0 else self._min,
                 "max": None if self._count == 0 else self._max,
+                "p50": self._quantile_locked(0.5),
+                "p95": self._quantile_locked(0.95),
+                "p99": self._quantile_locked(0.99),
             }
 
     @property

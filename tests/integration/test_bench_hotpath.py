@@ -44,15 +44,18 @@ REFERENCE_ROWS = {
 }
 
 THROUGHPUT_KEYS = {"name", "bytes", "seconds", "mib_per_s"}
+#: Rows of the client-facing TCP scenarios also carry repeat-latency
+#: quantiles (schema v5).
+QUANTILE_KEYS = {"p50_s", "p99_s"}
 #: The TCP upload scenario additionally records round trips per layer.
-ROUND_TRIP_KEYS = THROUGHPUT_KEYS | {
+ROUND_TRIP_KEYS = THROUGHPUT_KEYS | QUANTILE_KEYS | {
     "chunks",
     "key_round_trips",
     "store_round_trips",
     "upload_batches",
 }
 #: The TCP download scenario records restore-pipeline counters instead.
-DOWNLOAD_KEYS = THROUGHPUT_KEYS | {
+DOWNLOAD_KEYS = THROUGHPUT_KEYS | QUANTILE_KEYS | {
     "chunks",
     "store_round_trips",
     "fetch_batches",
@@ -65,7 +68,7 @@ DOWNLOAD_KEYS = THROUGHPUT_KEYS | {
 REPLICATED_KEYS = THROUGHPUT_KEYS | {"replicas", "chunks", "store_round_trips"}
 REPLICATED_R2_KEYS = REPLICATED_KEYS | {"overhead_vs_r1"}
 #: The TCP rekey scenario records group-rekey pipeline counters.
-REKEY_KEYS = THROUGHPUT_KEYS | {
+REKEY_KEYS = THROUGHPUT_KEYS | QUANTILE_KEYS | {
     "files",
     "store_round_trips",
     "keystore_round_trips",
@@ -102,7 +105,7 @@ def test_quick_bench_runs_and_writes_valid_report(tmp_path):
     assert "metrics snapshot: well-formed" in proc.stdout
 
     report = json.loads(out.read_text())
-    assert report["schema"] == "reed-bench-hotpath/4"
+    assert report["schema"] == "reed-bench-hotpath/5"
     assert report["quick"] is True
     assert report["seed"] == 3
     # Every reported row has its repeats recorded in the bench histogram
@@ -132,6 +135,10 @@ def test_quick_bench_runs_and_writes_valid_report(tmp_path):
         assert result["bytes"] > 0
         assert result["seconds"] > 0
         assert result["mib_per_s"] > 0
+        if "p50_s" in expected_keys:
+            # seconds is best-of (the histogram minimum); quantiles are
+            # clamped to [min, max], hence the ordering.
+            assert result["seconds"] <= result["p50_s"] <= result["p99_s"]
     families = {r["name"].split("/")[0] for r in report["results"]}
     assert families == EXPECTED_FAMILIES
     # Every family must include a reference row (the oracle baseline).

@@ -53,3 +53,69 @@ class TestFraming:
 
         with pytest.raises(CorruptionError):
             read_frame(recv_exact)
+
+
+class TestTraceFieldCompat:
+    """Wire compatibility of the optional trailing trace context."""
+
+    @given(
+        st.integers(0, 2**32),
+        st.text(max_size=50),
+        st.booleans(),
+        st.binary(max_size=512),
+        st.text(max_size=32),
+        st.text(max_size=32),
+    )
+    def test_roundtrip_with_trace_context(
+        self, mid, method, is_error, payload, trace_id, parent
+    ):
+        msg = Message(
+            message_id=mid,
+            method=method,
+            is_error=is_error,
+            payload=payload,
+            trace_id=trace_id,
+            parent_span_id=parent,
+        )
+        assert Message.decode(msg.encode()) == msg
+
+    def test_untraced_message_encodes_to_old_wire_format(self):
+        """Both trace fields empty -> byte-identical to the pre-tracing
+        four-field frame, so old peers can decode new traffic."""
+        old_format = (
+            Message(7, "storage.get", False, b"payload").encode()
+        )
+        # Reconstruct the legacy encoding by hand: uint, text, bool, blob.
+        from repro.util.codec import Encoder
+
+        legacy = (
+            Encoder().uint(7).text("storage.get").boolean(False).blob(b"payload").done()
+        )
+        assert old_format == legacy
+
+    def test_new_decoder_accepts_old_format_frames(self):
+        """Frames produced by a peer that predates tracing decode with
+        empty trace context."""
+        from repro.util.codec import Encoder
+
+        legacy = (
+            Encoder().uint(3).text("km.derive").boolean(True).blob(b"x").done()
+        )
+        msg = Message.decode(legacy)
+        assert msg == Message(3, "km.derive", True, b"x")
+        assert msg.trace_id == "" and msg.parent_span_id == ""
+
+    def test_traced_frame_is_longer_and_carries_context(self):
+        traced = Message(
+            1, "m", False, b"", trace_id="aa", parent_span_id="bb"
+        )
+        plain = Message(1, "m", False, b"")
+        assert len(traced.encode()) > len(plain.encode())
+        decoded = Message.decode(traced.encode())
+        assert decoded.trace_id == "aa"
+        assert decoded.parent_span_id == "bb"
+
+    def test_trailing_garbage_still_rejected_after_trace_fields(self):
+        traced = Message(1, "m", False, b"", trace_id="aa", parent_span_id="bb")
+        with pytest.raises(CorruptionError):
+            Message.decode(traced.encode() + b"zz")

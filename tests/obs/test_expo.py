@@ -91,3 +91,157 @@ def test_parser_accepts_inf():
 def test_parser_skips_comments_and_blanks():
     samples = parse_prometheus("# HELP x y\n\n# TYPE x counter\nx 1\n")
     assert samples == {("x", frozenset()): 1.0}
+
+
+# ---------------------------------------------------------------------------
+# Property round trips: render -> parse recovers every sample exactly
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.obs.expo import quantile_from_cumulative  # noqa: E402
+
+#: Label values that stress the escaper: quotes, backslashes, newlines.
+#: The text format is line-oriented, so characters ``str.splitlines``
+#: treats as line breaks (\r, \f, \v, \x85, U+2028...) cannot survive
+#: it except for \n, which the escaper encodes; everything else can.
+_label_values = st.text(
+    alphabet=st.one_of(
+        st.characters(
+            codec="utf-8",
+            min_codepoint=32,
+            exclude_characters="\x85\u2028\u2029",
+        ),
+        st.sampled_from(['\n', '"', "\\"]),
+    ),
+    min_size=0,
+    max_size=12,
+)
+#: Finite, non-NaN sample values that survive text round-trip exactly.
+_sample_values = st.one_of(
+    st.integers(min_value=0, max_value=10**12).map(float),
+    st.floats(
+        min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(_label_values, _sample_values), min_size=1, max_size=5))
+def test_counter_round_trip_property(samples):
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total", "C.", labelnames=("who",))
+    expected: dict[str, float] = {}
+    for who, value in samples:
+        counter.labels(who=who).inc(value)
+        expected[who] = expected.get(who, 0.0) + value
+    parsed = parse_prometheus(render_prometheus(registry))
+    for who, total in expected.items():
+        key = ("c_total", frozenset({("who", who)}))
+        assert math.isclose(parsed[key], total, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=-1e12, max_value=1e12, allow_nan=False),
+    _label_values,
+)
+def test_gauge_round_trip_property(value, who):
+    registry = MetricsRegistry()
+    registry.gauge("g", "G.", labelnames=("who",)).labels(who=who).set(value)
+    parsed = parse_prometheus(render_prometheus(registry))
+    recovered = parsed[("g", frozenset({("who", who)}))]
+    assert math.isclose(recovered, value, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    bounds=st.lists(
+        st.floats(min_value=0.001, max_value=1000.0, allow_nan=False),
+        min_size=1,
+        max_size=6,
+        unique=True,
+    ),
+    observations=st.lists(
+        st.floats(min_value=0.0, max_value=2000.0, allow_nan=False),
+        min_size=1,
+        max_size=40,
+    ),
+    who=_label_values,
+)
+def test_labeled_histogram_round_trip_property(bounds, observations, who):
+    """A labeled histogram with explicit buckets survives the text
+    round trip: cumulative bucket counts, count, and sum all match, and
+    the parser (which rejects NaN) accepts every line."""
+    buckets = tuple(sorted(bounds))
+    registry = MetricsRegistry()
+    hist = registry.histogram("h_seconds", "H.", buckets=buckets, labelnames=("who",))
+    child = hist.labels(who=who)
+    for value in observations:
+        child.observe(value)
+    parsed = parse_prometheus(render_prometheus(registry))
+
+    labels = frozenset({("who", who)})
+    count = parsed[("h_seconds_count", labels)]
+    total = parsed[("h_seconds_sum", labels)]
+    assert count == len(observations)
+    assert math.isclose(total, sum(observations), rel_tol=1e-9, abs_tol=1e-9)
+
+    cumulative_pairs = []
+    for (name, sample_labels), value in parsed.items():
+        if name != "h_seconds_bucket":
+            continue
+        label_map = dict(sample_labels)
+        if label_map.get("who") != who:
+            continue
+        le = label_map["le"]
+        bound = math.inf if le == "+Inf" else float(le)
+        cumulative_pairs.append((bound, value))
+    cumulative_pairs.sort()
+    # One series per bucket plus +Inf; counts are cumulative and end at
+    # the total observation count.
+    assert len(cumulative_pairs) == len(buckets) + 1
+    counts = [count for _, count in cumulative_pairs]
+    assert counts == sorted(counts)
+    assert counts[-1] == len(observations)
+    for (bound, cumulative) in cumulative_pairs:
+        if math.isinf(bound):
+            continue
+        assert cumulative == sum(1 for v in observations if v <= bound)
+
+    # The scrape-side quantile works on the parsed pairs and lands
+    # within the histogram's bucket resolution.
+    p50 = quantile_from_cumulative(cumulative_pairs, 0.5)
+    assert p50 is not None and p50 >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# quantile_from_cumulative unit behavior
+# ---------------------------------------------------------------------------
+
+
+def test_quantile_from_cumulative_interpolates():
+    # 100 samples uniform in (0, 1], 50 more in (1, 2].
+    buckets = [(1.0, 100.0), (2.0, 150.0), (math.inf, 150.0)]
+    p50 = quantile_from_cumulative(buckets, 0.5)
+    assert math.isclose(p50, 0.75)  # rank 75 of 100 in the first bucket
+    p99 = quantile_from_cumulative(buckets, 0.99)
+    assert 1.9 <= p99 <= 2.0
+
+
+def test_quantile_from_cumulative_empty_and_zero():
+    assert quantile_from_cumulative([], 0.5) is None
+    assert quantile_from_cumulative([(1.0, 0.0), (math.inf, 0.0)], 0.5) is None
+
+
+def test_quantile_from_cumulative_overflow_bucket():
+    buckets = [(1.0, 10.0), (math.inf, 100.0)]
+    # Rank 99 falls in the overflow bucket: best estimate is the last
+    # finite bound.
+    assert quantile_from_cumulative(buckets, 0.99) == 1.0
+
+
+def test_quantile_from_cumulative_rejects_bad_q():
+    with pytest.raises(CorruptionError):
+        quantile_from_cumulative([(1.0, 1.0)], 1.5)

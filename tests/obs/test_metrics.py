@@ -183,3 +183,61 @@ def test_concurrent_child_creation_single_instance():
     for thread in threads:
         thread.join()
     assert all(child is children[0] for child in children)
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_has_no_quantiles(self):
+        hist = Histogram(buckets=(1.0, 2.0))
+        assert hist.quantile(0.5) is None
+        snap = hist.snapshot()
+        assert snap["p50"] is None and snap["p95"] is None and snap["p99"] is None
+
+    def test_quantile_rejects_out_of_range(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(0.5)
+        with pytest.raises(ConfigurationError):
+            hist.quantile(1.5)
+        with pytest.raises(ConfigurationError):
+            hist.quantile(-0.1)
+
+    def test_interpolation_within_bucket(self):
+        hist = Histogram(buckets=(1.0, 2.0, 4.0))
+        # 100 observations spread evenly through (1, 2].
+        for index in range(100):
+            hist.observe(1.0 + (index + 1) / 100)
+        p50 = hist.quantile(0.5)
+        # Rank 50 of 100 falls midway through the (1, 2] bucket.
+        assert 1.4 <= p50 <= 1.6
+        assert hist.quantile(0.0) == 1.01  # clamped to the observed min
+        assert hist.quantile(1.0) == 2.0   # clamped to the observed max
+
+    def test_quantiles_clamped_to_observed_range(self):
+        hist = Histogram(buckets=(10.0, 100.0))
+        hist.observe(3.0)
+        hist.observe(4.0)
+        # Interpolation inside the wide (0, 10] bucket would estimate
+        # ~5 and ~10; the min/max clamp keeps estimates inside [3, 4].
+        assert 3.0 <= hist.quantile(0.5) <= 4.0
+        assert hist.quantile(0.99) <= 4.0
+
+    def test_overflow_bucket_quantile_is_observed_max(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(50.0)
+        hist.observe(70.0)
+        assert hist.quantile(0.99) == 70.0
+
+    def test_quantiles_are_monotone_in_q(self):
+        hist = Histogram(buckets=DEFAULT_LATENCY_BUCKETS)
+        for value in (0.0005, 0.002, 0.004, 0.02, 0.3, 1.5, 12.0):
+            hist.observe(value)
+        quantiles = [hist.quantile(q) for q in (0.1, 0.25, 0.5, 0.9, 0.99)]
+        assert quantiles == sorted(quantiles)
+
+    def test_snapshot_carries_quantiles(self):
+        hist = Histogram(buckets=(1.0, 2.0))
+        for value in (0.5, 0.6, 1.5):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["p50"] == hist.quantile(0.5)
+        assert snap["p99"] == hist.quantile(0.99)
+        assert snap["min"] == 0.5 and snap["max"] == 1.5
