@@ -33,7 +33,13 @@ Measures the four layers the acceleration pass touches —
   (16 workers, each owning a connection until its client hangs up) vs.
   the asyncio-multiplexed server (connections decoupled from handler
   threads), recording aggregate request throughput and the
-  per-client completion spread (the starvation signature) —
+  per-client completion spread (the starvation signature);
+* **gc_compaction** — the locality-aware container engine: a cold
+  128-chunk restore over TCP recording container fetches per container
+  (the coalesced batch-read path fetches each container exactly once),
+  a delete → compact → verify churn cycle recording the fraction of
+  dead container bytes reclaimed, and an in-process compressed-store
+  pass recording the per-container compression ratio —
 
 and writes machine-readable ``BENCH_hotpath.json`` at the repo root so
 future PRs can track the perf trajectory.  Run it directly::
@@ -69,7 +75,7 @@ from repro.crypto.drbg import HmacDrbg  # noqa: E402
 from repro.obs.expo import parse_prometheus, render_prometheus  # noqa: E402
 from repro.obs.metrics import MetricsRegistry  # noqa: E402
 
-SCHEMA = "reed-bench-hotpath/5"
+SCHEMA = "reed-bench-hotpath/6"
 
 #: Every timed repeat lands in ``bench_seconds{bench=...}`` here, so the
 #: numbers the report prints are the same ones a scrape would export.
@@ -699,6 +705,172 @@ def bench_concurrent_tcp(
     return results
 
 
+def bench_gc_compaction(file_bytes: int, repeats: int, seed: int) -> list[dict]:
+    """The locality-aware container engine: coalesced cold restores,
+    compaction reclaim, and per-container compression.
+
+    Three rows over a 2-node localhost TCP cluster (plus one in-process
+    engine pass):
+
+    * ``cold_restore`` — every timed repeat restores a file no server
+      has read before, so each download hits sealed containers cold.
+      The coalesced batch-read path (``DataStore.get_many`` →
+      ``ContainerStore.read_many``) fetches each distinct container
+      exactly once; the recorded ``fetches_per_container`` stays ~1.0
+      where a chunk-at-a-time reader would pay one fetch per chunk.
+    * ``reclaim`` — each repeat uploads a doomed file ``A||B`` and a
+      kept file ``B`` (fixed-size chunking dedups the shared half),
+      deletes the doomed file (stranding A's chunks as dead space in
+      containers B still lives in), runs a compaction pass over the
+      ``storage.gc`` RPC, and verifies the kept file restores
+      bit-identically from its relocated chunks.  ``reclaim_fraction``
+      is the share of dead bytes the pass recovered (>= 0.9 expected).
+    * ``compressed_store`` — an in-process :class:`DataStore` ingests
+      compressible chunks and reads them all back through the batch
+      path; the row records the container compression ratio (the TCP
+      rows store encrypted, incompressible payloads, so the codec's
+      win only shows on data that can compress).
+    """
+    from repro.chunking.chunker import ChunkingSpec
+    from repro.core.cluster import TcpCluster
+    from repro.crypto.hashing import fingerprint as _fingerprint
+    from repro.storage.datastore import DataStore
+
+    rng = _seed_rng("bench-gc-compaction", seed)
+    chunking = ChunkingSpec(method="fixed", avg_size=4096)
+    results = []
+    with TcpCluster(
+        num_data_servers=2, chunking=chunking, rng=rng, gc_threshold=0.2
+    ) as cluster:
+        stores = [server.store for server in cluster.servers]
+
+        def total_fetches() -> int:
+            return sum(s.containers.container_fetches for s in stores)
+
+        # -- cold_restore: one never-read file per _time call ------------
+        uploader = cluster.new_client("bench-gc-uploader")
+        files = []
+        for index in range(repeats + 1):  # one per warm-up + timed repeat
+            payload = rng.random_bytes(file_bytes)
+            uploader.upload(f"gc-cold-{index}", payload)
+            files.append((f"gc-cold-{index}", payload))
+        uploader.close()
+        containers = sum(len(s.containers.sealed_container_ids()) for s in stores)
+        reader = cluster.new_client("bench-gc-uploader")
+        state: dict = {"index": 0, "last": None}
+
+        def run_cold(reader=reader, state=state):
+            file_id, _ = files[state["index"] % len(files)]
+            state["index"] += 1
+            state["last"] = reader.download(file_id)
+
+        fetches_before = total_fetches()
+        seconds = _time(run_cold, repeats, "gc_compaction/cold_restore")
+        cold_fetches = total_fetches() - fetches_before
+        last_id, last_payload = files[(state["index"] - 1) % len(files)]
+        if state["last"].data != last_payload:
+            raise AssertionError(f"gc_compaction/cold_restore: {last_id} corrupted")
+        reader.close()
+        results.append(
+            {
+                "name": "gc_compaction/cold_restore",
+                "bytes": file_bytes,
+                "seconds": seconds,
+                "mib_per_s": _mib_per_s(file_bytes, seconds),
+                "chunks": state["last"].chunk_count,
+                "containers": containers,
+                "container_fetches": cold_fetches,
+                "fetches_per_container": round(cold_fetches / containers, 2),
+                "store_round_trips": state["last"].store_round_trips,
+                **_quantiles("gc_compaction/cold_restore"),
+            }
+        )
+
+        # -- reclaim: delete -> compact -> verify, fresh data each repeat
+        half = max(4096, file_bytes // 2)
+        client = cluster.new_client("bench-gc-churn")
+        churn: dict = {"counter": 0, "status": None, "dead": 0}
+
+        def run_reclaim(client=client, churn=churn):
+            churn["counter"] += 1
+            tag = churn["counter"]
+            block_a = rng.random_bytes(half)
+            block_b = rng.random_bytes(half)
+            client.upload(f"gc-doomed-{tag}", block_a + block_b)
+            client.upload(f"gc-kept-{tag}", block_b)
+            client.delete(f"gc-doomed-{tag}")
+            before = client.storage.gc_status()
+            churn["dead"] = before["dead_bytes"]
+            churn["ratio_before"] = before["dead_space_ratio"]
+            churn["status"] = client.storage.gc_run()
+            if client.download(f"gc-kept-{tag}").data != block_b:
+                raise AssertionError(
+                    "gc_compaction/reclaim: kept file corrupted by compaction"
+                )
+            client.delete(f"gc-kept-{tag}")  # leave the cluster clean
+
+        seconds = _time(run_reclaim, repeats, "gc_compaction/reclaim")
+        status = churn["status"]
+        reclaimed = status["last_reclaimed_bytes"]
+        results.append(
+            {
+                "name": "gc_compaction/reclaim",
+                "bytes": reclaimed,
+                "seconds": seconds,
+                "mib_per_s": _mib_per_s(reclaimed, seconds),
+                "dead_bytes": churn["dead"],
+                "reclaimed_bytes": reclaimed,
+                "reclaim_fraction": round(reclaimed / churn["dead"], 4)
+                if churn["dead"]
+                else 0.0,
+                "dead_ratio_before": round(churn["ratio_before"], 4),
+                "dead_ratio_after": round(status["dead_space_ratio"], 4),
+                "relocated_chunks": status["last_relocated_chunks"],
+                **_quantiles("gc_compaction/reclaim"),
+            }
+        )
+        client.close()
+
+    # -- compressed_store: the codec's win, in-process ------------------
+    pattern = rng.random_bytes(512)
+    chunk_count = max(16, file_bytes // 4096)
+    chunks = [
+        (index.to_bytes(4, "big") + pattern * 8)[:4096]
+        for index in range(chunk_count)
+    ]
+    pairs = [(_fingerprint(data), data) for data in chunks]
+    total = sum(len(data) for data in chunks)
+    comp: dict = {"stats": None}
+
+    def run_compressed(comp=comp):
+        store = DataStore(metrics=MetricsRegistry())
+        for fp, data in pairs:
+            store.put_chunk(fp, data)
+        store.flush()
+        if store.get_many([fp for fp, _ in pairs]) != chunks:
+            raise AssertionError(
+                "gc_compaction/compressed_store: round trip corrupted"
+            )
+        comp["stats"] = store.stats
+
+    seconds = _time(run_compressed, repeats, "gc_compaction/compressed_store")
+    stats = comp["stats"]
+    results.append(
+        {
+            "name": "gc_compaction/compressed_store",
+            "bytes": total,
+            "seconds": seconds,
+            "mib_per_s": _mib_per_s(total, seconds),
+            "chunks": chunk_count,
+            "container_payload_bytes": stats.container_payload_bytes,
+            "container_compressed_bytes": stats.container_compressed_bytes,
+            "compression_ratio": round(stats.compression_ratio, 2),
+            **_quantiles("gc_compaction/compressed_store"),
+        }
+    )
+    return results
+
+
 def compute_speedups(results: list[dict]) -> dict[str, float]:
     """Accelerated-over-reference ratios per benchmark family."""
     by_name = {r["name"]: r for r in results}
@@ -785,6 +957,10 @@ def run(quick: bool, seed: int = 0, only: list[str] | None = None) -> dict:
         (
             "concurrent_tcp",
             lambda: bench_concurrent_tcp(*concurrent, repeats, seed),
+        ),
+        (
+            "gc_compaction",
+            lambda: bench_gc_compaction(download_bytes, repeats, seed),
         ),
     )
     known = {name for name, _ in families}

@@ -11,7 +11,15 @@ every chunk on two ring owners), kills one node, uploads through the
 outage, restores the node, runs a repair pass, and fails if the
 ``replica_*`` / ``ring_*`` series are missing or NaN, if
 ``replicas_missing`` is nonzero after repair, or if the degraded-mode
-client counters never fired.  Run it the way CI does::
+client counters never fired.
+
+A third stage drills the container engine: it strands dead space by
+deleting one of two chunk-sharing files, compacts over the
+``storage.gc`` RPC, and fails unless bytes were reclaimed
+(``gc_bytes_reclaimed_total`` > 0), ``dead_space_ratio`` dropped below
+the configured threshold, the surviving file restored bit-identically,
+and every storage node exposes the ``container_*`` / ``gc_*`` series.
+Run it the way CI does::
 
     PYTHONPATH=src python examples/metrics_gate.py
 
@@ -297,6 +305,93 @@ def replication_stage() -> list[str]:
     return problems
 
 
+#: Container-engine series every storage node must expose after the
+#: delete → compact cycle, scraped over the ``metrics`` RPC.
+REQUIRED_GC_SERIES = (
+    "gc_bytes_reclaimed_total",
+    "gc_containers_compacted_total",
+    "gc_passes_total",
+    "dead_space_ratio",
+    "container_fetch_total",
+    "container_payload_bytes",
+    "container_compressed_bytes",
+)
+
+
+def gc_compaction_stage() -> list[str]:
+    """Delete → compact → verify drill; returns problems found.
+
+    Uploads two files sharing half their chunks (fixed-size chunking
+    dedups the shared block), deletes one to strand dead space inside
+    still-live containers, then compacts over the ``storage.gc`` RPC.
+    The gate fails unless the pass reclaims bytes
+    (``gc_bytes_reclaimed_total`` > 0), drives ``dead_space_ratio``
+    below the configured threshold, and leaves the surviving file
+    bit-identical.
+    """
+    problems: list[str] = []
+    rng = HmacDrbg(b"metrics-gate-gc")
+    chunking = ChunkingSpec(method="fixed", avg_size=4096)
+    threshold = 0.2
+    with TcpCluster(
+        num_data_servers=2,
+        chunking=chunking,
+        rng=rng,
+        gc_threshold=threshold,
+    ) as cluster:
+        client = cluster.new_client("gate-gc-user")
+        block_a = rng.random_bytes(32 * 4096)
+        block_b = rng.random_bytes(32 * 4096)
+        client.upload("gc-doomed", block_a + block_b)
+        dedup = client.upload("gc-kept", block_b)
+        if dedup.new_chunks != 0:
+            problems.append(
+                f"gc: shared block stored {dedup.new_chunks} new chunks "
+                f"(expected full dedup)"
+            )
+        client.delete("gc-doomed")
+
+        status = client.storage.gc_status()
+        if status["dead_bytes"] <= 0:
+            problems.append("gc: delete stranded no dead bytes")
+        result = client.storage.gc_run()
+        print(
+            f"gc: compacted {result['containers_compacted_total']:.0f} "
+            f"containers, reclaimed {result['bytes_reclaimed_total']:,.0f} "
+            f"of {status['dead_bytes']:,.0f} dead bytes "
+            f"(ratio {status['dead_space_ratio']:.2f} -> "
+            f"{result['dead_space_ratio']:.2f})"
+        )
+        if result["bytes_reclaimed_total"] <= 0:
+            problems.append(
+                f"gc: gc_bytes_reclaimed_total is "
+                f"{result['bytes_reclaimed_total']}"
+            )
+        if result["dead_space_ratio"] >= threshold:
+            problems.append(
+                f"gc: post-compaction dead_space_ratio "
+                f"{result['dead_space_ratio']} not below threshold {threshold}"
+            )
+        if client.download("gc-kept").data != block_b:
+            problems.append("gc: surviving file corrupted by compaction")
+
+        # Every storage node's exposition must carry the container-engine
+        # catalog (parse_prometheus rejects NaN outright).
+        for index in range(2):
+            node = f"storage-{index}"
+            try:
+                series = parse_prometheus(cluster.scrape_node(node))
+            except CorruptionError as exc:
+                problems.append(f"gc: {node} exposition rejected: {exc}")
+                continue
+            names = {name for name, _ in series}
+            for required in REQUIRED_GC_SERIES:
+                if required not in names:
+                    problems.append(f"gc: {node} missing series {required}")
+        client.close()
+    return problems
+
+
 def main() -> int:
     rng = HmacDrbg(b"metrics-gate")
     chunking = ChunkingSpec(method="fixed", avg_size=4096)
@@ -404,6 +499,7 @@ def main() -> int:
     )
 
     problems.extend(replication_stage())
+    problems.extend(gc_compaction_stage())
 
     if problems:
         for problem in problems:

@@ -74,6 +74,7 @@ from repro.obs.rpc import register_metrics, scrape
 from repro.obs.tracing import Tracer, default_tracer
 from repro.storage.backend import DirectoryBackend
 from repro.storage.datastore import DataStore
+from repro.storage.gc import CompactionDaemon
 from repro.storage.keystore import KeyStore
 from repro.util.errors import ConfigurationError, ReproError
 from repro.util.units import MiB
@@ -266,17 +267,27 @@ def start_service(
     port: int = 0,
     data: str | None = None,
     idle_timeout: float | None = DEFAULT_IDLE_TIMEOUT,
+    gc_threshold: float | None = None,
+    gc_interval: float | None = None,
 ) -> TcpServer:
     """Start one REED service and return its (already listening) server.
 
-    Used by ``reed serve`` and directly by tests/embedding code.
+    Used by ``reed serve`` and directly by tests/embedding code.  A
+    storage server started with ``gc_interval`` runs the compaction
+    daemon for its own store (threshold overridable per server); the
+    daemon thread dies with the process.
     """
     metrics = MetricsRegistry()
     tracer = Tracer(metrics=metrics, node=role)
     registry = ServiceRegistry(metrics=metrics, tracer=tracer)
     if role == "storage":
-        store = DataStore(DirectoryBackend(data)) if data else DataStore()
-        register_storage_service(registry, REEDServer(store))
+        backend = DirectoryBackend(data) if data else None
+        store = DataStore(backend, metrics=metrics)
+        reed_server = REEDServer(store, gc_threshold=gc_threshold)
+        register_storage_service(registry, reed_server)
+        if gc_interval is not None:
+            daemon = CompactionDaemon(reed_server.gc_engine(), interval=gc_interval)
+            daemon.start()
     elif role == "keystore":
         backend = DirectoryBackend(data) if data else None
         register_keystate_service(registry, KeyStore(backend))
@@ -304,6 +315,8 @@ def cmd_serve(args) -> int:
         args.port,
         args.data,
         idle_timeout=args.idle_timeout or None,
+        gc_threshold=args.gc_threshold,
+        gc_interval=args.gc_interval,
     )
     host, port = server.address
     print(f"{args.role} serving on {host}:{port}", flush=True)
@@ -361,6 +374,18 @@ def cmd_download(args) -> int:
             f"({result.chunk_count} chunks, "
             f"{result.store_round_trips} store RPCs{cache_note})"
         )
+        return 0
+    finally:
+        for conn in connections:
+            conn.close()
+
+
+def cmd_rm(args) -> int:
+    org = _load_org(args)
+    client, connections = _build_client(args, org)
+    try:
+        client.delete(args.id)
+        print(f"deleted {args.id!r}")
         return 0
     finally:
         for conn in connections:
@@ -702,6 +727,37 @@ def cmd_ring(args) -> int:
             conn.close()
 
 
+def cmd_gc(args) -> int:
+    """Dead-space status and compaction control for storage nodes."""
+    for endpoint in args.endpoints.split(","):
+        endpoint = endpoint.strip()
+        conn = TcpConnection(*_parse_endpoint(endpoint))
+        try:
+            service = RemoteStorageService(conn.client())
+            if args.gc_command == "run":
+                status = service.gc_run(args.threshold)
+            else:
+                status = service.gc_status()
+            print(
+                f"{endpoint}: live {status['live_bytes']:,} B, "
+                f"dead {status['dead_bytes']:,} B "
+                f"(ratio {status['dead_space_ratio']:.2%}, "
+                f"threshold {status['threshold']:.2f}); "
+                f"{status['candidates']} candidate container(s), "
+                f"{status['passes']} pass(es), "
+                f"{status['bytes_reclaimed_total']:,} B reclaimed total"
+            )
+            if args.gc_command == "run":
+                print(
+                    f"  last pass: {status['last_reclaimed_bytes']:,} B "
+                    f"reclaimed, {status['last_relocated_chunks']} "
+                    f"chunk(s) relocated"
+                )
+        finally:
+            conn.close()
+    return 0
+
+
 def cmd_demo(_args) -> int:
     from repro.core.system import build_system
     from repro.workloads.synthetic import unique_data
@@ -757,6 +813,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop connections idle for this many seconds (0 disables)",
     )
     serve.add_argument(
+        "--gc-threshold",
+        type=float,
+        default=None,
+        help="storage only: dead-space ratio that makes a container a "
+        "compaction candidate (default 0.25)",
+    )
+    serve.add_argument(
+        "--gc-interval",
+        type=float,
+        default=None,
+        help="storage only: run the compaction daemon every this many "
+        "seconds (off by default; one-off passes via 'reed gc run')",
+    )
+    serve.add_argument(
         "--once", action="store_true", help=argparse.SUPPRESS
     )  # test hook: do not block
     serve.set_defaults(func=cmd_serve)
@@ -773,6 +843,13 @@ def build_parser() -> argparse.ArgumentParser:
     download.add_argument("--id", required=True)
     download.add_argument("--out", required=True)
     download.set_defaults(func=cmd_download)
+
+    rm = sub.add_parser(
+        "rm", help="delete a file (release chunks, drop metadata)"
+    )
+    _add_client_args(rm)
+    rm.add_argument("--id", required=True)
+    rm.set_defaults(func=cmd_rm)
 
     revoke = sub.add_parser("revoke", help="rekey a file, removing users")
     _add_client_args(revoke)
@@ -814,6 +891,23 @@ def build_parser() -> argparse.ArgumentParser:
     group_revoke.add_argument("--users", required=True)
     group_revoke.add_argument("--mode", default="lazy", choices=["lazy", "active"])
     group_revoke.set_defaults(func=cmd_group)
+
+    gc = sub.add_parser(
+        "gc", help="container compaction (dead-space reclamation)"
+    )
+    gc.add_argument("gc_command", choices=["status", "run"])
+    gc.add_argument(
+        "--endpoints",
+        required=True,
+        help="comma-separated storage host:port list",
+    )
+    gc.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="one-off dead-space ratio for 'run' (0 < ratio <= 1)",
+    )
+    gc.set_defaults(func=cmd_gc)
 
     stats = sub.add_parser("stats", help="scrape raw metrics from services")
     stats.add_argument(

@@ -48,6 +48,8 @@ from repro.obs.propagate import (
 )
 from repro.obs.rpc import register_metrics, scrape
 from repro.obs.tracing import Tracer, default_tracer
+from repro.storage.datastore import DataStore
+from repro.storage.gc import CompactionDaemon
 from repro.storage.keystore import KeyStore
 from repro.util.errors import ConfigurationError
 
@@ -90,6 +92,8 @@ class TcpCluster:
         client_window: int = DEFAULT_CLIENT_WINDOW,
         replicas: int = 1,
         write_quorum: int | None = None,
+        gc_threshold: float | None = None,
+        gc_interval: float | None = None,
     ) -> None:
         if num_data_servers < 1:
             raise ConfigurationError("need at least one data server")
@@ -107,9 +111,26 @@ class TcpCluster:
         self.key_batch_size = key_batch_size
         self.replicas = replicas
         self.write_quorum = write_quorum
+        #: Dead-space threshold for per-node compaction engines and, when
+        #: ``gc_interval`` is set, the background compaction daemons.
+        self.gc_threshold = gc_threshold
+        self.gc_interval = gc_interval
+        #: Per-node metrics registries keyed by node name
+        #: (``storage-0`` … ``keystore`` / ``key-manager``).  Each node's
+        #: DataStore, TcpServer, RPC dispatch, and ``metrics`` RPC method
+        #: share its registry, so a live scrape sees one coherent
+        #: snapshot per node (container/gc series included).
+        self.node_metrics: dict[str, MetricsRegistry] = {}
+        #: Per-node tracers keyed by node name.  Handler spans for
+        #: propagated trace contexts land here with the node name
+        #: attached; each node serves its ring over the ``traces`` RPC.
+        self.node_tracers: dict[str, Tracer] = {}
+        self._gc_daemons: dict[str, CompactionDaemon] = {}
         self.key_manager = KeyManager(key_bits=key_bits, rng=self._rng)
         self.authority = AttributeAuthority(rng=self._rng)
-        self.servers = [REEDServer() for _ in range(num_data_servers)]
+        self.servers = [
+            self._new_data_server(index) for index in range(num_data_servers)
+        ]
         self.keystore = KeyStore()
         self._keyreg_bits = key_bits
         self._owners: dict[str, KeyRegressionOwner] = {}
@@ -122,15 +143,6 @@ class TcpCluster:
         #: entry is removed until :meth:`restart_data_server` revives it.
         self._node_servers: dict[str, TcpServer | ThreadedTcpServer] = {}
         self._connections: list[TcpConnection] = []
-        #: Per-node metrics registries keyed by node name
-        #: (``storage-0`` … ``keystore`` / ``key-manager``).  Each node's
-        #: TcpServer, RPC dispatch, and ``metrics`` RPC method share its
-        #: registry, so a live scrape sees one coherent snapshot per node.
-        self.node_metrics: dict[str, MetricsRegistry] = {}
-        #: Per-node tracers keyed by node name.  Handler spans for
-        #: propagated trace contexts land here with the node name
-        #: attached; each node serves its ring over the ``traces`` RPC.
-        self.node_tracers: dict[str, Tracer] = {}
 
         self.storage_addresses = [
             self._serve(register_storage_service, server, f"storage-{index}")
@@ -142,6 +154,30 @@ class TcpCluster:
         self.key_manager_address = self._serve(
             register_key_manager, self.key_manager, "key-manager"
         )
+        for index in range(num_data_servers):
+            self._start_gc_daemon(index)
+
+    def _new_data_server(self, index: int, backend=None) -> REEDServer:
+        """Build one data server over the node's metrics registry.
+
+        ``backend`` revives a node over its surviving blobs — the store
+        reloads the fingerprint-index snapshot written by ``flush()``,
+        the true "process restarted on the same disk" path.
+        """
+        node = f"storage-{index}"
+        metrics = self.node_metrics.setdefault(node, MetricsRegistry())
+        store = DataStore(backend, metrics=metrics)
+        return REEDServer(store, gc_threshold=self.gc_threshold)
+
+    def _start_gc_daemon(self, index: int) -> None:
+        if self.gc_interval is None:
+            return
+        node = f"storage-{index}"
+        daemon = CompactionDaemon(
+            self.servers[index].gc_engine(), interval=self.gc_interval
+        )
+        daemon.start()
+        self._gc_daemons[node] = daemon
 
     def _serve(
         self, register, obj, node: str, port: int = 0
@@ -267,6 +303,9 @@ class TcpCluster:
         server = self._node_servers.pop(node, None)
         if server is None:
             raise ConfigurationError(f"data server {index} is not running")
+        daemon = self._gc_daemons.pop(node, None)
+        if daemon is not None:
+            daemon.stop()
         server.stop(drain=False)
 
     def restart_data_server(self, index: int, wipe: bool = False) -> None:
@@ -274,15 +313,23 @@ class TcpCluster:
 
         ``wipe=True`` restarts it with an empty store — the
         "replaced the dead disk" scenario the repair daemon exists for.
-        Clients reconnect transparently (the multiplexed connection
-        re-dials); call ``probe_nodes()`` on a client's storage service
-        (or let the repair daemon do it) to mark the node up again.
+        ``wipe=False`` rebuilds the server *process* over the node's
+        surviving backend: the store resumes container numbering and
+        reloads the fingerprint-index snapshot persisted by ``flush()``,
+        so chunks stored before the kill stay reachable.  Clients
+        reconnect transparently (the multiplexed connection re-dials);
+        call ``probe_nodes()`` on a client's storage service (or let the
+        repair daemon do it) to mark the node up again.
         """
         node = f"storage-{index}"
         if node in self._node_servers:
             raise ConfigurationError(f"data server {index} is still running")
         if wipe:
-            self.servers[index] = REEDServer()
+            self.servers[index] = self._new_data_server(index)
+        else:
+            self.servers[index] = self._new_data_server(
+                index, backend=self.servers[index].store.backend
+            )
         address = self._serve(
             register_storage_service,
             self.servers[index],
@@ -290,6 +337,7 @@ class TcpCluster:
             port=self.storage_addresses[index][1],
         )
         self.storage_addresses[index] = address
+        self._start_gc_daemon(index)
 
     def add_data_server(self) -> int:
         """Join a fresh data server; returns its index.
@@ -300,11 +348,12 @@ class TcpCluster:
         with :func:`repro.storage.repair.rebalance`.
         """
         index = len(self.servers)
-        server = REEDServer()
+        server = self._new_data_server(index)
         self.servers.append(server)
         self.storage_addresses.append(
             self._serve(register_storage_service, server, f"storage-{index}")
         )
+        self._start_gc_daemon(index)
         return index
 
     def connect_storage(self, index: int) -> RemoteStorageService:
@@ -372,6 +421,9 @@ class TcpCluster:
 
     def stop(self, drain: bool = True) -> None:
         """Close every client connection and stop every server."""
+        for daemon in self._gc_daemons.values():
+            daemon.stop()
+        self._gc_daemons.clear()
         for connection in self._connections:
             connection.close()
         self._connections.clear()

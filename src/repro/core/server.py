@@ -20,6 +20,7 @@ from typing import Protocol
 
 from repro.crypto.hashing import fingerprint as _fingerprint
 from repro.storage.datastore import DataStore, DataStoreStats
+from repro.storage.gc import CompactionGC
 from repro.storage.sharding import ShardedDataStore
 from repro.util.errors import IntegrityError, NotFoundError
 
@@ -73,6 +74,10 @@ class StorageService(Protocol):
 
     def flush(self) -> None: ...
 
+    def gc_status(self) -> dict: ...
+
+    def gc_run(self, threshold: float | None = None) -> dict: ...
+
 
 @dataclass
 class ServerCounters:
@@ -105,9 +110,16 @@ class ServerCounters:
 class REEDServer:
     """Storage-service implementation over a (possibly sharded) data store."""
 
-    def __init__(self, store: DataStore | ShardedDataStore | None = None) -> None:
+    def __init__(
+        self,
+        store: DataStore | ShardedDataStore | None = None,
+        gc_threshold: float | None = None,
+    ) -> None:
         self.store = store if store is not None else DataStore()
         self.counters = ServerCounters()
+        self._gc_threshold = gc_threshold
+        self._gc_engine: CompactionGC | None = None
+        self._gc_lock = threading.Lock()
 
     @property
     def round_trips(self) -> int:
@@ -310,6 +322,38 @@ class REEDServer:
     def flush(self) -> None:
         self.counters.add(requests=1)
         self.store.flush()
+
+    # -- compaction GC -------------------------------------------------------
+
+    def gc_engine(self) -> CompactionGC:
+        """The server's compaction engine (created on first use)."""
+        with self._gc_lock:
+            if self._gc_engine is None:
+                kwargs = {}
+                if self._gc_threshold is not None:
+                    kwargs["threshold"] = self._gc_threshold
+                self._gc_engine = CompactionGC(
+                    self.store,
+                    metrics=getattr(self.store, "metrics", None),
+                    **kwargs,
+                )
+            return self._gc_engine
+
+    def gc_status(self) -> dict:
+        """Dead-space accounting and lifetime compaction counters."""
+        self.counters.add(requests=1)
+        return self.gc_engine().status()
+
+    def gc_run(self, threshold: float | None = None) -> dict:
+        """Run one compaction pass (optionally at a one-off threshold)
+        and return the post-pass status."""
+        self.counters.add(requests=1)
+        gc = self.gc_engine()
+        report = gc.run_once(threshold)
+        status = gc.status()
+        status["last_reclaimed_bytes"] = report.reclaimed_bytes
+        status["last_relocated_chunks"] = report.relocated_chunks
+        return status
 
     @property
     def stats(self) -> DataStoreStats:

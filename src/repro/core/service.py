@@ -24,6 +24,7 @@ from repro.net.rpc import RpcClient, ServiceRegistry, decode_error, encode_error
 from repro.obs import scope as obs_scope
 from repro.storage.keystore import KeyStateRecord, KeyStore
 from repro.util.codec import Decoder, Encoder
+from repro.util.errors import ConfigurationError
 
 #: Per-item status codes used by batch responses (``storage.put_many``):
 #: the item deduplicated, stored new bytes, or failed with a wire error.
@@ -32,6 +33,21 @@ ITEM_DUP, ITEM_NEW, ITEM_ERROR = 0, 1, 2
 #: Generic per-item success for batch messages whose items carry no
 #: dup/new distinction (metadata puts/gets/deletes).
 ITEM_OK = 0
+
+#: Integer fields of the ``storage.gc`` status payload, in wire order
+#: (the two float fields — threshold and dead-space ratio — travel as a
+#: packed ``>dd`` blob ahead of them).
+_GC_UINT_FIELDS = (
+    "live_bytes",
+    "dead_bytes",
+    "candidates",
+    "passes",
+    "bytes_reclaimed_total",
+    "containers_compacted_total",
+    "chunks_relocated_total",
+    "last_reclaimed_bytes",
+    "last_relocated_chunks",
+)
 
 
 def _encode_item_acks(results: list) -> bytes:
@@ -216,6 +232,26 @@ def register_storage_service(
         names = [name.encode("utf-8") for name in server.stub_list()]
         return Encoder().list_of(names).done()
 
+    def gc(payload: bytes) -> bytes:
+        dec = Decoder(payload)
+        action = dec.text()
+        threshold = None
+        if dec.uint():
+            threshold = struct.unpack(">d", dec.blob())[0]
+        dec.expect_end()
+        if action == "run":
+            status = server.gc_run(threshold)
+        elif action == "status":
+            status = server.gc_status()
+        else:
+            raise ConfigurationError(f"unknown gc action {action!r}")
+        enc = Encoder().blob(
+            struct.pack(">dd", status["threshold"], status["dead_space_ratio"])
+        )
+        for name in _GC_UINT_FIELDS:
+            enc.uint(int(status[name]))
+        return enc.done()
+
     registry.register(prefix + "exists", exists)
     # ``has_many`` is the batch protocol's name for the same existence
     # check; registered separately so wire captures read unambiguously.
@@ -241,6 +277,7 @@ def register_storage_service(
     registry.register(prefix + "flush", flush)
     registry.register(prefix + "chunk_list", chunk_list)
     registry.register(prefix + "stub_list", stub_list)
+    registry.register(prefix + "gc", gc)
 
 
 class RemoteStorageService:
@@ -370,6 +407,31 @@ class RemoteStorageService:
 
     def flush(self) -> None:
         self._call("flush")
+
+    def _gc_call(self, action: str, threshold: float | None = None) -> dict:
+        enc = Encoder().text(action)
+        if threshold is None:
+            enc.uint(0)
+        else:
+            enc.uint(1).blob(struct.pack(">d", threshold))
+        dec = Decoder(self._call("gc", enc.done()))
+        threshold_value, ratio = struct.unpack(">dd", dec.blob())
+        status: dict = {
+            "threshold": threshold_value,
+            "dead_space_ratio": ratio,
+        }
+        for name in _GC_UINT_FIELDS:
+            status[name] = dec.uint()
+        dec.expect_end()
+        return status
+
+    def gc_status(self) -> dict:
+        """Dead-space accounting and compaction counters of the node."""
+        return self._gc_call("status")
+
+    def gc_run(self, threshold: float | None = None) -> dict:
+        """Run one compaction pass on the node; returns post-pass status."""
+        return self._gc_call("run", threshold)
 
     def chunk_list(self) -> list[bytes]:
         return Decoder(self._call("chunk_list")).list_of()

@@ -841,6 +841,38 @@ class ShardedStorageService:
             self._trip(node)
             self._services[node].flush()
 
+    # -- compaction GC -------------------------------------------------------
+
+    def _gc_fanout(self, op) -> dict:
+        """Apply a per-node gc call on every up node; sum the counters
+        and recompute the aggregate dead-space ratio."""
+        total: dict = {}
+        reached = 0
+        for node in self._order:
+            if not self.ring.is_up(node):
+                continue
+            self._trip(node)
+            status = op(self._services[node])
+            reached += 1
+            for name, value in status.items():
+                total[name] = total.get(name, 0) + value
+        live = total.get("live_bytes", 0)
+        dead = total.get("dead_bytes", 0)
+        accounted = live + dead
+        total["dead_space_ratio"] = dead / accounted if accounted else 0.0
+        if reached:
+            # Summing thresholds is meaningless; report the nodes' mean.
+            total["threshold"] = total.get("threshold", 0.0) / reached
+        return total
+
+    def gc_status(self) -> dict:
+        """Cluster-wide dead-space accounting (summed over up nodes)."""
+        return self._gc_fanout(lambda service: service.gc_status())
+
+    def gc_run(self, threshold: float | None = None) -> dict:
+        """Run a compaction pass on every up node; summed status."""
+        return self._gc_fanout(lambda service: service.gc_run(threshold))
+
     # -- per-node access (repair daemon / rebalancer) ---------------------------
 
     def node_service(self, node_id: str) -> StorageService:
@@ -1001,6 +1033,8 @@ class ReedSystem:
             total.stub_bytes += stats.stub_bytes
             total.chunks_received += stats.chunks_received
             total.chunks_stored += stats.chunks_stored
+            total.container_payload_bytes += stats.container_payload_bytes
+            total.container_compressed_bytes += stats.container_compressed_bytes
         return total
 
 

@@ -62,9 +62,9 @@ def analyze_file(store: DataStore, recipe: FileRecipe) -> FragmentationReport:
             previous_container = location.container_id
     container_bytes = 0
     for container_id in containers:
-        name = f"container/{container_id:012d}"
-        if store.backend.exists(name):
-            container_bytes += store.backend.size(name)
+        # Uncompressed payload length: what a restore actually handles
+        # per container, independent of the on-disk compression codec.
+        container_bytes += store.containers.payload_length(container_id)
     file_bytes = max(1, recipe.size)
     return FragmentationReport(
         file_id=recipe.file_id,
@@ -131,9 +131,9 @@ def analyze_sharded(shards, recipe: FileRecipe) -> FragmentationReport:
             previous = key
         if key not in seen_containers:
             seen_containers.add(key)
-            name = f"container/{location.container_id:012d}"
-            if shard.backend.exists(name):
-                container_bytes += shard.backend.size(name)
+            container_bytes += shard.containers.payload_length(
+                location.container_id
+            )
     file_bytes = max(1, recipe.size)
     return FragmentationReport(
         file_id=recipe.file_id,

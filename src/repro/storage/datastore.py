@@ -12,6 +12,11 @@ One REED data-store server manages (Section V-A):
 Stub files are *not* deduplicated: they are encrypted under renewable
 file keys, so identical chunks in different files still have distinct
 encrypted stubs (the storage-overhead experiment measures exactly this).
+
+Restart support: ``flush()`` snapshots the fingerprint index into the
+backend next to the containers, and a store constructed over a backend
+that holds a snapshot reloads it — so a rebooted data server resumes
+with its dedup state (and per-container dead-space accounting) intact.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.storage.backend import BlobBackend, MemoryBackend
 from repro.storage.container import DEFAULT_CONTAINER_BYTES, ContainerStore
 from repro.storage.index import FingerprintIndex
@@ -26,6 +32,9 @@ from repro.util.errors import NotFoundError
 
 _RECIPE_PREFIX = "recipe/"
 _STUB_PREFIX = "stub/"
+
+#: Backend blob holding the fingerprint-index snapshot across restarts.
+INDEX_BLOB = "meta/fingerprint-index"
 
 
 @dataclass
@@ -41,6 +50,9 @@ class DataStoreStats:
     #: Chunks received / unique chunks stored.
     chunks_received: int = 0
     chunks_stored: int = 0
+    #: Uncompressed payload vs on-disk bytes of sealed containers.
+    container_payload_bytes: int = 0
+    container_compressed_bytes: int = 0
 
     @property
     def dedup_saving(self) -> float:
@@ -56,6 +68,14 @@ class DataStoreStats:
             return 0.0
         return 1.0 - (self.physical_bytes + self.stub_bytes) / self.logical_bytes
 
+    @property
+    def compression_ratio(self) -> float:
+        """Uncompressed over on-disk sealed-container bytes (>= 1 when
+        container compression wins)."""
+        if self.container_compressed_bytes == 0:
+            return 1.0
+        return self.container_payload_bytes / self.container_compressed_bytes
+
 
 class DataStore:
     """A single data-store server's storage engine."""
@@ -64,13 +84,32 @@ class DataStore:
         self,
         backend: BlobBackend | None = None,
         container_bytes: int = DEFAULT_CONTAINER_BYTES,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.backend = backend if backend is not None else MemoryBackend()
+        self.metrics = metrics if metrics is not None else default_registry()
         self.index = FingerprintIndex()
-        self.containers = ContainerStore(self.backend, container_bytes)
-        self.stats = DataStoreStats()
-        self._container_live: dict[int, int] = {}
+        self.containers = ContainerStore(
+            self.backend, container_bytes, metrics=self.metrics
+        )
+        self._stats = DataStoreStats()
         self._lock = threading.Lock()
+        self._m_read_amp = self.metrics.gauge(
+            "container_read_amplification",
+            "Container fetches per chunk served by the last batch read.",
+        )
+        self._m_dead_ratio = self.metrics.gauge(
+            "dead_space_ratio",
+            "Dead over total accounted container bytes on this store.",
+        )
+        self.load_index_snapshot()
+
+    @property
+    def stats(self) -> DataStoreStats:
+        """Byte accounting, with container-compression fields refreshed."""
+        self._stats.container_payload_bytes = self.containers.sealed_payload_bytes()
+        self._stats.container_compressed_bytes = self.containers.compressed_bytes()
+        return self._stats
 
     # -- chunks --------------------------------------------------------------
 
@@ -84,18 +123,15 @@ class DataStore:
         on a dedup hit (only a reference was added).
         """
         with self._lock:
-            self.stats.logical_bytes += len(data)
-            self.stats.chunks_received += 1
+            self._stats.logical_bytes += len(data)
+            self._stats.chunks_received += 1
             if self.index.contains(fingerprint):
                 self.index.addref(fingerprint)
                 return False
             location = self.containers.append(data)
             self.index.add(fingerprint, location)
-            self.stats.physical_bytes += len(data)
-            self.stats.chunks_stored += 1
-            self._container_live[location.container_id] = (
-                self._container_live.get(location.container_id, 0) + 1
-            )
+            self._stats.physical_bytes += len(data)
+            self._stats.chunks_stored += 1
             return True
 
     def has_many(self, fingerprints: list[bytes]) -> list[bool]:
@@ -113,7 +149,20 @@ class DataStore:
         return [self.put_chunk(fp, data) for fp, data in chunks]
 
     def get_chunk(self, fingerprint: bytes) -> bytes:
-        return self.containers.read(self.index.lookup(fingerprint))
+        location = self.index.lookup(fingerprint)
+        while True:
+            try:
+                return self.containers.read(location)
+            except NotFoundError:
+                # The chunk may have been relocated by a concurrent
+                # compaction between the lookup and the container read;
+                # retry as long as the lookup keeps resolving somewhere
+                # new, and raise once the location is stable (genuinely
+                # missing bytes, not a relocation race).
+                fresh = self.index.lookup(fingerprint)
+                if fresh == location:
+                    raise
+                location = fresh
 
     def list_chunks(self) -> list[bytes]:
         """Every indexed fingerprint — the repair daemon's inventory scan."""
@@ -122,8 +171,32 @@ class DataStore:
     def get_many(self, fingerprints: list[bytes]) -> list[bytes]:
         """Read many chunks in order — one multi-chunk message of the
         batched download protocol.  Raises on the first missing
-        fingerprint, like per-chunk reads."""
-        return [self.get_chunk(fp) for fp in fingerprints]
+        fingerprint, like per-chunk reads.
+
+        Locations are grouped by container and each needed container is
+        fetched exactly once (``ContainerStore.read_many``); the fetch
+        count per chunk served is published as
+        ``container_read_amplification``.
+        """
+        if not fingerprints:
+            return []
+        fetches_before = self.containers.container_fetches
+        locations = [self.index.lookup(fp) for fp in fingerprints]
+        while True:
+            try:
+                chunks = self.containers.read_many(locations)
+                break
+            except NotFoundError:
+                # Concurrent compaction may have relocated some chunks;
+                # re-resolve and retry until the locations are stable
+                # (each retry is justified by an actual relocation).
+                fresh = [self.index.lookup(fp) for fp in fingerprints]
+                if fresh == locations:
+                    raise
+                locations = fresh
+        fetched = self.containers.container_fetches - fetches_before
+        self._m_read_amp.set(fetched / len(fingerprints))
+        return chunks
 
     def refcount_many(self, fingerprints: list[bytes]) -> list[int]:
         """Reference count per fingerprint (0 when not indexed).
@@ -138,35 +211,85 @@ class DataStore:
         """Add ``count`` extra references per ``(fingerprint, count)`` pair.
 
         Raises :class:`~repro.util.errors.NotFoundError` on a
-        fingerprint this store does not index.
+        fingerprint this store does not index and
+        :class:`~repro.util.errors.StorageError` on a non-positive
+        count — the same contract as ``index.addref``.
         """
         for fp, count in refs:
-            if count > 0:
-                self.index.addref(fp, count)
+            self.index.addref(fp, count)
 
     def release_chunk(self, fingerprint: bytes) -> None:
         """Drop one reference; reclaims container space when possible.
 
-        A container whose chunks are all garbage is deleted outright —
-        the simple grouped-reclamation GC the container layout affords.
+        A sealed container whose chunks are all garbage is deleted
+        outright; partially-live containers accumulate dead bytes in the
+        index's per-container accounting until the compaction GC
+        rewrites their survivors (``storage/gc.py``).
         """
         with self._lock:
             location = self.index.lookup(fingerprint)
             if not self.index.release(fingerprint):
                 return
-            self.stats.physical_bytes -= location.length
-            self.stats.chunks_stored -= 1
+            self._stats.physical_bytes -= location.length
+            self._stats.chunks_stored -= 1
             cid = location.container_id
-            live = self._container_live.get(cid, 0) - 1
-            if live > 0:
-                self._container_live[cid] = live
-                return
-            self._container_live.pop(cid, None)
-            if self.backend.exists(f"container/{cid:012d}"):
+            if self.index.usage_for(cid).live_chunks == 0 and (
+                cid != self.containers.open_container_id
+                and self.containers.has_container(cid)
+            ):
                 self.containers.delete_container(cid)
+                self.index.clear_container(cid)
+            self._publish_dead_space_locked()
+
+    def dead_space(self) -> tuple[int, int, float]:
+        """(live_bytes, dead_bytes, dead_ratio) across all containers."""
+        live = 0
+        dead = 0
+        for usage in self.index.container_usage().values():
+            live += usage.live_bytes
+            dead += usage.dead_bytes
+        total = live + dead
+        ratio = dead / total if total else 0.0
+        self._m_dead_ratio.set(ratio)
+        return live, dead, ratio
+
+    def _publish_dead_space_locked(self) -> None:
+        self.dead_space()
 
     def flush(self) -> None:
+        """Seal the open container and snapshot the fingerprint index, so
+        a restart over the same backend resumes with dedup state intact."""
         self.containers.flush()
+        self.backend.put(INDEX_BLOB, self.index.encode())
+
+    # -- restart support -----------------------------------------------------
+
+    def load_index_snapshot(self) -> bool:
+        """Restore a snapshotted index; returns False if none exists.
+
+        Rebuilds the derived accounting the snapshot does not carry:
+        physical bytes and chunk counts from the entries, stub bytes
+        from the backend, and per-container dead bytes by reconciling
+        each sealed container's payload length against its live bytes.
+        """
+        if not self.backend.exists(INDEX_BLOB):
+            return False
+        self.index = FingerprintIndex.decode(self.backend.get(INDEX_BLOB))
+        physical = 0
+        chunks = 0
+        for fp in self.index.fingerprints():
+            location = self.index.lookup(fp)
+            physical += location.length
+            chunks += 1
+        self._stats.physical_bytes = physical
+        self._stats.chunks_stored = chunks
+        self._stats.stub_bytes = self.backend.total_bytes(_STUB_PREFIX)
+        for cid in self.containers.sealed_container_ids():
+            payload = self.containers.payload_length(cid)
+            live = self.index.usage_for(cid).live_bytes
+            self.index.record_dead(cid, payload - live)
+        self.dead_space()
+        return True
 
     # -- recipes ---------------------------------------------------------------
 
@@ -194,9 +317,9 @@ class DataStore:
         name = _STUB_PREFIX + file_id
         with self._lock:
             if self.backend.exists(name):
-                self.stats.stub_bytes -= self.backend.size(name)
+                self._stats.stub_bytes -= self.backend.size(name)
             self.backend.put(name, data)
-            self.stats.stub_bytes += len(data)
+            self._stats.stub_bytes += len(data)
 
     def get_stub_file(self, file_id: str) -> bytes:
         return self.backend.get(_STUB_PREFIX + file_id)
@@ -211,5 +334,5 @@ class DataStore:
         with self._lock:
             if not self.backend.exists(name):
                 raise NotFoundError(f"no stub file for {file_id!r}")
-            self.stats.stub_bytes -= self.backend.size(name)
+            self._stats.stub_bytes -= self.backend.size(name)
             self.backend.delete(name)

@@ -20,40 +20,28 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.crypto.hashing import fingerprint as _fingerprint
+from repro.storage.datastore import INDEX_BLOB as _INDEX_BLOB  # noqa: F401
 from repro.storage.datastore import DataStore
-from repro.storage.index import FingerprintIndex
-from repro.util.errors import NotFoundError
-
-_INDEX_BLOB = "meta/fingerprint-index"
+from repro.util.errors import NotFoundError, StorageError
 
 
 def save_index(store: DataStore) -> None:
     """Snapshot the fingerprint index into the store's backend.
 
-    Callers should flush first so every indexed location is sealed.
+    ``DataStore.flush`` seals the open container and writes the
+    snapshot; this wrapper remains as the operator-facing entry point.
     """
     store.flush()
-    store.backend.put(_INDEX_BLOB, store.index.encode())
 
 
 def load_index(store: DataStore) -> bool:
-    """Restore a snapshotted index; returns False if none exists."""
-    if not store.backend.exists(_INDEX_BLOB):
-        return False
-    store.index = FingerprintIndex.decode(store.backend.get(_INDEX_BLOB))
-    # Rebuild derived accounting from the restored index.
-    physical = 0
-    chunks = 0
-    live: dict[int, int] = {}
-    for fp in store.index.fingerprints():
-        location = store.index.lookup(fp)
-        physical += location.length
-        chunks += 1
-        live[location.container_id] = live.get(location.container_id, 0) + 1
-    store.stats.physical_bytes = physical
-    store.stats.chunks_stored = chunks
-    store._container_live = live
-    return True
+    """Restore a snapshotted index; returns False if none exists.
+
+    Delegates to :meth:`DataStore.load_index_snapshot`, which also
+    rebuilds derived accounting (physical/stub bytes, chunk counts, and
+    per-container dead space).
+    """
+    return store.load_index_snapshot()
 
 
 @dataclass
@@ -87,7 +75,9 @@ def fsck(store: DataStore, verify_hashes: bool = True) -> FsckReport:
             continue
         try:
             data = store.containers.read(location)
-        except NotFoundError:
+        except (NotFoundError, StorageError):
+            # Unreadable location, or a container whose framing or
+            # compressed body no longer decodes (bit rot).
             report.corrupt.append(fp)
             continue
         if _fingerprint(data) != fp:
@@ -107,8 +97,7 @@ def drop_orphans(store: DataStore, report: FsckReport) -> int:
     """Reclaim containers fsck found orphaned; returns bytes freed."""
     freed = 0
     for container_id in report.orphaned_containers:
-        name = f"container/{container_id:012d}"
-        if store.backend.exists(name):
-            freed += store.backend.size(name)
+        if store.containers.has_container(container_id):
+            freed += store.containers.payload_length(container_id)
             store.containers.delete_container(container_id)
     return freed

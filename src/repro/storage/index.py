@@ -4,6 +4,12 @@ The REED server keeps a fingerprint index tracking every trimmed package
 uploaded to the cloud (Section III-A): a given fingerprint maps to the
 container holding its bytes, plus a reference count so space can be
 reclaimed when the last file referencing a chunk is deleted.
+
+The index also maintains per-container byte accounting: live bytes
+(chunks still referenced) and dead bytes (chunks released but stranded
+in a partially-live container).  The compaction GC reads that accounting
+to pick rewrite candidates and calls :meth:`relocate_many` to move
+surviving chunks' locations atomically under the index lock.
 """
 
 from __future__ import annotations
@@ -30,6 +36,21 @@ class _IndexEntry:
     refcount: int
 
 
+@dataclass
+class ContainerUsage:
+    """Byte accounting for one container, maintained by the index."""
+
+    live_bytes: int = 0
+    dead_bytes: int = 0
+    live_chunks: int = 0
+
+    @property
+    def dead_ratio(self) -> float:
+        """Fraction of accounted bytes that are garbage."""
+        total = self.live_bytes + self.dead_bytes
+        return self.dead_bytes / total if total else 0.0
+
+
 class FingerprintIndex:
     """Thread-safe fingerprint → (location, refcount) map.
 
@@ -40,6 +61,7 @@ class FingerprintIndex:
 
     def __init__(self) -> None:
         self._entries: dict[bytes, _IndexEntry] = {}
+        self._usage: dict[int, ContainerUsage] = {}
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -61,6 +83,12 @@ class FingerprintIndex:
             entry = self._entries.get(fingerprint)
             return entry.refcount if entry else 0
 
+    def _usage_locked(self, container_id: int) -> ContainerUsage:
+        usage = self._usage.get(container_id)
+        if usage is None:
+            usage = self._usage[container_id] = ContainerUsage()
+        return usage
+
     def add(self, fingerprint: bytes, location: ChunkLocation) -> None:
         """Register a newly stored chunk with refcount 1."""
         with self._lock:
@@ -69,6 +97,9 @@ class FingerprintIndex:
                     f"fingerprint {fingerprint.hex()} already indexed"
                 )
             self._entries[fingerprint] = _IndexEntry(location=location, refcount=1)
+            usage = self._usage_locked(location.container_id)
+            usage.live_bytes += location.length
+            usage.live_chunks += 1
 
     def addref(self, fingerprint: bytes, count: int = 1) -> None:
         """Count ``count`` more references to an existing chunk.
@@ -94,11 +125,89 @@ class FingerprintIndex:
             if entry.refcount > 0:
                 return False
             del self._entries[fingerprint]
+            usage = self._usage_locked(entry.location.container_id)
+            usage.live_bytes -= entry.location.length
+            usage.live_chunks -= 1
+            usage.dead_bytes += entry.location.length
             return True
 
     def fingerprints(self) -> list[bytes]:
         with self._lock:
             return list(self._entries)
+
+    # -- container accounting ----------------------------------------------
+
+    def container_usage(self) -> dict[int, ContainerUsage]:
+        """Per-container live/dead byte accounting (a snapshot copy)."""
+        with self._lock:
+            return {
+                cid: ContainerUsage(u.live_bytes, u.dead_bytes, u.live_chunks)
+                for cid, u in self._usage.items()
+            }
+
+    def usage_for(self, container_id: int) -> ContainerUsage:
+        """One container's accounting (a copy; zeros when untracked)."""
+        with self._lock:
+            usage = self._usage.get(container_id)
+            if usage is None:
+                return ContainerUsage()
+            return ContainerUsage(
+                usage.live_bytes, usage.dead_bytes, usage.live_chunks
+            )
+
+    def record_dead(self, container_id: int, nbytes: int) -> None:
+        """Account bytes known dead from outside the index's own view —
+        the boot-time reconciliation between a restored index and the
+        actual container payload sizes in the backend."""
+        if nbytes <= 0:
+            return
+        with self._lock:
+            self._usage_locked(container_id).dead_bytes += nbytes
+
+    def clear_container(self, container_id: int) -> None:
+        """Forget a deleted container's accounting."""
+        with self._lock:
+            self._usage.pop(container_id, None)
+
+    def entries_in_container(
+        self, container_id: int
+    ) -> list[tuple[bytes, ChunkLocation]]:
+        """Live (fingerprint, location) pairs stored in one container."""
+        with self._lock:
+            return [
+                (fp, entry.location)
+                for fp, entry in self._entries.items()
+                if entry.location.container_id == container_id
+            ]
+
+    def relocate_many(
+        self, moves: list[tuple[bytes, ChunkLocation, ChunkLocation]]
+    ) -> int:
+        """Atomically repoint chunks at their compacted copies.
+
+        Each move is ``(fingerprint, expected_old, new)``; a move only
+        lands if the entry still points at ``expected_old`` (a chunk
+        released or already relocated since the GC copied it is skipped,
+        and its copy is accounted dead in the new container so a later
+        pass can reclaim it).  Returns the number of moves applied.
+        """
+        applied = 0
+        with self._lock:
+            for fingerprint, expected_old, new in moves:
+                entry = self._entries.get(fingerprint)
+                if entry is None or entry.location != expected_old:
+                    # The copy we wrote is unreachable garbage.
+                    self._usage_locked(new.container_id).dead_bytes += new.length
+                    continue
+                entry.location = new
+                old_usage = self._usage_locked(expected_old.container_id)
+                old_usage.live_bytes -= expected_old.length
+                old_usage.live_chunks -= 1
+                new_usage = self._usage_locked(new.container_id)
+                new_usage.live_bytes += new.length
+                new_usage.live_chunks += 1
+                applied += 1
+        return applied
 
     # -- persistence -------------------------------------------------------
 
@@ -127,5 +236,8 @@ class FingerprintIndex:
             index._entries[fingerprint] = _IndexEntry(
                 location=location, refcount=refcount
             )
+            usage = index._usage_locked(location.container_id)
+            usage.live_bytes += location.length
+            usage.live_chunks += 1
         dec.expect_end()
         return index

@@ -599,10 +599,15 @@ class ShardedDataStore:
         return counts
 
     def addref_many(self, refs: list[tuple[bytes, int]]) -> None:
-        """Add extra references on every up owner holding each chunk."""
+        """Add extra references on every up owner holding each chunk.
+
+        Raises :class:`~repro.util.errors.StorageError` on a
+        non-positive count — the same contract as ``index.addref`` and
+        ``DataStore.addref_many``.
+        """
         for fp, count in refs:
             if count < 1:
-                continue
+                raise StorageError("reference count delta must be positive")
             for node in self._up_owners(fp):
                 try:
                     self._stores[node].index.addref(fp, count)
@@ -735,4 +740,6 @@ class ShardedDataStore:
             total.stub_bytes += shard.stats.stub_bytes
             total.chunks_received += shard.stats.chunks_received
             total.chunks_stored += shard.stats.chunks_stored
+            total.container_payload_bytes += shard.stats.container_payload_bytes
+            total.container_compressed_bytes += shard.stats.container_compressed_bytes
         return total

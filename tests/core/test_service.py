@@ -17,15 +17,23 @@ from repro.crypto.hashing import fingerprint
 from repro.mle.keymanager import KeyManager
 from repro.mle.server_aided import ServerAidedKeyClient
 from repro.net.rpc import LoopbackTransport, ServiceRegistry
+from repro.obs.metrics import MetricsRegistry
+from repro.storage.datastore import DataStore
 from repro.storage.keystore import KeyStateRecord, KeyStore
-from repro.util.errors import NotFoundError, RateLimitExceeded
+from repro.util.errors import (
+    ConfigurationError,
+    NotFoundError,
+    RateLimitExceeded,
+)
 
 
 @pytest.fixture()
 def wired(rsa_512):
     """One registry exposing all three services over loopback RPC."""
     registry = ServiceRegistry()
-    server = REEDServer()
+    # A per-test metrics registry keeps the GC's lifetime counters
+    # isolated from every other test sharing the process default.
+    server = REEDServer(DataStore(metrics=MetricsRegistry()))
     keystore = KeyStore()
     # A near-zero refill rate keeps the rate-limit test deterministic
     # regardless of how long the 50-signature burst takes in real time.
@@ -92,6 +100,48 @@ class TestRemoteStorage:
         remote = RemoteStorageService(rpc)
         with pytest.raises(NotFoundError):
             remote.recipe_get("missing")
+
+
+class TestGcRpc:
+    def _seed_dead_space(self, server, rpc):
+        remote = RemoteStorageService(rpc)
+        pairs = [(fingerprint(bytes([i]) * 64), bytes([i]) * 64) for i in range(8)]
+        remote.chunk_put_batch(pairs)
+        remote.flush()
+        remote.chunk_release_batch([fp for fp, _ in pairs[:4]])
+        return remote, pairs
+
+    def test_status_and_run_round_trip(self, wired):
+        server, _ks, _km, rpc = wired
+        remote, pairs = self._seed_dead_space(server, rpc)
+        status = remote.gc_status()
+        assert status["dead_bytes"] == 256
+        assert status["live_bytes"] == 256
+        assert status["dead_space_ratio"] == pytest.approx(0.5)
+        assert status["passes"] == 0
+        after = remote.gc_run()
+        assert after["passes"] == 1
+        assert after["bytes_reclaimed_total"] == 256
+        assert after["last_reclaimed_bytes"] == 256
+        assert after["dead_bytes"] == 0
+        # Survivors still served over the wire.
+        assert remote.chunk_get_batch([pairs[5][0]]) == [pairs[5][1]]
+
+    def test_one_off_threshold_crosses_rpc(self, wired):
+        server, _ks, _km, rpc = wired
+        remote, _pairs = self._seed_dead_space(server, rpc)
+        # Too strict to trigger: nothing is 90% dead.
+        untouched = remote.gc_run(threshold=0.9)
+        assert untouched["bytes_reclaimed_total"] == 0
+        assert untouched["dead_bytes"] == 256
+        # The configured threshold (default 0.25) still applies next.
+        assert remote.gc_run()["dead_bytes"] == 0
+
+    def test_invalid_threshold_propagates(self, wired):
+        _server, _ks, _km, rpc = wired
+        remote = RemoteStorageService(rpc)
+        with pytest.raises(ConfigurationError):
+            remote.gc_run(threshold=0.0)
 
 
 class TestRemoteKeyStore:

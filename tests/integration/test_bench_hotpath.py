@@ -28,7 +28,12 @@ EXPECTED_FAMILIES = {
     "replicated_tcp",
     "rekey_tcp",
     "concurrent_tcp",
+    "gc_compaction",
 }
+
+#: Diagnostic families report scenario counters, not a reference-vs-fast
+#: pair, so they carry no speedup entry.
+UNPAIRED_FAMILIES = {"gc_compaction"}
 
 #: Per-family baseline row (the oracle each speedup is computed against).
 REFERENCE_ROWS = {
@@ -41,6 +46,7 @@ REFERENCE_ROWS = {
     "replicated_tcp": "replicated_tcp/upload_r1",
     "rekey_tcp": "rekey_tcp/serial",
     "concurrent_tcp": "concurrent_tcp/threaded",
+    "gc_compaction": "gc_compaction/cold_restore",
 }
 
 THROUGHPUT_KEYS = {"name", "bytes", "seconds", "mib_per_s"}
@@ -85,6 +91,29 @@ CONCURRENT_KEYS = THROUGHPUT_KEYS | {
     "handler_delay_ms",
     "client_spread_s",
 }
+#: The container-engine scenarios record coalesced-read locality,
+#: compaction reclaim, and per-container compression (schema v6).
+GC_COLD_KEYS = THROUGHPUT_KEYS | QUANTILE_KEYS | {
+    "chunks",
+    "containers",
+    "container_fetches",
+    "fetches_per_container",
+    "store_round_trips",
+}
+GC_RECLAIM_KEYS = THROUGHPUT_KEYS | QUANTILE_KEYS | {
+    "dead_bytes",
+    "reclaimed_bytes",
+    "reclaim_fraction",
+    "dead_ratio_before",
+    "dead_ratio_after",
+    "relocated_chunks",
+}
+GC_COMPRESSED_KEYS = THROUGHPUT_KEYS | QUANTILE_KEYS | {
+    "chunks",
+    "container_payload_bytes",
+    "container_compressed_bytes",
+    "compression_ratio",
+}
 
 
 @pytest.mark.slow
@@ -105,7 +134,7 @@ def test_quick_bench_runs_and_writes_valid_report(tmp_path):
     assert "metrics snapshot: well-formed" in proc.stdout
 
     report = json.loads(out.read_text())
-    assert report["schema"] == "reed-bench-hotpath/5"
+    assert report["schema"] == "reed-bench-hotpath/6"
     assert report["quick"] is True
     assert report["seed"] == 3
     # Every reported row has its repeats recorded in the bench histogram
@@ -129,6 +158,12 @@ def test_quick_bench_runs_and_writes_valid_report(tmp_path):
             expected_keys = REKEY_KEYS
         elif result["name"].startswith("concurrent_tcp/"):
             expected_keys = CONCURRENT_KEYS
+        elif result["name"] == "gc_compaction/cold_restore":
+            expected_keys = GC_COLD_KEYS
+        elif result["name"] == "gc_compaction/reclaim":
+            expected_keys = GC_RECLAIM_KEYS
+        elif result["name"] == "gc_compaction/compressed_store":
+            expected_keys = GC_COMPRESSED_KEYS
         else:
             expected_keys = THROUGHPUT_KEYS
         assert set(result) == expected_keys
@@ -146,7 +181,7 @@ def test_quick_bench_runs_and_writes_valid_report(tmp_path):
     for family, reference_row in REFERENCE_ROWS.items():
         assert reference_row in names
     assert isinstance(report["speedups"], dict)
-    assert set(report["speedups"]) == EXPECTED_FAMILIES
+    assert set(report["speedups"]) == EXPECTED_FAMILIES - UNPAIRED_FAMILIES
     # The batched pipeline's defining win: fewer round trips per layer.
     by_name = {r["name"]: r for r in report["results"]}
     per_chunk = by_name["upload_tcp/per_chunk"]
@@ -203,3 +238,25 @@ def test_quick_bench_runs_and_writes_valid_report(tmp_path):
     assert threaded["requests"] == multiplexed["requests"] > 0
     assert threaded["clients"] == multiplexed["clients"]
     assert multiplexed["requests_per_s"] > 0
+    # The container engine's defining wins.  Cold restores coalesce: the
+    # batch-read path fetches each container at most once, so a restore
+    # of N chunks packed C-per-container pays ~#containers fetches
+    # rather than #chunks.  Compaction reclaims >= 90% of dead container
+    # bytes (the bench itself verifies the survivor restores
+    # bit-identically), and the compressed in-process store demonstrates
+    # the per-container codec.
+    cold = by_name["gc_compaction/cold_restore"]
+    assert cold["chunks"] > cold["containers"] > 0
+    assert 0 < cold["container_fetches"] <= cold["containers"]
+    assert cold["fetches_per_container"] <= 1.0
+    reclaim = by_name["gc_compaction/reclaim"]
+    assert reclaim["dead_bytes"] > 0
+    assert reclaim["reclaim_fraction"] >= 0.9
+    assert reclaim["dead_ratio_after"] < reclaim["dead_ratio_before"]
+    compressed = by_name["gc_compaction/compressed_store"]
+    assert (
+        0
+        < compressed["container_compressed_bytes"]
+        < compressed["container_payload_bytes"]
+    )
+    assert compressed["compression_ratio"] > 1.0

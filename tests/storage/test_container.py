@@ -1,15 +1,36 @@
-"""Tests for container batching."""
+"""Tests for container batching, compression, and coalesced reads."""
+
+import hashlib
+import threading
+import time
 
 import pytest
 
+from repro.obs.metrics import MetricsRegistry
 from repro.storage.backend import MemoryBackend
-from repro.storage.container import ContainerStore
-from repro.util.errors import ConfigurationError, NotFoundError
+from repro.storage.container import (
+    _HEADER,
+    _MAGIC,
+    CODEC_STORED,
+    ContainerStore,
+)
+from repro.storage.index import ChunkLocation
+from repro.util.errors import ConfigurationError, NotFoundError, StorageError
 
 
 @pytest.fixture()
 def backend():
     return MemoryBackend()
+
+
+def incompressible(nbytes: int, seed: int = 0) -> bytes:
+    """Deterministic pseudorandom bytes zlib cannot shrink."""
+    out = bytearray()
+    counter = 0
+    while len(out) < nbytes:
+        out.extend(hashlib.sha256(f"{seed}:{counter}".encode()).digest())
+        counter += 1
+    return bytes(out[:nbytes])
 
 
 class TestAppendRead:
@@ -107,3 +128,230 @@ class TestLifecycle:
         store.append(b"a" * 40)
         store.append(b"b" * 40)  # seals first
         assert store.stored_bytes() == 80
+
+    def test_has_container(self, backend):
+        store = ContainerStore(backend, container_bytes=64)
+        assert not store.has_container(store.open_container_id)
+        loc = store.append(b"a" * 16)
+        assert store.has_container(loc.container_id)  # open buffer counts
+        store.flush()
+        assert store.has_container(loc.container_id)
+        store.delete_container(loc.container_id)
+        assert not store.has_container(loc.container_id)
+
+    def test_payload_length(self, backend):
+        store = ContainerStore(backend, container_bytes=64)
+        loc = store.append(b"a" * 40)
+        assert store.payload_length(loc.container_id) == 40  # open buffer
+        store.flush()
+        assert store.payload_length(loc.container_id) == 40
+        assert store.payload_length(999) == 0
+
+    def test_payload_length_learned_after_restart(self, backend):
+        store = ContainerStore(backend, container_bytes=64)
+        loc = store.append(b"a" * 40)
+        store.flush()
+        restarted = ContainerStore(backend, container_bytes=64)
+        # Learned from the framed header without a full fetch.
+        assert restarted.payload_length(loc.container_id) == 40
+        assert restarted.container_fetches == 0
+
+
+class TestCompression:
+    def test_compressible_payload_shrinks_on_disk(self, backend):
+        store = ContainerStore(backend, container_bytes=4096)
+        loc = store.append(b"abcd" * 1024)  # 4 KiB, highly compressible
+        store.flush()
+        on_disk = backend.size(f"container/{loc.container_id:012d}")
+        assert on_disk < 4096
+        assert store.compressed_bytes() == on_disk
+        assert store.sealed_payload_bytes() == 4096
+        # Round trip through the compressed frame.
+        fresh = ContainerStore(backend, container_bytes=4096)
+        assert fresh.read(loc) == b"abcd" * 1024
+
+    def test_incompressible_payload_stored_raw(self, backend):
+        store = ContainerStore(backend, container_bytes=1024)
+        data = incompressible(1024)
+        loc = store.append(data)
+        name = f"container/{loc.container_id:012d}"
+        blob = backend.get(name)
+        magic, codec, payload_len = _HEADER.unpack_from(blob)
+        assert magic == _MAGIC
+        assert codec == CODEC_STORED
+        assert payload_len == 1024
+        assert store.read(loc) == data
+
+    def test_legacy_raw_container_readable(self, backend):
+        # A headerless blob written before the framed format.
+        backend.put("container/000000000000", b"legacy-payload")
+        store = ContainerStore(backend, container_bytes=64)
+        assert store.read(ChunkLocation(0, 0, 6)) == b"legacy"
+        assert store.payload_length(0) == len(b"legacy-payload")
+        # Numbering resumed past the legacy container.
+        assert store.open_container_id == 1
+
+    def test_header_length_mismatch_rejected(self, backend):
+        blob = _HEADER.pack(_MAGIC, CODEC_STORED, 999) + b"short"
+        backend.put("container/000000000000", blob)
+        store = ContainerStore(backend, container_bytes=64)
+        with pytest.raises(StorageError):
+            store.read(ChunkLocation(0, 0, 5))
+
+    def test_unknown_codec_rejected(self, backend):
+        blob = _HEADER.pack(_MAGIC, 7, 5) + b"12345"
+        backend.put("container/000000000000", blob)
+        store = ContainerStore(backend, container_bytes=64)
+        with pytest.raises(StorageError):
+            store.read(ChunkLocation(0, 0, 5))
+
+    def test_truncated_compressed_body_rejected(self, backend):
+        store = ContainerStore(backend, container_bytes=256)
+        loc = store.append(b"x" * 256)
+        name = f"container/{loc.container_id:012d}"
+        backend.put(name, backend.get(name)[:-4])
+        fresh = ContainerStore(backend, container_bytes=256)
+        with pytest.raises(StorageError):
+            fresh.read(loc)
+
+    def test_compression_metrics_published(self, backend):
+        registry = MetricsRegistry()
+        store = ContainerStore(backend, container_bytes=4096, metrics=registry)
+        store.append(b"abcd" * 1024)
+        store.flush()
+        assert registry.value("container_payload_bytes") == 4096
+        compressed = registry.value("container_compressed_bytes")
+        assert 0 < compressed < 4096
+        assert registry.value("container_compression_ratio") == pytest.approx(
+            4096 / compressed
+        )
+
+
+class _CountingBackend(MemoryBackend):
+    """MemoryBackend that counts (and optionally slows) container gets."""
+
+    def __init__(self, delay: float = 0.0):
+        super().__init__()
+        self.delay = delay
+        self.container_gets = 0
+        self._get_lock = threading.Lock()
+
+    def get(self, name):
+        if name.startswith("container/"):
+            with self._get_lock:
+                self.container_gets += 1
+            if self.delay:
+                time.sleep(self.delay)
+        return super().get(name)
+
+
+class TestCoalescedReads:
+    def _fill(self, store, chunks=8, size=32):
+        locs = [store.append(bytes([i]) * size) for i in range(chunks)]
+        store.flush()
+        return locs
+
+    def test_read_many_fetches_each_container_once(self):
+        backend = _CountingBackend()
+        registry = MetricsRegistry()
+        store = ContainerStore(backend, container_bytes=64, metrics=registry)
+        locs = self._fill(store)  # 8 x 32 B -> 4 sealed containers
+        assert store.sealed_containers == 4
+        out = store.read_many(locs)
+        assert out == [bytes([i]) * 32 for i in range(8)]
+        assert store.container_fetches == 4
+        assert backend.container_gets == 4
+        assert registry.value("container_fetch_total") == 4
+
+    def test_read_many_served_from_cache(self):
+        backend = _CountingBackend()
+        store = ContainerStore(backend, container_bytes=64)
+        locs = self._fill(store)
+        store.read_many(locs)
+        fetches = store.container_fetches
+        assert store.read_many(locs) == [bytes([i]) * 32 for i in range(8)]
+        assert store.container_fetches == fetches
+
+    def test_read_many_includes_open_buffer(self):
+        store = ContainerStore(MemoryBackend(), container_bytes=1024)
+        sealed = store.append(b"a" * 512)
+        store.flush()
+        buffered = store.append(b"b" * 100)  # still open
+        out = store.read_many([sealed, buffered, sealed])
+        assert out == [b"a" * 512, b"b" * 100, b"a" * 512]
+
+    def test_read_many_empty(self):
+        store = ContainerStore(MemoryBackend(), container_bytes=64)
+        assert store.read_many([]) == []
+
+    def test_read_many_missing_container_raises(self):
+        store = ContainerStore(MemoryBackend(), container_bytes=64)
+        loc = store.append(b"a" * 64)
+        store.flush()
+        store.delete_container(loc.container_id)
+        with pytest.raises(NotFoundError):
+            store.read_many([loc])
+
+    def test_fetch_concurrency_validated(self):
+        with pytest.raises(ConfigurationError):
+            ContainerStore(MemoryBackend(), fetch_concurrency=0)
+
+
+class TestSingleFlight:
+    def test_concurrent_reads_share_one_fetch(self):
+        backend = _CountingBackend(delay=0.05)
+        store = ContainerStore(backend, container_bytes=64)
+        loc = store.append(b"a" * 64)
+        store.flush()
+
+        results = []
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def reader():
+            try:
+                barrier.wait()
+                results.append(store.read(loc))
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert results == [b"a" * 64] * 8
+        # All eight readers were served by a single backend fetch.
+        assert backend.container_gets == 1
+        assert store.container_fetches == 1
+
+    def test_followers_refetch_after_leader_failure(self):
+        backend = _CountingBackend(delay=0.02)
+        store = ContainerStore(backend, container_bytes=64)
+        loc = store.append(b"a" * 64)
+        store.flush()
+        blob = backend.get(f"container/{loc.container_id:012d}")
+        backend.delete(f"container/{loc.container_id:012d}")
+
+        outcomes = []
+        barrier = threading.Barrier(4)
+
+        def reader():
+            barrier.wait()
+            try:
+                outcomes.append(store.read(loc))
+            except NotFoundError:
+                outcomes.append("missing")
+                # Restore the blob so stragglers can succeed.
+                backend.put(f"container/{loc.container_id:012d}", blob)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Nobody hung: every reader either failed cleanly or read the
+        # restored bytes.
+        assert len(outcomes) == 4
+        assert set(outcomes) <= {"missing", b"a" * 64}

@@ -3,8 +3,9 @@
 import pytest
 
 from repro.crypto.hashing import fingerprint
+from repro.obs.metrics import MetricsRegistry
 from repro.storage.datastore import DataStore
-from repro.util.errors import NotFoundError
+from repro.util.errors import NotFoundError, StorageError
 
 
 def put(store, data):
@@ -104,3 +105,117 @@ class TestRecipesAndStubs:
         store.put_stub_file("f", b"z" * 100)
         # logical 10000, physical 1000, stub 100 -> saving 0.89
         assert store.stats.total_saving == pytest.approx(0.89)
+
+
+class TestBatchReads:
+    def _fill(self, store, chunks=8, size=32):
+        datas = [bytes([i]) * size for i in range(chunks)]
+        for data in datas:
+            put(store, data)
+        store.flush()
+        return datas
+
+    def test_get_many_coalesces_container_fetches(self):
+        registry = MetricsRegistry()
+        store = DataStore(container_bytes=64, metrics=registry)
+        datas = self._fill(store)  # 8 x 32 B -> 4 sealed containers
+        fps = [fingerprint(data) for data in datas]
+        assert store.get_many(fps) == datas
+        # One cold fetch per container, not per chunk.
+        assert store.containers.container_fetches == 4
+        assert registry.value("container_read_amplification") == pytest.approx(
+            4 / 8
+        )
+
+    def test_get_many_warm_cache_zero_amplification(self):
+        registry = MetricsRegistry()
+        store = DataStore(container_bytes=64, metrics=registry)
+        datas = self._fill(store)
+        fps = [fingerprint(data) for data in datas]
+        store.get_many(fps)
+        assert store.get_many(fps) == datas
+        assert registry.value("container_read_amplification") == 0.0
+
+    def test_get_many_empty(self):
+        assert DataStore().get_many([]) == []
+
+    def test_get_many_missing_raises(self):
+        store = DataStore()
+        put(store, b"present")
+        with pytest.raises(NotFoundError):
+            store.get_many([fingerprint(b"present"), fingerprint(b"absent")])
+
+    def test_compression_reported_in_stats(self):
+        store = DataStore(container_bytes=4096)
+        put(store, b"abcd" * 1024)
+        store.flush()
+        stats = store.stats
+        assert stats.container_payload_bytes == 4096
+        assert 0 < stats.container_compressed_bytes < 4096
+        assert stats.compression_ratio > 1.0
+
+
+class TestAddrefContract:
+    def test_zero_count_rejected(self):
+        store = DataStore()
+        put(store, b"chunk")
+        with pytest.raises(StorageError):
+            store.addref_many([(fingerprint(b"chunk"), 0)])
+
+    def test_negative_count_rejected(self):
+        store = DataStore()
+        put(store, b"chunk")
+        with pytest.raises(StorageError):
+            store.addref_many([(fingerprint(b"chunk"), -2)])
+
+    def test_unknown_fingerprint_rejected(self):
+        with pytest.raises(NotFoundError):
+            DataStore().addref_many([(fingerprint(b"ghost"), 1)])
+
+    def test_positive_counts_applied(self):
+        store = DataStore()
+        put(store, b"chunk")
+        store.addref_many([(fingerprint(b"chunk"), 3)])
+        assert store.refcount_many([fingerprint(b"chunk")]) == [4]
+
+
+class TestOversizedChunks:
+    def test_chunk_larger_than_container_round_trips(self):
+        store = DataStore(container_bytes=100)
+        data = bytes(range(256)) * 4  # 1 KiB >> 100 B containers
+        put(store, data)
+        assert store.get_chunk(fingerprint(data)) == data
+        store.flush()
+        assert store.get_chunk(fingerprint(data)) == data
+
+    def test_oversized_chunk_release_reclaims(self):
+        store = DataStore(container_bytes=100)
+        data = b"huge" * 200
+        put(store, data)
+        store.flush()
+        store.release_chunk(fingerprint(data))
+        assert store.backend.total_bytes("container/") == 0
+        assert store.stats.physical_bytes == 0
+
+
+class TestDeadSpaceAccounting:
+    def test_partial_release_accrues_dead_bytes(self):
+        store = DataStore(container_bytes=64, metrics=MetricsRegistry())
+        put(store, b"a" * 32)
+        put(store, b"b" * 32)  # seals the container
+        store.release_chunk(fingerprint(b"a" * 32))
+        live, dead, ratio = store.dead_space()
+        assert (live, dead) == (32, 32)
+        assert ratio == pytest.approx(0.5)
+        # The container still holds a live chunk, so it survives.
+        assert store.backend.total_bytes("container/") > 0
+        assert store.metrics.value("dead_space_ratio") == pytest.approx(0.5)
+
+    def test_full_release_clears_accounting(self):
+        store = DataStore(container_bytes=64)
+        put(store, b"a" * 32)
+        put(store, b"b" * 32)
+        store.release_chunk(fingerprint(b"a" * 32))
+        store.release_chunk(fingerprint(b"b" * 32))
+        assert store.backend.total_bytes("container/") == 0
+        assert store.dead_space() == (0, 0, 0.0)

@@ -93,10 +93,13 @@ class TestFsck:
         store = DataStore(backend, container_bytes=256)
         fill(store)
         save_index(store)
-        # Crash scenario: containers written after the last index
-        # snapshot are orphaned on restart.
-        fill(store, n=5, tag=9)
-        store.flush()
+        # Crash scenario: containers sealed after the last index
+        # snapshot (a crash between the container seal and the snapshot
+        # write inside flush) are orphaned on restart.
+        for i in range(5):
+            data = bytes([9, i]) * 50
+            store.put_chunk(fingerprint(data), data)
+        store.containers.flush()
         reopened = DataStore(DirectoryBackend(str(tmp_path)), container_bytes=256)
         load_index(reopened)
         report = fsck(reopened)

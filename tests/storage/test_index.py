@@ -71,3 +71,92 @@ class TestPersistence:
     def test_empty_roundtrip(self):
         restored = FingerprintIndex.decode(FingerprintIndex().encode())
         assert len(restored) == 0
+
+
+class TestContainerUsage:
+    def test_add_and_release_accounting(self):
+        index = FingerprintIndex()
+        index.add(FP1, ChunkLocation(0, 0, 100))
+        index.add(FP2, ChunkLocation(0, 100, 50))
+        usage = index.usage_for(0)
+        assert (usage.live_bytes, usage.dead_bytes, usage.live_chunks) == (
+            150, 0, 2,
+        )
+        assert usage.dead_ratio == 0.0
+        index.release(FP2)
+        usage = index.usage_for(0)
+        assert (usage.live_bytes, usage.dead_bytes, usage.live_chunks) == (
+            100, 50, 1,
+        )
+        assert usage.dead_ratio == pytest.approx(50 / 150)
+
+    def test_release_with_refs_left_not_dead(self):
+        index = FingerprintIndex()
+        index.add(FP1, ChunkLocation(0, 0, 100))
+        index.addref(FP1)
+        assert index.release(FP1) is False
+        assert index.usage_for(0).dead_bytes == 0
+
+    def test_usage_for_untracked_is_zero(self):
+        usage = FingerprintIndex().usage_for(42)
+        assert (usage.live_bytes, usage.dead_bytes, usage.live_chunks) == (
+            0, 0, 0,
+        )
+
+    def test_record_dead_and_clear(self):
+        index = FingerprintIndex()
+        index.record_dead(7, 300)
+        index.record_dead(7, 0)  # no-op
+        index.record_dead(7, -5)  # no-op
+        assert index.usage_for(7).dead_bytes == 300
+        index.clear_container(7)
+        assert index.usage_for(7).dead_bytes == 0
+
+    def test_usage_rebuilt_by_decode(self):
+        index = FingerprintIndex()
+        index.add(FP1, ChunkLocation(3, 0, 80))
+        index.add(FP2, ChunkLocation(3, 80, 20))
+        restored = FingerprintIndex.decode(index.encode())
+        usage = restored.usage_for(3)
+        assert (usage.live_bytes, usage.live_chunks) == (100, 2)
+
+    def test_entries_in_container(self):
+        index = FingerprintIndex()
+        index.add(FP1, ChunkLocation(0, 0, 10))
+        index.add(FP2, ChunkLocation(1, 0, 10))
+        assert index.entries_in_container(0) == [(FP1, ChunkLocation(0, 0, 10))]
+        assert index.entries_in_container(9) == []
+
+
+class TestRelocate:
+    def test_relocate_applies_and_moves_accounting(self):
+        index = FingerprintIndex()
+        old = ChunkLocation(0, 0, 100)
+        new = ChunkLocation(5, 0, 100)
+        index.add(FP1, old)
+        index.addref(FP1)
+        assert index.relocate_many([(FP1, old, new)]) == 1
+        assert index.lookup(FP1) == new
+        assert index.refcount(FP1) == 2  # refcount untouched by the move
+        assert index.usage_for(0).live_chunks == 0
+        assert index.usage_for(5).live_bytes == 100
+
+    def test_stale_expected_location_skipped(self):
+        index = FingerprintIndex()
+        current = ChunkLocation(0, 50, 100)
+        index.add(FP1, current)
+        stale = ChunkLocation(0, 0, 100)
+        new = ChunkLocation(5, 0, 100)
+        assert index.relocate_many([(FP1, stale, new)]) == 0
+        assert index.lookup(FP1) == current
+        # The unreachable copy is dead space in the new container.
+        assert index.usage_for(5).dead_bytes == 100
+
+    def test_released_entry_skipped(self):
+        index = FingerprintIndex()
+        old = ChunkLocation(0, 0, 60)
+        index.add(FP1, old)
+        index.release(FP1)
+        assert index.relocate_many([(FP1, old, ChunkLocation(5, 0, 60))]) == 0
+        assert not index.contains(FP1)
+        assert index.usage_for(5).dead_bytes == 60
